@@ -1,0 +1,42 @@
+// Quickstart: synthesize a small genome, shotgun it, and run the full
+// cluster-then-assemble pipeline serially.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+	"repro/internal/simulate"
+)
+
+func main() {
+	// A 30 kb genome sampled at 6× with ~700 bp reads carrying
+	// realistic sequencing error.
+	rng := rand.New(rand.NewSource(42))
+	genome := simulate.NewGenome(rng, "toy", simulate.GenomeConfig{Length: 30000})
+	reads := simulate.SampleWGS(rng, genome, 6.0, simulate.DefaultReadConfig(), "read")
+	fmt.Printf("sampled %d reads from a %d bp genome\n", len(reads), len(genome.Seq))
+
+	cfg := repro.DefaultConfig()
+	res := repro.Run(reads, cfg)
+
+	fmt.Printf("preprocessing kept %d/%d fragments\n",
+		res.PreprocessStats.FragsAfter, res.PreprocessStats.FragsBefore)
+	fmt.Printf("clustering: %d clusters, %d singletons, %.1f%% of alignments saved\n",
+		len(res.Clusters), len(res.Singletons),
+		100*res.Clustering.Stats.SavingsFraction())
+
+	longest := 0
+	for _, cs := range res.Contigs {
+		for _, c := range cs {
+			if len(c.Bases) > longest {
+				longest = len(c.Bases)
+			}
+		}
+	}
+	fmt.Printf("assembly: %d contigs (%.2f per cluster), longest %d bp\n",
+		res.TotalContigs(), res.ContigsPerCluster(), longest)
+}

@@ -1,0 +1,212 @@
+package align
+
+// Banded overlap alignment anchored at a maximal exact match. The
+// clustering phase generates promising pairs together with the
+// coordinates of a shared maximal match (paper, Section 5); anchoring
+// the alignment to that match lets the overlap test run in
+// O(band × length) instead of the full dynamic-programming product,
+// which is the alignment-cost reduction the paper's filter exists to
+// enable (Section 2).
+//
+// The overlap is computed as the exact match plus two banded
+// extensions: leftward from the match start to the beginning of either
+// fragment and rightward from the match end to the end of either
+// fragment. An extension must reach a fragment boundary — overlaps span
+// to sequence ends, with the dangling tail of the other fragment free.
+
+// DefaultBand is the default half-width of the extension band,
+// generous for ~2 % sequencing error over sub-kilobase fragments.
+const DefaultBand = 12
+
+type bandCell struct {
+	sc int32
+	m  int32 // identical columns on the best path here
+	ln int32 // total columns on the best path here
+}
+
+var bandNegInf = bandCell{sc: -1 << 30}
+
+// AnchoredOverlap aligns a and b given the anchor
+// a[apos:apos+mlen] == b[bpos:bpos+mlen], using banded extensions of
+// half-width band. It returns the combined overlap alignment and
+// ok=false if either extension cannot reach a fragment boundary inside
+// the band (the pair is then rejected).
+func AnchoredOverlap(a, b []byte, apos, bpos, mlen, band int, sc Scoring) (Result, bool) {
+	if band < 1 {
+		band = DefaultBand
+	}
+	right, okR := extendBanded(a[apos+mlen:], b[bpos+mlen:], band, sc, false)
+	if !okR {
+		return Result{}, false
+	}
+	left, okL := extendBanded(a[:apos], b[:bpos], band, sc, true)
+	if !okL {
+		return Result{}, false
+	}
+	res := Result{
+		Score:   left.score + right.score + mlen*sc.Match,
+		Matches: left.matches + right.matches + mlen,
+		Length:  left.length + right.length + mlen,
+		AStart:  apos - left.aUsed,
+		BStart:  bpos - left.bUsed,
+		AEnd:    apos + mlen + right.aUsed,
+		BEnd:    bpos + mlen + right.bUsed,
+	}
+	return res, true
+}
+
+type extension struct {
+	score   int
+	matches int
+	length  int
+	aUsed   int
+	bUsed   int
+}
+
+// extendBanded aligns u against v (both already oriented away from the
+// anchor; pass reversed=true for the leftward extension, which walks the
+// prefixes backwards) requiring the alignment to reach the end of u or
+// the end of v. Gap penalties are affine; the band is centered on the
+// anchor diagonal.
+func extendBanded(u, v []byte, band int, sc Scoring, reversed bool) (extension, bool) {
+	lu, lv := len(u), len(v)
+	if lu == 0 || lv == 0 {
+		// The boundary is already reached; nothing to extend.
+		return extension{}, true
+	}
+	at := func(s []byte, i int) byte {
+		if reversed {
+			return s[len(s)-1-i]
+		}
+		return s[i]
+	}
+
+	width := 2*band + 1
+	// Rolling rows indexed by diagonal offset: column j = i + off - band,
+	// off in [0, width).
+	curM := make([]bandCell, width)
+	curX := make([]bandCell, width)
+	curY := make([]bandCell, width)
+	prvM := make([]bandCell, width)
+	prvX := make([]bandCell, width)
+	prvY := make([]bandCell, width)
+
+	for o := range prvM {
+		prvM[o], prvX[o], prvY[o] = bandNegInf, bandNegInf, bandNegInf
+	}
+	// Row 0: cell (0,0) sits at offset band; cells (0,j) for j ≤ band are
+	// leading gaps in u (charged — they are interior to the overall
+	// overlap alignment).
+	prvM[band] = bandCell{}
+	for j := 1; j <= band && j <= lv; j++ {
+		prvY[band+j] = bandCell{
+			sc: int32(sc.GapOpen + j*sc.GapExtend),
+			ln: int32(j),
+		}
+	}
+
+	best := extension{score: int(bandNegInf.sc)}
+	found := false
+	noteBoundary := func(i, j int, c bandCell) {
+		if c.sc <= bandNegInf.sc {
+			return
+		}
+		if i == lu || j == lv {
+			if !found || int(c.sc) > best.score {
+				best = extension{
+					score:   int(c.sc),
+					matches: int(c.m),
+					length:  int(c.ln),
+					aUsed:   i,
+					bUsed:   j,
+				}
+				found = true
+			}
+		}
+	}
+	// Row 0 boundary cells (possible when lv ≤ band): v fully consumed by
+	// leading gaps — degenerate, but legal.
+	for j := 0; j <= band && j <= lv; j++ {
+		if j == 0 {
+			noteBoundary(0, 0, prvM[band])
+		} else {
+			noteBoundary(0, j, prvY[band+j])
+		}
+	}
+
+	addCol := func(p bandCell, match bool, s int32) bandCell {
+		if p.sc <= bandNegInf.sc {
+			return bandNegInf
+		}
+		c := bandCell{sc: p.sc + s, m: p.m, ln: p.ln + 1}
+		if match {
+			c.m++
+		}
+		return c
+	}
+
+	for i := 1; i <= lu; i++ {
+		ui := at(u, i-1)
+		for o := 0; o < width; o++ {
+			curM[o], curX[o], curY[o] = bandNegInf, bandNegInf, bandNegInf
+			j := i + o - band
+			if j < 0 || j > lv {
+				continue
+			}
+			if j == 0 {
+				// Leading gap in v (consuming u only).
+				if i <= band {
+					curX[o] = bandCell{sc: int32(sc.GapOpen + i*sc.GapExtend), ln: int32(i)}
+				}
+				noteBoundary(i, 0, curX[o])
+				continue
+			}
+			vj := at(v, j-1)
+			match := ui == vj && isBase(ui)
+			s := int32(sc.Mismatch)
+			if match {
+				s = int32(sc.Match)
+			}
+			// Diagonal predecessor (i-1, j-1) is offset o in the previous row.
+			dBest := prvM[o]
+			if prvX[o].sc > dBest.sc {
+				dBest = prvX[o]
+			}
+			if prvY[o].sc > dBest.sc {
+				dBest = prvY[o]
+			}
+			curM[o] = addCol(dBest, match, s)
+
+			// Up predecessor (i-1, j) is offset o+1 in the previous row.
+			if o+1 < width {
+				open := addCol(prvM[o+1], false, int32(sc.GapOpen+sc.GapExtend))
+				ext := addCol(prvX[o+1], false, int32(sc.GapExtend))
+				if open.sc >= ext.sc {
+					curX[o] = open
+				} else {
+					curX[o] = ext
+				}
+			}
+			// Left predecessor (i, j-1) is offset o-1 in the current row.
+			if o-1 >= 0 {
+				open := addCol(curM[o-1], false, int32(sc.GapOpen+sc.GapExtend))
+				ext := addCol(curY[o-1], false, int32(sc.GapExtend))
+				if open.sc >= ext.sc {
+					curY[o] = open
+				} else {
+					curY[o] = ext
+				}
+			}
+			noteBoundary(i, j, curM[o])
+			noteBoundary(i, j, curX[o])
+			noteBoundary(i, j, curY[o])
+		}
+		curM, prvM = prvM, curM
+		curX, prvX = prvX, curX
+		curY, prvY = prvY, curY
+	}
+	if !found {
+		return extension{}, false
+	}
+	return best, true
+}

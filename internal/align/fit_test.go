@@ -1,0 +1,145 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestFitExact(t *testing.T) {
+	sc := DefaultScoring()
+	ref := []byte("GGGGACGTACGTACGTTTTT")
+	q := []byte("ACGTACGTACGT")
+	r, ok := Fit(ref, q, 4, 6, sc)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if r.AStart != 4 || r.AEnd != 16 {
+		t.Errorf("ref span = [%d,%d), want [4,16)", r.AStart, r.AEnd)
+	}
+	if r.BStart != 0 || r.BEnd != len(q) {
+		t.Errorf("query span = [%d,%d)", r.BStart, r.BEnd)
+	}
+	if r.Matches != len(q) || r.Length != len(q) {
+		t.Errorf("matches=%d length=%d", r.Matches, r.Length)
+	}
+	for _, op := range r.Ops {
+		if op != OpM {
+			t.Error("exact fit must be all match ops")
+		}
+	}
+}
+
+func TestFitWithIndel(t *testing.T) {
+	sc := DefaultScoring()
+	ref := []byte("GGGGACGTACGTACGTACGGGGG")
+	q := []byte("ACGTACTACGTACG") // one deletion relative to ref
+	r, ok := Fit(ref, q, 4, 8, sc)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	nX := 0
+	for _, op := range r.Ops {
+		if op == OpX {
+			nX++
+		}
+	}
+	if nX != 1 {
+		t.Errorf("%d reference-only columns, want 1", nX)
+	}
+	if r.Identity() < 0.9 {
+		t.Errorf("identity %.3f", r.Identity())
+	}
+}
+
+func TestFitEmptyQuery(t *testing.T) {
+	if _, ok := Fit([]byte("ACGT"), nil, 0, 4, DefaultScoring()); ok {
+		t.Error("empty query must not fit")
+	}
+}
+
+func TestFitBandMiss(t *testing.T) {
+	sc := DefaultScoring()
+	ref := []byte("AAAAAAAAAAAAAAAAAAAACGTACGTACGT")
+	q := []byte("CGTACGTACGT")
+	// The query sits at ref offset 20, but diag0 = 0 with band 3
+	// cannot reach it.
+	if r, ok := Fit(ref, q, 0, 3, sc); ok && r.Identity() > 0.8 {
+		t.Errorf("band miss produced a high-identity fit: %+v", r)
+	}
+}
+
+// TestFitAgreesWithGlobalOnColinear: for near-colinear pairs the
+// banded fit must recover the same identity as the exact aligner.
+func TestFitAgreesWithGlobalOnColinear(t *testing.T) {
+	sc := DefaultScoring()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 200 + rng.Intn(400)
+		truth := make([]byte, n)
+		for i := range truth {
+			truth[i] = seq.Base(rng.Intn(4))
+		}
+		// Mutate ~2%.
+		q := make([]byte, 0, n)
+		for _, b := range truth {
+			r := rng.Float64()
+			switch {
+			case r < 0.005:
+			case r < 0.010:
+				q = append(q, b, seq.Base(rng.Intn(4)))
+			case r < 0.020:
+				q = append(q, seq.Base((seq.Code(b)+1+rng.Intn(3))%4))
+			default:
+				q = append(q, b)
+			}
+		}
+		fit, ok := Fit(truth, q, 0, 32, sc)
+		if !ok {
+			t.Fatalf("trial %d: fit failed", trial)
+		}
+		glob := Global(q, truth, sc)
+		if d := fit.Identity() - glob.Identity(); d < -0.02 || d > 0.02 {
+			t.Errorf("trial %d: fit identity %.4f vs global %.4f", trial, fit.Identity(), glob.Identity())
+		}
+	}
+}
+
+// TestFitOpsConsistent: walking the ops must consume exactly the
+// reported spans.
+func TestFitOpsConsistent(t *testing.T) {
+	sc := DefaultScoring()
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		ref := make([]byte, 100+rng.Intn(100))
+		for i := range ref {
+			ref[i] = seq.Base(rng.Intn(4))
+		}
+		off := rng.Intn(40)
+		end := off + 40 + rng.Intn(len(ref)-off-40)
+		q := append([]byte(nil), ref[off:end]...)
+		r, ok := Fit(ref, q, off, 16, sc)
+		if !ok {
+			t.Fatalf("trial %d: fit failed", trial)
+		}
+		ai, bi := r.AStart, r.BStart
+		for _, op := range r.Ops {
+			switch op {
+			case OpM:
+				ai++
+				bi++
+			case OpX:
+				ai++
+			case OpY:
+				bi++
+			}
+		}
+		if ai != r.AEnd || bi != r.BEnd {
+			t.Fatalf("trial %d: ops consume (%d,%d), spans end (%d,%d)", trial, ai, bi, r.AEnd, r.BEnd)
+		}
+		if r.BStart != 0 || r.BEnd != len(q) {
+			t.Fatalf("trial %d: query not fully consumed: [%d,%d) of %d", trial, r.BStart, r.BEnd, len(q))
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package assembly
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// tiledReads cuts overlapping reads across src with the given step,
+// alternating strands, optionally with sequencing errors.
+func tiledReads(rng *rand.Rand, src []byte, readLen, step int, errRate float64) []*seq.Fragment {
+	var frags []*seq.Fragment
+	idx := 0
+	for start := 0; start+readLen <= len(src); start += step {
+		b := append([]byte(nil), src[start:start+readLen]...)
+		if idx%2 == 1 {
+			seq.ReverseComplementInPlace(b)
+		}
+		if errRate > 0 {
+			b = noisy(rng, b, errRate)
+		}
+		frags = append(frags, &seq.Fragment{Name: fmt.Sprintf("t%03d", idx), Bases: b})
+		idx++
+	}
+	// Make sure the tail is covered.
+	b := append([]byte(nil), src[len(src)-readLen:]...)
+	if errRate > 0 {
+		b = noisy(rng, b, errRate)
+	}
+	frags = append(frags, &seq.Fragment{Name: "tail", Bases: b})
+	return frags
+}
+
+func noisy(rng *rand.Rand, s []byte, rate float64) []byte {
+	out := make([]byte, 0, len(s)+4)
+	for _, b := range s {
+		r := rng.Float64()
+		switch {
+		case r < rate/4: // del
+		case r < rate/2:
+			out = append(out, b, seq.Base(rng.Intn(4)))
+		case r < rate:
+			out = append(out, seq.Base((seq.Code(b)+1+rng.Intn(3))%4))
+		default:
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seq.Base(rng.Intn(4))
+	}
+	return b
+}
+
+func members(st *seq.Store) []int {
+	m := make([]int, st.N())
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+func TestSingleContigPerfectReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := randSeq(rng, 2500)
+	st := seq.NewStore(tiledReads(rng, truth, 400, 150, 0))
+	contigs := AssembleCluster(st, members(st), DefaultConfig())
+	if len(contigs) != 1 {
+		t.Fatalf("got %d contigs, want 1", len(contigs))
+	}
+	c := contigs[0]
+	if len(c.Reads) != st.N() {
+		t.Errorf("%d of %d reads placed", len(c.Reads), st.N())
+	}
+	// Contig must reconstruct the truth (either strand).
+	id := bestIdentity(c.Bases, truth)
+	if id < 0.999 {
+		t.Errorf("contig identity %.4f vs truth", id)
+	}
+	if len(c.Bases) < 2400 || len(c.Bases) > 2600 {
+		t.Errorf("contig length %d, want ≈2500", len(c.Bases))
+	}
+	if c.Depth < 2 {
+		t.Errorf("depth %.1f implausible", c.Depth)
+	}
+}
+
+func bestIdentity(got, truth []byte) float64 {
+	r1 := align.Global(got, truth, align.DefaultScoring())
+	r2 := align.Global(seq.ReverseComplement(got), truth, align.DefaultScoring())
+	if r2.Identity() > r1.Identity() {
+		return r2.Identity()
+	}
+	return r1.Identity()
+}
+
+func TestConsensusCorrectsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := randSeq(rng, 2000)
+	// 8× coverage with 2 % errors.
+	st := seq.NewStore(tiledReads(rng, truth, 400, 50, 0.02))
+	contigs := AssembleCluster(st, members(st), DefaultConfig())
+	if len(contigs) == 0 {
+		t.Fatal("no contigs")
+	}
+	c := contigs[0]
+	id := bestIdentity(c.Bases, truth)
+	if id < 0.99 {
+		t.Errorf("consensus identity %.4f; voting should beat the 2%% read error", id)
+	}
+}
+
+func TestTwoRegionsSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSeq(rng, 1500)
+	b := randSeq(rng, 1500)
+	frags := append(tiledReads(rng, a, 350, 140, 0), tiledReads(rng, b, 350, 140, 0)...)
+	st := seq.NewStore(frags)
+	contigs := AssembleCluster(st, members(st), DefaultConfig())
+	if len(contigs) != 2 {
+		t.Fatalf("got %d contigs, want 2 for two unlinked regions", len(contigs))
+	}
+	id1 := bestIdentity(contigs[0].Bases, a)
+	id2 := bestIdentity(contigs[0].Bases, b)
+	if id1 < 0.99 && id2 < 0.99 {
+		t.Error("first contig matches neither region")
+	}
+}
+
+func TestSingletonCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	st := seq.NewStore([]*seq.Fragment{{Name: "solo", Bases: randSeq(rng, 500)}})
+	contigs := AssembleCluster(st, []int{0}, DefaultConfig())
+	if len(contigs) != 1 || len(contigs[0].Reads) != 1 {
+		t.Fatalf("singleton assembly wrong: %d contigs", len(contigs))
+	}
+	if string(contigs[0].Bases) != string(st.Fragment(0).Bases) {
+		t.Error("singleton contig must be the read itself")
+	}
+}
+
+func TestEmptyCluster(t *testing.T) {
+	st := seq.NewStore(nil)
+	if contigs := AssembleCluster(st, nil, DefaultConfig()); contigs != nil {
+		t.Error("empty cluster must produce no contigs")
+	}
+}
+
+func TestAssembleAllMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var clusters [][]int
+	var frags []*seq.Fragment
+	for c := 0; c < 6; c++ {
+		truth := randSeq(rng, 1200)
+		reads := tiledReads(rng, truth, 300, 120, 0.01)
+		var cl []int
+		for _, f := range reads {
+			cl = append(cl, len(frags))
+			frags = append(frags, f)
+		}
+		clusters = append(clusters, cl)
+	}
+	st := seq.NewStore(frags)
+	seqr := AssembleAll(st, clusters, DefaultConfig(), 1)
+	parr := AssembleAll(st, clusters, DefaultConfig(), 4)
+	if len(seqr) != len(parr) {
+		t.Fatal("result length mismatch")
+	}
+	for i := range seqr {
+		if len(seqr[i]) != len(parr[i]) {
+			t.Fatalf("cluster %d: %d vs %d contigs", i, len(seqr[i]), len(parr[i]))
+		}
+		for j := range seqr[i] {
+			if string(seqr[i][j].Bases) != string(parr[i][j].Bases) {
+				t.Fatalf("cluster %d contig %d differs between worker counts", i, j)
+			}
+		}
+	}
+}
+
+func TestRealisticClusterFromSimulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := simulate.NewGenome(rng, "g", simulate.GenomeConfig{Length: 3000})
+	rc := simulate.DefaultReadConfig()
+	rc.MeanLen = 350
+	rc.LenSD = 40
+	rc.VectorProb = 0
+	reads := simulate.SampleWGS(rng, g, 7.0, rc, "r")
+	st := seq.NewStore(reads)
+	contigs := AssembleCluster(st, members(st), DefaultConfig())
+	if len(contigs) == 0 {
+		t.Fatal("no contigs")
+	}
+	// The largest contig should reconstruct most of the genome: a long
+	// high-identity local alignment against the truth.
+	if len(contigs[0].Bases) < 2000 {
+		t.Errorf("largest contig %d bp of a 3000 bp genome at 7×", len(contigs[0].Bases))
+	}
+	loc := align.Local(contigs[0].Bases, g.Seq, align.DefaultScoring())
+	locRC := align.Local(seq.ReverseComplement(contigs[0].Bases), g.Seq, align.DefaultScoring())
+	if locRC.Length > loc.Length {
+		loc = locRC
+	}
+	if loc.Length < 1800 || loc.Identity() < 0.97 {
+		t.Errorf("best local match %d cols at %.4f identity", loc.Length, loc.Identity())
+	}
+}
+
+func TestMaxSeedBucketSkipsRepeatSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// 30 reads that are all copies of one repeat: every seed bucket
+	// saturates, so with a tiny cap no overlaps are found and each
+	// read stays its own contig.
+	motif := randSeq(rng, 300)
+	var frags []*seq.Fragment
+	for i := 0; i < 30; i++ {
+		frags = append(frags, &seq.Fragment{
+			Name:  fmt.Sprintf("rep%d", i),
+			Bases: append([]byte(nil), motif...),
+		})
+	}
+	st := seq.NewStore(frags)
+	cfg := DefaultConfig()
+	cfg.MaxSeedBucket = 4
+	contigs := AssembleCluster(st, members(st), cfg)
+	if len(contigs) != 30 {
+		t.Errorf("%d contigs; saturated seeds should prevent merging", len(contigs))
+	}
+	cfg.MaxSeedBucket = 200
+	contigs = AssembleCluster(st, members(st), cfg)
+	if len(contigs) != 1 {
+		t.Errorf("%d contigs; generous cap should assemble the pile", len(contigs))
+	}
+}

@@ -1,0 +1,415 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/pairgen"
+	"repro/internal/par"
+	"repro/internal/pgst"
+	"repro/internal/seq"
+	"repro/internal/unionfind"
+)
+
+// ParallelConfig holds the machine and load-balancing parameters of
+// the master–worker implementation (Section 7).
+type ParallelConfig struct {
+	// Ranks is the machine size p: one master and p−1 workers.
+	Ranks int
+	// BatchSize is b, the number of pairs per alignment-work batch.
+	BatchSize int
+	// MaxPending caps the master's Pending_Work_Buf; the request size
+	// r regulates generation so this is rarely exceeded.
+	MaxPending int
+	// NewPairsBuf caps each worker's buffered ungenerated-pair store.
+	NewPairsBuf int
+	// BatchBytes is the fragment-fetch budget of GST construction.
+	BatchBytes int
+	// Staged selects the customized Alltoallv in GST construction.
+	Staged bool
+	// Machine overrides the communication cost model (zero: defaults).
+	Machine par.Config
+	// UseSsend makes workers use synchronous sends for reports, the
+	// paper's protection against master-side buffer overflow; eager
+	// sends are the (faster, riskier) alternative it compares against.
+	UseSsend bool
+	// ScaleBatchWithWorkers grows the dispatch granularity with the
+	// machine so the frequency of messages arriving at the master does
+	// not grow with p — the single-master remedy Section 7.2 proposes.
+	// The effective batch size becomes BatchSize × max(1, workers/8).
+	ScaleBatchWithWorkers bool
+}
+
+// DefaultParallelConfig returns a p-rank configuration with paper-like
+// batch parameters.
+func DefaultParallelConfig(p int) ParallelConfig {
+	return ParallelConfig{
+		Ranks:       p,
+		BatchSize:   64,
+		MaxPending:  4096,
+		NewPairsBuf: 1024,
+		BatchBytes:  1 << 20,
+		UseSsend:    true,
+	}
+}
+
+func (c ParallelConfig) withDefaults() ParallelConfig {
+	d := DefaultParallelConfig(c.Ranks)
+	if c.BatchSize == 0 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = d.MaxPending
+	}
+	if c.NewPairsBuf == 0 {
+		c.NewPairsBuf = d.NewPairsBuf
+	}
+	if c.BatchBytes == 0 {
+		c.BatchBytes = d.BatchBytes
+	}
+	if c.Machine.Ranks == 0 {
+		c.Machine = par.DefaultConfig(c.Ranks)
+	}
+	if c.ScaleBatchWithWorkers {
+		if f := (c.Ranks - 1) / 8; f > 1 {
+			c.BatchSize *= f
+		}
+	}
+	return c
+}
+
+// PhaseStats separates GST construction from the clustering loop, the
+// split the paper reports (Fig. 5 vs Fig. 9).
+type PhaseStats struct {
+	GST     par.Aggregate
+	Cluster par.Aggregate
+	// MasterAvailability is the fraction of the master's modeled
+	// clustering time NOT spent processing messages (Section 7.2
+	// reports 90 % → 70 % as p grows).
+	MasterAvailability float64
+	// MasterPeakBufBytes is the high-water mark of the master rank's
+	// receive buffers over the whole run — the quantity MPI_Ssend
+	// bounds in the paper's Section 7.2 discussion.
+	MasterPeakBufBytes int
+	// MasterMsgsRecv counts messages the master processed during the
+	// clustering phase; its growth with p is the Section 7.2 concern
+	// that ScaleBatchWithWorkers addresses.
+	MasterMsgsRecv int
+}
+
+// Parallel clusters the store's fragments on a p-rank machine:
+// parallel GST construction (buckets on workers only), then the
+// iterative master–worker overlap detection of Figs. 7–8.
+func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, PhaseStats) {
+	cfg = cfg.withDefaults()
+	pcfg = pcfg.withDefaults()
+	if pcfg.Ranks < 2 {
+		panic("cluster: parallel run needs at least 2 ranks (1 master + 1 worker)")
+	}
+
+	result := &Result{N: store.N()}
+	gstSnaps := make([]par.Stats, pcfg.Ranks)
+	masterWork := 0.0
+	start := time.Now()
+
+	stats := par.Run(pcfg.Machine, func(c *par.Comm) {
+		// Phase 1: distributed GST over workers (rank 0 owns no buckets).
+		local := pgst.Build(c, store, pgst.Config{
+			W:          cfg.W,
+			MinLen:     cfg.Psi,
+			FirstOwner: 1,
+			BatchBytes: pcfg.BatchBytes,
+			Staged:     pcfg.Staged,
+			Seed:       12345,
+		})
+		c.Barrier()
+		gstSnaps[c.Rank()] = c.Snapshot()
+
+		// Phase 2: master–worker clustering.
+		if c.Rank() == 0 {
+			uf, st, busy := runMaster(c, store, cfg, pcfg)
+			result.UF = uf
+			result.Stats = st
+			masterWork = busy
+		} else {
+			runWorker(c, store, local, cfg, pcfg)
+		}
+	})
+
+	result.Stats.WallSeconds = time.Since(start).Seconds()
+
+	// Phase accounting: the snapshot taken at the barrier separates
+	// GST construction from clustering.
+	clusterStats := make([]par.Stats, len(stats))
+	for i := range stats {
+		clusterStats[i] = subtractStats(stats[i], gstSnaps[i])
+	}
+	ph := PhaseStats{
+		GST:                par.Summarize(gstSnaps),
+		Cluster:            par.Summarize(clusterStats),
+		MasterPeakBufBytes: stats[0].PeakBufBytes,
+		MasterMsgsRecv:     clusterStats[0].MsgsRecv,
+	}
+	if m := clusterStats[0].Modeled(); m > 0 && ph.Cluster.MaxModeled > 0 {
+		ph.MasterAvailability = 1 - masterWork/ph.Cluster.MaxModeled
+		if ph.MasterAvailability < 0 {
+			ph.MasterAvailability = 0
+		}
+	}
+	result.Stats.GSTSeconds = ph.GST.MaxModeled
+	result.Stats.ClusterSeconds = ph.Cluster.MaxModeled
+	return result, ph
+}
+
+func subtractStats(a, b par.Stats) par.Stats {
+	a.Wall -= b.Wall
+	a.Blocked -= b.Blocked
+	a.CommModel -= b.CommModel
+	a.CompModel -= b.CompModel
+	a.MsgsSent -= b.MsgsSent
+	a.MsgsRecv -= b.MsgsRecv
+	a.BytesSent -= b.BytesSent
+	a.BytesRecv -= b.BytesRecv
+	return a
+}
+
+// runMaster is the Fig. 7 algorithm. It returns the final clustering,
+// statistics, and its modeled busy seconds (for the availability
+// metric).
+func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig) (*unionfind.UF, Stats, float64) {
+	uf := unionfind.New(store.N())
+	var st Stats
+	busy := 0.0
+	charge := func(sec float64) {
+		busy += sec
+		c.ChargeCompute(sec)
+	}
+
+	var pending []pairgen.Pair
+	parked := []int{}
+	passive := make(map[int]bool)
+	// owesResults[w] is true when the batch in the last reply to w was
+	// non-empty: its results arrive only in w's report after next (the
+	// worker aligns a batch after sending its next report), so w must
+	// not be parked until an empty reply has flushed them out.
+	owesResults := make(map[int]bool)
+	inFlight := c.Size() - 1 // every worker owes an initial report
+
+	// takeBatch extracts up to BatchSize non-stale pairs.
+	takeBatch := func() []pairgen.Pair {
+		var batch []pairgen.Pair
+		n := int32(store.N())
+		for len(batch) < pcfg.BatchSize && len(pending) > 0 {
+			p := pending[0]
+			pending = pending[1:]
+			if uf.Same(int(p.ASid%n), int(p.BSid%n)) {
+				st.Skipped++ // merged since it was enqueued
+				charge(costUF)
+				continue
+			}
+			batch = append(batch, p)
+		}
+		return batch
+	}
+
+	activeWorkers := func() int {
+		a := c.Size() - 1 - len(passive)
+		if a < 1 {
+			a = 1
+		}
+		return a
+	}
+
+	// requestSize implements the paper's r formula: ask for enough
+	// pairs that ≈ b survive selection, without overflowing the
+	// pending buffer.
+	requestSize := func(worker int) int {
+		if passive[worker] {
+			return 0
+		}
+		selectivity := 1.0
+		if st.Generated > 0 {
+			selectivity = float64(st.Generated-st.Skipped) / float64(st.Generated)
+			if selectivity < 0.05 {
+				selectivity = 0.05
+			}
+		}
+		r := int(float64(pcfg.BatchSize) / selectivity)
+		free := pcfg.MaxPending - len(pending)
+		if free < 0 {
+			free = 0
+		}
+		if cap := free / activeWorkers(); r > cap {
+			r = cap
+		}
+		return r
+	}
+
+	sendWork := func(worker int, batch []pairgen.Pair) {
+		st.Aligned += int64(len(batch))
+		owesResults[worker] = len(batch) > 0
+		c.Send(worker, tagWork, encodeWork(work{batch: batch, r: requestSize(worker)}))
+		inFlight++
+	}
+
+	for {
+		// Dispatch pending work to parked workers first (keeping
+		// passive workers busy, Section 7).
+		for len(parked) > 0 && len(pending) > 0 {
+			batch := takeBatch()
+			if len(batch) == 0 {
+				break
+			}
+			wkr := parked[0]
+			parked = parked[1:]
+			sendWork(wkr, batch)
+		}
+		if inFlight == 0 {
+			break
+		}
+
+		msg := c.Recv(par.AnySource, tagReport)
+		inFlight--
+		rep := decodeReport(msg.Data)
+		charge(costPerMsgC)
+
+		// Interpret alignment results.
+		for _, ar := range rep.results {
+			charge(costUF)
+			if ar.accepted {
+				st.Accepted++
+				fa, fb := int(ar.fa), int(ar.fb)
+				if cfg.MaxClusterSize > 0 && uf.Size(fa)+uf.Size(fb) > cfg.MaxClusterSize {
+					continue // bounded-cluster heuristic (Section 10)
+				}
+				if uf.Union(fa, fb) {
+					st.Merges++
+				}
+			}
+		}
+		// Scan new pairs; keep only those needing alignment.
+		n := int32(store.N())
+		for _, p := range rep.pairs {
+			st.Generated++
+			charge(costPair + costUF)
+			if uf.Same(int(p.ASid%n), int(p.BSid%n)) {
+				st.Skipped++
+				continue
+			}
+			pending = append(pending, p)
+		}
+		if rep.passive {
+			passive[msg.Src] = true
+		}
+
+		// Reply to the sender: work if available; otherwise keep an
+		// active worker generating or flush outstanding results with an
+		// empty reply; park only a passive worker that owes nothing.
+		batch := takeBatch()
+		if len(batch) > 0 || !passive[msg.Src] || owesResults[msg.Src] {
+			sendWork(msg.Src, batch)
+		} else {
+			parked = append(parked, msg.Src)
+		}
+	}
+
+	for _, wkr := range parked {
+		c.Send(wkr, tagDone, nil)
+	}
+	return uf, st, busy
+}
+
+// runWorker is the Fig. 8 algorithm: generate pairs on request, align
+// allocated batches while waiting for the master, and generate ahead
+// into the bounded buffer when otherwise idle.
+func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcfg ParallelConfig) {
+	stream := pairgen.NewStream(local.Tree, pairgen.Config{
+		Psi:                  cfg.Psi,
+		NumFragments:         store.N(),
+		DuplicateElimination: cfg.DuplicateElimination,
+	}, 256)
+	defer stream.Close()
+
+	var buffered []pairgen.Pair
+	exhausted := false
+	n := int32(store.N())
+
+	// takeN draws from the buffer first, then the stream.
+	takeN := func(r int) []pairgen.Pair {
+		var out []pairgen.Pair
+		for len(out) < r && len(buffered) > 0 {
+			out = append(out, buffered[0])
+			buffered = buffered[1:]
+		}
+		if len(out) < r && !exhausted {
+			before := len(out)
+			out = stream.Take(out, r)
+			if len(out) < r {
+				exhausted = true
+			}
+			c.ChargeCompute(float64(len(out)-before) * costPair)
+		}
+		return out
+	}
+
+	alignBatch := func(batch []pairgen.Pair) []alignResult {
+		results := make([]alignResult, 0, len(batch))
+		var cells int64
+		for _, p := range batch {
+			accepted, cost := AlignPair(store, p, cfg)
+			cells += cost
+			results = append(results, alignResult{fa: p.ASid % n, fb: p.BSid % n, accepted: accepted})
+		}
+		c.ChargeCompute(float64(cells) * costCell)
+		return results
+	}
+
+	r := pcfg.BatchSize // initial request size before the master says otherwise
+	var curBatch []pairgen.Pair
+	var results []alignResult
+	for {
+		// Report: new pairs as requested plus results of the last batch.
+		np := takeN(r)
+		rep := encodeReport(report{
+			pairs:   np,
+			results: results,
+			passive: exhausted && len(buffered) == 0,
+		})
+		if pcfg.UseSsend {
+			c.Ssend(0, tagReport, rep)
+		} else {
+			c.Send(0, tagReport, rep)
+		}
+		results = nil
+
+		// Overlap the wait: align the batch allocated last iteration.
+		if len(curBatch) > 0 {
+			results = alignBatch(curBatch)
+			curBatch = nil
+		}
+		// Still no reply? Generate ahead into the bounded buffer.
+		var msg par.Message
+		got := false
+		for !exhausted && len(buffered) < pcfg.NewPairsBuf {
+			if m, ok := c.Probe(0, par.AnyTag); ok {
+				msg, got = m, true
+				break
+			}
+			p, ok := stream.Next()
+			if !ok {
+				exhausted = true
+				break
+			}
+			c.ChargeCompute(costPair)
+			buffered = append(buffered, p)
+		}
+		if !got {
+			msg = c.Recv(0, par.AnyTag)
+		}
+		if msg.Tag == tagDone {
+			return
+		}
+		wk := decodeWork(msg.Data)
+		r = wk.r
+		curBatch = wk.batch
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"repro/internal/pairgen"
+	"repro/internal/wire"
+)
+
+// Message tags of the master–worker protocol (Fig. 6): workers send
+// reports (new pairs NP + alignment results AR); the master sends work
+// allocations (batch AW + request size r) and finally done.
+const (
+	tagReport = 1
+	tagWork   = 2
+	tagDone   = 3
+)
+
+// alignResult is one AR entry: the fragment pair and the outcome of
+// its overlap test.
+type alignResult struct {
+	fa, fb   int32
+	accepted bool
+}
+
+// report is a worker → master message.
+type report struct {
+	pairs   []pairgen.Pair // NP: newly generated promising pairs
+	results []alignResult  // AR: outcomes for the last allocated batch
+	passive bool           // no more pairs to generate
+}
+
+// work is a master → worker message.
+type work struct {
+	batch []pairgen.Pair // AW: pairs to align
+	r     int            // pairs to generate for the next report
+}
+
+func encodePairs(w *wire.Buffer, ps []pairgen.Pair) {
+	w.PutUint(uint64(len(ps)))
+	for _, p := range ps {
+		w.PutInt(int(p.ASid))
+		w.PutInt(int(p.BSid))
+		w.PutInt(int(p.APos))
+		w.PutInt(int(p.BPos))
+		w.PutInt(int(p.MatchLen))
+	}
+}
+
+func decodePairs(r *wire.Reader) []pairgen.Pair {
+	n := int(r.Uint())
+	ps := make([]pairgen.Pair, n)
+	for i := range ps {
+		ps[i] = pairgen.Pair{
+			ASid:     int32(r.Int()),
+			BSid:     int32(r.Int()),
+			APos:     int32(r.Int()),
+			BPos:     int32(r.Int()),
+			MatchLen: int32(r.Int()),
+		}
+	}
+	return ps
+}
+
+func encodeReport(rep report) []byte {
+	w := wire.NewBuffer(16 + 12*len(rep.pairs) + 6*len(rep.results))
+	w.PutBool(rep.passive)
+	encodePairs(w, rep.pairs)
+	w.PutUint(uint64(len(rep.results)))
+	for _, ar := range rep.results {
+		w.PutInt(int(ar.fa))
+		w.PutInt(int(ar.fb))
+		w.PutBool(ar.accepted)
+	}
+	return w.Bytes()
+}
+
+func decodeReport(b []byte) report {
+	r := wire.NewReader(b)
+	var rep report
+	rep.passive = r.Bool()
+	rep.pairs = decodePairs(r)
+	n := int(r.Uint())
+	rep.results = make([]alignResult, n)
+	for i := range rep.results {
+		rep.results[i] = alignResult{
+			fa:       int32(r.Int()),
+			fb:       int32(r.Int()),
+			accepted: r.Bool(),
+		}
+	}
+	return rep
+}
+
+func encodeWork(wk work) []byte {
+	w := wire.NewBuffer(8 + 12*len(wk.batch))
+	w.PutUint(uint64(wk.r))
+	encodePairs(w, wk.batch)
+	return w.Bytes()
+}
+
+func decodeWork(b []byte) work {
+	r := wire.NewReader(b)
+	var wk work
+	wk.r = int(r.Uint())
+	wk.batch = decodePairs(r)
+	return wk
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/pairgen"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	in := report{
+		pairs: []pairgen.Pair{
+			{ASid: 1, BSid: 9, APos: 10, BPos: 0, MatchLen: 25},
+			{ASid: 3, BSid: 4, APos: 0, BPos: 700, MatchLen: 20},
+		},
+		results: []alignResult{
+			{fa: 1, fb: 2, accepted: true},
+			{fa: 5, fb: 0, accepted: false},
+		},
+		passive: true,
+	}
+	out := decodeReport(encodeReport(in))
+	if out.passive != in.passive {
+		t.Error("passive flag lost")
+	}
+	if len(out.pairs) != len(in.pairs) {
+		t.Fatalf("%d pairs", len(out.pairs))
+	}
+	for i := range in.pairs {
+		if out.pairs[i] != in.pairs[i] {
+			t.Errorf("pair %d: %+v != %+v", i, out.pairs[i], in.pairs[i])
+		}
+	}
+	if len(out.results) != len(in.results) {
+		t.Fatalf("%d results", len(out.results))
+	}
+	for i := range in.results {
+		if out.results[i] != in.results[i] {
+			t.Errorf("result %d: %+v != %+v", i, out.results[i], in.results[i])
+		}
+	}
+}
+
+func TestReportRoundTripEmpty(t *testing.T) {
+	out := decodeReport(encodeReport(report{}))
+	if out.passive || len(out.pairs) != 0 || len(out.results) != 0 {
+		t.Errorf("empty report corrupted: %+v", out)
+	}
+}
+
+func TestWorkRoundTrip(t *testing.T) {
+	in := work{
+		batch: []pairgen.Pair{{ASid: 7, BSid: 2, APos: 3, BPos: 4, MatchLen: 33}},
+		r:     128,
+	}
+	out := decodeWork(encodeWork(in))
+	if out.r != in.r || len(out.batch) != 1 || out.batch[0] != in.batch[0] {
+		t.Errorf("work roundtrip: %+v", out)
+	}
+}
+
+func TestWorkRoundTripEmpty(t *testing.T) {
+	out := decodeWork(encodeWork(work{r: 0}))
+	if out.r != 0 || len(out.batch) != 0 {
+		t.Errorf("empty work corrupted: %+v", out)
+	}
+}

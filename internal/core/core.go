@@ -1,0 +1,115 @@
+// Package core is the public face of the framework: the
+// cluster-then-assemble pipeline of Fig. 1. Input fragments are
+// preprocessed (trimmed, vector-screened, repeat-masked), partitioned
+// into clusters by the parallel (or serial) clustering engine, and
+// each cluster is assembled independently into contigs.
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/assembly"
+	"repro/internal/cluster"
+	"repro/internal/preprocess"
+	"repro/internal/seq"
+)
+
+// Config assembles the per-stage configurations.
+type Config struct {
+	// Preprocess runs when Enabled; otherwise fragments enter
+	// clustering as-is.
+	Preprocess        preprocess.Config
+	PreprocessEnabled bool
+
+	// Cluster holds the algorithmic clustering parameters.
+	Cluster cluster.Config
+	// Parallel enables the master–worker engine when Ranks ≥ 2;
+	// otherwise clustering runs serially.
+	Parallel cluster.ParallelConfig
+
+	// Assembly holds the per-cluster assembler parameters.
+	Assembly assembly.Config
+	// AssemblyWorkers farms clusters over this many goroutines
+	// (default: GOMAXPROCS).
+	AssemblyWorkers int
+	// SkipAssembly stops after clustering (the paper reports
+	// clustering and assembly separately).
+	SkipAssembly bool
+}
+
+// DefaultConfig returns a serial pipeline with paper-like parameters.
+func DefaultConfig() Config {
+	return Config{
+		Preprocess:        preprocess.Config{Trim: preprocess.DefaultTrimConfig()},
+		PreprocessEnabled: true,
+		Cluster:           cluster.DefaultConfig(),
+		Assembly:          assembly.DefaultConfig(),
+	}
+}
+
+// Result is everything a pipeline run produces.
+type Result struct {
+	// PreprocessStats is zero unless preprocessing ran.
+	PreprocessStats preprocess.Stats
+	// Store holds the fragments that entered clustering.
+	Store *seq.Store
+	// Clustering is the raw clustering result with its statistics.
+	Clustering *cluster.Result
+	// Phases carries per-phase machine statistics for parallel runs.
+	Phases cluster.PhaseStats
+	// Clusters and Singletons partition the fragments.
+	Clusters   [][]int
+	Singletons []int
+	// Contigs per cluster (same order as Clusters); nil when assembly
+	// was skipped.
+	Contigs [][]assembly.Contig
+}
+
+// ContigsPerCluster returns the mean number of contigs per
+// multi-fragment cluster, the paper's 1.1 specificity indicator
+// (Section 8).
+func (r *Result) ContigsPerCluster() float64 {
+	if len(r.Contigs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, cs := range r.Contigs {
+		total += len(cs)
+	}
+	return float64(total) / float64(len(r.Contigs))
+}
+
+// TotalContigs counts contigs across clusters.
+func (r *Result) TotalContigs() int {
+	total := 0
+	for _, cs := range r.Contigs {
+		total += len(cs)
+	}
+	return total
+}
+
+// Run executes the pipeline on the given fragments.
+func Run(frags []*seq.Fragment, cfg Config) *Result {
+	res := &Result{}
+	if cfg.PreprocessEnabled {
+		frags, res.PreprocessStats = preprocess.Run(frags, cfg.Preprocess)
+	}
+	res.Store = seq.NewStore(frags)
+
+	if cfg.Parallel.Ranks >= 2 {
+		res.Clustering, res.Phases = cluster.Parallel(res.Store, cfg.Cluster, cfg.Parallel)
+	} else {
+		res.Clustering = cluster.Serial(res.Store, cfg.Cluster)
+	}
+	res.Clusters = res.Clustering.Clusters()
+	res.Singletons = res.Clustering.Singletons()
+
+	if !cfg.SkipAssembly {
+		workers := cfg.AssemblyWorkers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		res.Contigs = assembly.AssembleAll(res.Store, res.Clusters, cfg.Assembly, workers)
+	}
+	return res
+}

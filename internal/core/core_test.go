@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/preprocess"
+	"repro/internal/simulate"
+)
+
+func smallWorkload(seed int64) *simulate.MaizeData {
+	return simulate.MaizeLike(rand.New(rand.NewSource(seed)), 60000)
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cluster.Psi = 18
+	cfg.Cluster.W = 9
+	cfg.Preprocess.Trim.Vector = simulate.DefaultReadConfig().Vector
+	return cfg
+}
+
+func TestPipelineEndToEndSerial(t *testing.T) {
+	m := smallWorkload(1)
+	cfg := smallConfig()
+
+	// Known-repeat masking from the planted repeats.
+	var reps [][]byte
+	for _, r := range m.Genome.Repeats {
+		reps = append(reps, m.Genome.Seq[r.Span.Start:r.Span.End])
+	}
+	cfg.Preprocess.Repeats = preprocess.NewRepeatDBFromSeqs(reps, 16)
+
+	res := Run(m.All(), cfg)
+	if res.PreprocessStats.FragsBefore == 0 || res.PreprocessStats.FragsAfter == 0 {
+		t.Fatalf("preprocessing did not run: %+v", res.PreprocessStats)
+	}
+	if res.Store.N() != res.PreprocessStats.FragsAfter {
+		t.Error("store size disagrees with preprocess stats")
+	}
+	if len(res.Clusters) == 0 {
+		t.Fatal("no clusters formed")
+	}
+	if res.Clustering.Stats.Generated == 0 {
+		t.Error("no pairs generated")
+	}
+	if len(res.Contigs) != len(res.Clusters) {
+		t.Fatalf("contigs for %d of %d clusters", len(res.Contigs), len(res.Clusters))
+	}
+	cpc := res.ContigsPerCluster()
+	if cpc < 1.0 || cpc > 3.0 {
+		t.Errorf("contigs per cluster %.2f; paper reports ≈1.1", cpc)
+	}
+	if res.TotalContigs() == 0 {
+		t.Error("no contigs")
+	}
+}
+
+func TestPipelineParallelMatchesSerial(t *testing.T) {
+	m := smallWorkload(2)
+	cfg := smallConfig()
+	cfg.PreprocessEnabled = false // keep the fragment set identical
+	cfg.SkipAssembly = true
+
+	serial := Run(m.MF, cfg)
+
+	cfg.Parallel.Ranks = 4
+	parallel := Run(m.MF, cfg)
+
+	if len(serial.Clusters) != len(parallel.Clusters) {
+		t.Fatalf("serial %d clusters, parallel %d", len(serial.Clusters), len(parallel.Clusters))
+	}
+	if len(serial.Singletons) != len(parallel.Singletons) {
+		t.Fatalf("singletons differ: %d vs %d", len(serial.Singletons), len(parallel.Singletons))
+	}
+	if parallel.Phases.Cluster.MaxModeled <= 0 {
+		t.Error("parallel phases not recorded")
+	}
+}
+
+func TestSkipAssembly(t *testing.T) {
+	m := smallWorkload(3)
+	cfg := smallConfig()
+	cfg.SkipAssembly = true
+	res := Run(m.HC, cfg)
+	if res.Contigs != nil {
+		t.Error("assembly ran despite SkipAssembly")
+	}
+	if res.ContigsPerCluster() != 0 {
+		t.Error("ContigsPerCluster must be 0 without assembly")
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps experiment smoke tests fast.
+func quickOpts() Options {
+	return Options{Scale: 60000, Ranks: []int{2, 4}, Seed: 7}
+}
+
+func TestFig5ShapeAndOutput(t *testing.T) {
+	var sb strings.Builder
+	opt := quickOpts()
+	opt.Out = &sb
+	res := Fig5(opt)
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points, want 2 sizes × 2 rank counts", len(res.Points))
+	}
+	// Strong scaling within each size: more ranks, less modeled time.
+	if res.Points[1].Total >= res.Points[0].Total {
+		t.Errorf("no speedup small input: %v vs %v", res.Points[1].Total, res.Points[0].Total)
+	}
+	if res.Points[3].Total >= res.Points[2].Total {
+		t.Errorf("no speedup large input")
+	}
+	// Larger input takes longer at equal ranks.
+	if res.Points[2].Total <= res.Points[0].Total {
+		t.Errorf("2× input not slower at same ranks")
+	}
+	for _, pt := range res.Points {
+		if pt.CompSeconds <= 0 || pt.CommSeconds <= 0 {
+			t.Errorf("missing comm/comp split: %+v", pt)
+		}
+	}
+	if !strings.Contains(sb.String(), "Fig. 5") {
+		t.Error("table not rendered")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	opt := quickOpts()
+	res := Fig9(opt)
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	if res.Points[1].ClusterSeconds >= res.Points[0].ClusterSeconds {
+		t.Errorf("no clustering speedup: %v -> %v",
+			res.Points[0].ClusterSeconds, res.Points[1].ClusterSeconds)
+	}
+	for _, pt := range res.Points {
+		if pt.MasterAvailability < 0 || pt.MasterAvailability > 1 {
+			t.Errorf("availability out of range: %+v", pt)
+		}
+		if pt.Stats.Generated == 0 {
+			t.Errorf("no pairs generated: %+v", pt)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res := Table1(quickOpts())
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row.Generated == 0 {
+			t.Errorf("row %d: no pairs", i)
+		}
+		if row.Generated != 0 && row.Aligned > row.Generated {
+			t.Errorf("row %d: aligned > generated", i)
+		}
+		// Pair counts must grow across the 2×-step rows (1×, 2×, 4×);
+		// the 4×→5× step is within genome-realization noise at test
+		// scale, so only require it not to collapse.
+		if i > 0 && i < 3 && row.Generated <= res.Rows[i-1].Generated {
+			t.Errorf("pairs should grow with input: row %d", i)
+		}
+	}
+	if res.Rows[3].Generated < 2*res.Rows[0].Generated {
+		t.Errorf("5× input did not grow pairs over 1×: %d vs %d",
+			res.Rows[3].Generated, res.Rows[0].Generated)
+	}
+	// Savings on the largest input should be material (paper: 44–56 %).
+	if last := res.Rows[len(res.Rows)-1]; last.SavingsFrac < 0.15 {
+		t.Errorf("savings %.2f too small", last.SavingsFrac)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res := Table2(quickOpts())
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	get := func(name string) Table2Row {
+		for _, r := range res.Rows {
+			if r.Type == name {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s", name)
+		return Table2Row{}
+	}
+	mf, wgs := get("MF"), get("WGS")
+	if mf.Stats.SurvivalRate() <= wgs.Stats.SurvivalRate() {
+		t.Errorf("MF survival %.2f not above WGS %.2f",
+			mf.Stats.SurvivalRate(), wgs.Stats.SurvivalRate())
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res := Table3(quickOpts())
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.NumFragments == 0 || row.TotalSeconds <= 0 {
+			t.Errorf("degenerate row: %+v", row)
+		}
+		if row.SavingsFrac <= 0 {
+			t.Errorf("%s: no savings", row.Name)
+		}
+	}
+}
+
+func TestMaizeRun(t *testing.T) {
+	res := Maize(quickOpts())
+	if res.NumClusters == 0 {
+		t.Fatal("no clusters")
+	}
+	if res.ContigsPerCluster < 1.0 {
+		t.Errorf("contigs per cluster %.2f", res.ContigsPerCluster)
+	}
+	if res.FragsAfter >= res.FragsBefore {
+		t.Error("preprocessing dropped nothing on a repeat-rich genome")
+	}
+}
+
+func TestValidationRun(t *testing.T) {
+	res := Validation(quickOpts())
+	if res.Cluster.Clusters == 0 {
+		t.Fatal("no clusters evaluated")
+	}
+	if res.Cluster.Specificity() < 0.9 {
+		t.Errorf("specificity %.3f (paper: 0.987)", res.Cluster.Specificity())
+	}
+}
+
+func TestMaskingAblation(t *testing.T) {
+	res := Masking(quickOpts())
+	if res.Unmasked.Aligned <= res.Masked.Aligned {
+		t.Errorf("unmasked aligned %d not above masked %d",
+			res.Unmasked.Aligned, res.Masked.Aligned)
+	}
+	if res.Unmasked.MaxClusterFrac <= res.Masked.MaxClusterFrac {
+		t.Errorf("unmasked largest cluster %.2f not above masked %.2f",
+			res.Unmasked.MaxClusterFrac, res.Masked.MaxClusterFrac)
+	}
+}
+
+func TestFilterAblation(t *testing.T) {
+	res := Filter(quickOpts())
+	if res.LookupPairs <= res.TreePairs {
+		t.Errorf("lookup pairs %d not above maximal-match pairs %d",
+			res.LookupPairs, res.TreePairs)
+	}
+	if res.TreePairsDedup > res.TreePairs {
+		t.Errorf("dedup emitted more pairs (%d) than without (%d)",
+			res.TreePairsDedup, res.TreePairs)
+	}
+	// Decreasing-length order should not lose to arbitrary order by
+	// more than noise; at paper scale it wins clearly (full runs in
+	// EXPERIMENTS.md), but tiny test inputs leave little redundancy to
+	// exploit.
+	if float64(res.OrderedAligned) > 1.1*float64(res.ShuffledAligned)+10 {
+		t.Errorf("ordered processing aligned clearly more (%d) than shuffled (%d)",
+			res.OrderedAligned, res.ShuffledAligned)
+	}
+}
+
+func TestCommAblation(t *testing.T) {
+	res := Comm(quickOpts())
+	if res.StagedPeakBytes >= res.DirectPeakBytes {
+		t.Errorf("staged peak %d not below direct peak %d",
+			res.StagedPeakBytes, res.DirectPeakBytes)
+	}
+	if res.SsendMasterPeak > res.EagerMasterPeak {
+		t.Errorf("Ssend master peak %d above eager %d",
+			res.SsendMasterPeak, res.EagerMasterPeak)
+	}
+}
+
+func TestGranularityAblation(t *testing.T) {
+	res := Granularity(quickOpts())
+	last := len(res.Ranks) - 1
+	if res.ScaledMsgs[last] > res.FixedMsgs[last] {
+		t.Errorf("scaled batches sent more master messages (%d) than fixed (%d) at p=%d",
+			res.ScaledMsgs[last], res.FixedMsgs[last], res.Ranks[last])
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/seq"
+)
+
+// Fig9Point is one point of Fig. 9 plus the Section 7.2 diagnostics.
+type Fig9Point struct {
+	InputBases         int
+	Ranks              int
+	ClusterSeconds     float64 // modeled clustering time excluding GST
+	GSTSeconds         float64
+	MeanWorkerIdle     float64 // Section 7.2: grows with p, shrinks with N
+	MasterAvailability float64 // Section 7.2: shrinks with p
+	Stats              cluster.Stats
+}
+
+// Fig9Result holds the sweep for both input sizes.
+type Fig9Result struct {
+	Points []Fig9Point
+}
+
+// Fig9 reproduces Fig. 9: total parallel clustering time (excluding
+// GST construction) across the processor sweep for two input sizes,
+// along with the idle-time and master-availability observations of
+// Section 7.2.
+func Fig9(opt Options) Fig9Result {
+	opt = opt.withDefaults()
+	var res Fig9Result
+	cfg := clusterConfig()
+	for i, size := range []int{opt.Scale, 2 * opt.Scale} {
+		frags := maizeReads(opt.Seed+int64(i), size)
+		store := seq.NewStore(frags)
+		for _, p := range opt.Ranks {
+			pcfg := cluster.DefaultParallelConfig(p + 1) // master + p workers
+			cres, ph := cluster.Parallel(store, cfg, pcfg)
+			// Worker idle: mean modeled idle over worker ranks only.
+			res.Points = append(res.Points, Fig9Point{
+				InputBases:         store.TotalBases(),
+				Ranks:              p,
+				ClusterSeconds:     ph.Cluster.MaxModeled,
+				GSTSeconds:         ph.GST.MaxModeled,
+				MeanWorkerIdle:     ph.Cluster.MeanIdle,
+				MasterAvailability: ph.MasterAvailability,
+				Stats:              cres.Stats,
+			})
+		}
+	}
+
+	tb := report.NewTable(
+		"Fig. 9 — parallel clustering time excluding GST construction (modeled)",
+		"input (Mbp)", "procs", "cluster", "gst", "idle", "master avail")
+	for _, pt := range res.Points {
+		tb.AddRow(report.Mbp(pt.InputBases), report.Int(int64(pt.Ranks)),
+			report.Seconds(pt.ClusterSeconds), report.Seconds(pt.GSTSeconds),
+			report.Pct(pt.MeanWorkerIdle), report.Pct(pt.MasterAvailability))
+	}
+	tb.Fprint(opt.Out)
+	return res
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/assembly"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/preprocess"
+	"repro/internal/report"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+	"repro/internal/validate"
+)
+
+// MaizeResult holds the Section 8 end-to-end run statistics.
+type MaizeResult struct {
+	FragsBefore       int
+	FragsAfter        int
+	NumClusters       int
+	NumSingletons     int
+	MeanClusterSize   float64
+	MaxClusterFrac    float64
+	ContigsPerCluster float64
+	ClusterStats      cluster.Stats
+	Contig            validate.ContigMetrics
+}
+
+// Maize reproduces the Section 8 maize run end to end: preprocess →
+// parallel clustering → per-cluster assembly, reporting the cluster
+// statistics the paper gives (149,548 clusters, 244,727 singletons,
+// mean 9.00, max 5.37 % of input, 1.1 contigs per cluster — all at
+// 1000× our scale) and contig accuracy against the true genome.
+func Maize(opt Options) MaizeResult {
+	opt = opt.withDefaults()
+	m := maizeData(opt.Seed, opt.Scale*2)
+	all := m.All()
+
+	trim := preprocess.DefaultTrimConfig()
+	trim.Vector = simulate.DefaultReadConfig().Vector
+
+	cfg := core.Config{
+		Preprocess:        preprocess.Config{Trim: trim, Repeats: knownRepeatDB(m.Genome, 16)},
+		PreprocessEnabled: true,
+		Cluster:           clusterConfig(),
+		Parallel:          cluster.DefaultParallelConfig(opt.Ranks[len(opt.Ranks)-1] + 1),
+		Assembly:          assembly.DefaultConfig(),
+	}
+	res := core.Run(all, cfg)
+	sum := res.Clustering.Summarize()
+
+	var contigs []assembly.Contig
+	for _, cs := range res.Contigs {
+		contigs = append(contigs, cs...)
+	}
+	cm := validate.Contigs(res.Store, contigs, map[string][]byte{m.Genome.Name: m.Genome.Seq})
+
+	out := MaizeResult{
+		FragsBefore:       len(all),
+		FragsAfter:        res.Store.N(),
+		NumClusters:       sum.NumClusters,
+		NumSingletons:     sum.NumSingletons,
+		MeanClusterSize:   sum.MeanSize,
+		MaxClusterFrac:    sum.MaxFraction,
+		ContigsPerCluster: res.ContigsPerCluster(),
+		ClusterStats:      res.Clustering.Stats,
+		Contig:            cm,
+	}
+
+	tb := report.NewTable("Section 8 — maize-like cluster-then-assemble run", "metric", "value")
+	tb.AddRow("fragments before preprocessing", report.Int(int64(out.FragsBefore)))
+	tb.AddRow("fragments after preprocessing", report.Int(int64(out.FragsAfter)))
+	tb.AddRow("multi-fragment clusters", report.Int(int64(out.NumClusters)))
+	tb.AddRow("singletons", report.Int(int64(out.NumSingletons)))
+	tb.AddRow("mean fragments per cluster", report.F2(out.MeanClusterSize))
+	tb.AddRow("largest cluster (frac of input)", report.Pct(out.MaxClusterFrac))
+	tb.AddRow("contigs per cluster", report.F2(out.ContigsPerCluster))
+	tb.AddRow("pairs generated", report.Int(out.ClusterStats.Generated))
+	tb.AddRow("alignment savings", report.Pct(out.ClusterStats.SavingsFraction()))
+	tb.AddRow("contig errors per 10 kb", report.F1(out.Contig.ErrorsPer10kb))
+	tb.AddRow("chimeric contigs", report.Int(int64(out.Contig.Chimeric)))
+	tb.Fprint(opt.Out)
+	return out
+}
+
+// ValidationResult holds the Section 9.1 validation metrics.
+type ValidationResult struct {
+	Cluster validate.ClusterMetrics
+	Contig  validate.ContigMetrics
+}
+
+// Validation reproduces the Section 9.1 biological validation on the
+// Drosophila-like WGS workload: the fraction of clusters whose reads
+// map to a single benchmark region (paper: 98.7 %) plus false-split
+// and consensus-accuracy checks the ground-truth oracle makes
+// possible.
+func Validation(opt Options) ValidationResult {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed + 300))
+	genomeLen := int(float64(opt.Scale) / 2.2)
+	g, reads := simulate.DrosophilaLike(rng, genomeLen)
+	masked := maskStatistically(rng, reads, genomeLen)
+	store := seq.NewStore(masked)
+
+	res := cluster.Serial(store, clusterConfig())
+	groups := res.UF.Groups()
+	labels := validate.ClusterOf(store.N(), groups)
+	cm := validate.Clusters(store, res.Clusters(), labels, 2*clusterConfig().Criteria.MinOverlap)
+
+	contigSets := assembly.AssembleAll(store, res.Clusters(), assembly.DefaultConfig(), 2)
+	var contigs []assembly.Contig
+	for _, cs := range contigSets {
+		contigs = append(contigs, cs...)
+	}
+	am := validate.Contigs(store, contigs, map[string][]byte{g.Name: g.Seq})
+
+	out := ValidationResult{Cluster: cm, Contig: am}
+	tb := report.NewTable("Section 9.1 — ground-truth validation (Drosophila-like WGS)", "metric", "value")
+	tb.AddRow("clusters evaluated", report.Int(int64(cm.Clusters)))
+	tb.AddRow("single-source clusters (specificity)", report.Pct(cm.Specificity()))
+	tb.AddRow("region-contiguous clusters", report.Int(int64(cm.RegionPure)))
+	tb.AddRow("false splits / checked pairs", report.Int(int64(cm.SplitViolations))+" / "+report.Int(int64(cm.OverlapPairsChecked)))
+	tb.AddRow("contigs evaluated", report.Int(int64(am.Evaluated)))
+	tb.AddRow("mean contig identity", report.Pct(am.MeanIdentity))
+	tb.AddRow("contig errors per 10 kb", report.F1(am.ErrorsPer10kb))
+	tb.Fprint(opt.Out)
+	return out
+}

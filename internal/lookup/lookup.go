@@ -1,0 +1,88 @@
+// Package lookup implements the conventional fixed-length w-mer
+// lookup-table filter (paper, Section 2) as the baseline the
+// suffix-tree maximal-match generator is compared against. A pair is
+// generated once for every shared w-mer, so a single exact match of
+// length l reveals itself as l−w+1 pairs — the redundancy the
+// maximal-match filter eliminates — and pairs come out in arbitrary
+// order rather than decreasing match length, so the clustering
+// heuristic cannot prioritize likely merges.
+package lookup
+
+import (
+	"repro/internal/pairgen"
+	"repro/internal/seq"
+)
+
+// Config parameterizes the baseline filter.
+type Config struct {
+	W            int // w-mer length
+	NumFragments int // fragment count n (sequence space is 2n)
+	// MaxBucket skips w-mers occurring more often than this, the usual
+	// guard against repeat-induced blowup in lookup-table assemblers
+	// (0 = no limit).
+	MaxBucket int
+}
+
+// Stats counts baseline filter activity.
+type Stats struct {
+	Emitted        int64
+	Skipped        int64 // dropped by canonicalization or self-pairing
+	BucketsSkipped int64 // w-mer buckets over MaxBucket
+}
+
+// Generate emits a pair for every shared w-mer between two different
+// sequences, canonicalized exactly like pairgen so the two filters are
+// directly comparable. MatchLen is always W: the lookup table cannot
+// see maximal-match lengths. Stops early if yield returns false.
+func Generate(access func(sid int32) []byte, numSeqs int, cfg Config, yield func(pairgen.Pair) bool) Stats {
+	type occ struct {
+		sid int32
+		pos int32
+	}
+	table := make(map[seq.Kmer][]occ)
+	for sid := 0; sid < numSeqs; sid++ {
+		s := access(int32(sid))
+		seq.EachKmer(s, cfg.W, func(pos int, km seq.Kmer) {
+			table[km] = append(table[km], occ{int32(sid), int32(pos)})
+		})
+	}
+	var st Stats
+	n := int32(cfg.NumFragments)
+	for _, occs := range table {
+		if cfg.MaxBucket > 0 && len(occs) > cfg.MaxBucket {
+			st.BucketsSkipped++
+			continue
+		}
+		for i := 0; i < len(occs); i++ {
+			for j := i + 1; j < len(occs); j++ {
+				a, b := occs[i], occs[j]
+				fa, fb := a.sid%n, b.sid%n
+				if fa == fb {
+					st.Skipped++
+					continue
+				}
+				if fa < fb {
+					if a.sid >= n {
+						st.Skipped++
+						continue
+					}
+				} else {
+					if b.sid >= n {
+						st.Skipped++
+						continue
+					}
+					a, b = b, a
+				}
+				st.Emitted++
+				if !yield(pairgen.Pair{
+					ASid: a.sid, BSid: b.sid,
+					APos: a.pos, BPos: b.pos,
+					MatchLen: int32(cfg.W),
+				}) {
+					return st
+				}
+			}
+		}
+	}
+	return st
+}

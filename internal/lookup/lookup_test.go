@@ -1,0 +1,163 @@
+package lookup
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pairgen"
+	"repro/internal/seq"
+	"repro/internal/suffixtree"
+)
+
+func makeStore(bases ...string) *seq.Store {
+	frags := make([]*seq.Fragment, len(bases))
+	for i, b := range bases {
+		frags[i] = &seq.Fragment{Name: fmt.Sprintf("f%d", i), Bases: []byte(b)}
+	}
+	return seq.NewStore(frags)
+}
+
+func access(st *seq.Store) func(int32) []byte {
+	return func(sid int32) []byte { return st.Seq(int(sid)) }
+}
+
+func randomFrags(rng *rand.Rand, n, l int) []string {
+	out := make([]string, n)
+	for i := range out {
+		b := make([]byte, l)
+		for j := range b {
+			b[j] = seq.Base(rng.Intn(4))
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+func TestRedundantGenerationForLongMatch(t *testing.T) {
+	// A shared exact match of length l appears as l-w+1 w-mer pairs
+	// (Section 2) — the redundancy the suffix-tree filter avoids.
+	rng := rand.New(rand.NewSource(1))
+	shared := randomFrags(rng, 1, 40)[0]
+	st := makeStore("AAAAAAAA"+shared, shared+"TTTTTTTT")
+	w := 12
+	var count int
+	Generate(access(st), st.NumSeqs(), Config{W: w, NumFragments: st.N()},
+		func(p pairgen.Pair) bool { count++; return true })
+	wantMin := 40 - w + 1
+	if count < wantMin {
+		t.Errorf("got %d pairs, want ≥ %d", count, wantMin)
+	}
+}
+
+// TestSameFragmentPairsAsSuffixTree: with w = ψ and no bucket cap, the
+// two filters must admit exactly the same set of fragment pairs (both
+// detect "some shared exact match ≥ w").
+func TestSameFragmentPairsAsSuffixTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		frags := randomFrags(rng, 6, 50)
+		// Plant some overlaps.
+		frags[1] = frags[0][25:] + frags[1][:25]
+		frags[3] = frags[2][30:] + frags[3][:30]
+		st := makeStore(frags...)
+		w := 10
+
+		type key struct{ a, b int32 }
+		n := int32(st.N())
+		frag := func(sid int32) int32 { return sid % n }
+		lookupSet := make(map[key]bool)
+		Generate(access(st), st.NumSeqs(), Config{W: w, NumFragments: st.N()},
+			func(p pairgen.Pair) bool {
+				a, b := frag(p.ASid), frag(p.BSid)
+				if a > b {
+					a, b = b, a
+				}
+				lookupSet[key{a, b}] = true
+				return true
+			})
+
+		sids := make([]int32, st.NumSeqs())
+		for i := range sids {
+			sids[i] = int32(i)
+		}
+		tree := suffixtree.Build(access(st), suffixtree.EnumerateSuffixes(access(st), sids, w), w)
+		treeSet := make(map[key]bool)
+		pairgen.Generate(tree, pairgen.Config{Psi: w, NumFragments: st.N()},
+			func(p pairgen.Pair) bool {
+				a, b := frag(p.ASid), frag(p.BSid)
+				if a > b {
+					a, b = b, a
+				}
+				treeSet[key{a, b}] = true
+				return true
+			})
+
+		if len(lookupSet) != len(treeSet) {
+			t.Fatalf("trial %d: lookup %d pairs, tree %d pairs", trial, len(lookupSet), len(treeSet))
+		}
+		for k := range treeSet {
+			if !lookupSet[k] {
+				t.Fatalf("trial %d: pair %v in tree set but not lookup set", trial, k)
+			}
+		}
+	}
+}
+
+func TestMaxBucketSkipsRepeats(t *testing.T) {
+	// A high-copy motif should blow past MaxBucket and be skipped.
+	motif := "ACGTACGTTGCA"
+	frags := make([]string, 8)
+	for i := range frags {
+		frags[i] = motif + motif + motif
+	}
+	st := makeStore(frags...)
+	stats := Generate(access(st), st.NumSeqs(), Config{W: 12, NumFragments: st.N(), MaxBucket: 4},
+		func(p pairgen.Pair) bool { return true })
+	if stats.BucketsSkipped == 0 {
+		t.Error("expected repeat buckets to be skipped")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	frags := randomFrags(rng, 4, 60)
+	frags[1] = frags[0] // force many pairs
+	st := makeStore(frags...)
+	count := 0
+	Generate(access(st), st.NumSeqs(), Config{W: 8, NumFragments: st.N()},
+		func(p pairgen.Pair) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early stop delivered %d", count)
+	}
+}
+
+func TestCanonicalAndSelfSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	frags := randomFrags(rng, 4, 50)
+	// "ACGTACGT" is its own reverse complement, so a fragment carrying
+	// it collides with its own RC sequence — a self pair to skip.
+	frags[0] = frags[0][:20] + "ACGTACGT" + frags[0][28:]
+	st := makeStore(frags...)
+	n := int32(st.N())
+	stats := Generate(access(st), st.NumSeqs(), Config{W: 8, NumFragments: st.N()},
+		func(p pairgen.Pair) bool {
+			fa, fb := p.ASid%n, p.BSid%n
+			if fa == fb {
+				t.Fatalf("self pair: %+v", p)
+			}
+			lo, loSid := fa, p.ASid
+			if fb < fa {
+				lo, loSid = fb, p.BSid
+			}
+			_ = lo
+			if loSid >= n {
+				t.Fatalf("non-canonical pair: %+v", p)
+			}
+			return true
+		})
+	// Every fragment matches its own RC's w-mers, so skips must occur.
+	if stats.Skipped == 0 {
+		t.Error("expected canonicalization skips")
+	}
+}

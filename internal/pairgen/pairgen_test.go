@@ -1,0 +1,430 @@
+package pairgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/suffixtree"
+)
+
+func storeAccess(st *seq.Store) suffixtree.Access {
+	return func(sid int32) []byte { return st.Seq(int(sid)) }
+}
+
+func buildTree(st *seq.Store, w int) *suffixtree.Tree {
+	acc := storeAccess(st)
+	sids := make([]int32, st.NumSeqs())
+	for i := range sids {
+		sids[i] = int32(i)
+	}
+	return suffixtree.Build(acc, suffixtree.EnumerateSuffixes(acc, sids, w), w)
+}
+
+func makeStore(bases ...string) *seq.Store {
+	frags := make([]*seq.Fragment, len(bases))
+	for i, b := range bases {
+		frags[i] = &seq.Fragment{Name: fmt.Sprintf("f%d", i), Bases: []byte(b)}
+	}
+	return seq.NewStore(frags)
+}
+
+func randomFrags(rng *rand.Rand, n, minLen, maxLen int, maskProb float64) []string {
+	out := make([]string, n)
+	for i := range out {
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		b := make([]byte, l)
+		for j := range b {
+			if rng.Float64() < maskProb {
+				b[j] = seq.Masked
+			} else {
+				b[j] = seq.Base(rng.Intn(4))
+			}
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+type pairKey struct{ a, b int32 }
+type matchRec struct{ apos, bpos, l int32 }
+
+// bruteMaximalMatches enumerates every maximal match of length ≥ psi
+// between canonical sequence pairs, directly from the definition.
+func bruteMaximalMatches(st *seq.Store, psi int) map[pairKey][]matchRec {
+	out := make(map[pairKey][]matchRec)
+	n := int32(st.N())
+	num := int32(st.NumSeqs())
+	for sa := int32(0); sa < num; sa++ {
+		for sb := sa + 1; sb < num; sb++ {
+			a, b := sa, sb
+			fa, fb := a%n, b%n
+			if fa == fb {
+				continue
+			}
+			if fa < fb {
+				if a >= n {
+					continue
+				}
+			} else {
+				if b >= n {
+					continue
+				}
+				a, b = b, a
+			}
+			u, v := st.Seq(int(a)), st.Seq(int(b))
+			for i := 0; i < len(u); i++ {
+				for j := 0; j < len(v); j++ {
+					if u[i] != v[j] || !seq.IsBase(u[i]) {
+						continue
+					}
+					// Left-maximality under masking semantics.
+					if i > 0 && j > 0 && u[i-1] == v[j-1] && seq.IsBase(u[i-1]) {
+						continue
+					}
+					l := 0
+					for i+l < len(u) && j+l < len(v) && u[i+l] == v[j+l] && seq.IsBase(u[i+l]) {
+						l++
+					}
+					if l >= psi {
+						out[pairKey{a, b}] = append(out[pairKey{a, b}],
+							matchRec{int32(i), int32(j), int32(l)})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func collect(tree *suffixtree.Tree, cfg Config) ([]Pair, Stats) {
+	var pairs []Pair
+	st := Generate(tree, cfg, func(p Pair) bool {
+		pairs = append(pairs, p)
+		return true
+	})
+	return pairs, st
+}
+
+func sortRecs(rs []matchRec) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].apos != rs[j].apos {
+			return rs[i].apos < rs[j].apos
+		}
+		if rs[i].bpos != rs[j].bpos {
+			return rs[i].bpos < rs[j].bpos
+		}
+		return rs[i].l < rs[j].l
+	})
+}
+
+// TestMatchesBruteForce is the central correctness test: without
+// duplicate elimination the generator must emit exactly the set of
+// maximal matches of length ≥ ψ (Lemma 1), once each.
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		maskProb := []float64{0, 0.04}[trial%2]
+		frags := randomFrags(rng, 4+rng.Intn(4), 20, 45, maskProb)
+		st := makeStore(frags...)
+		w := 3
+		psi := 4 + rng.Intn(3)
+		tree := buildTree(st, w)
+		pairs, _ := collect(tree, Config{Psi: psi, NumFragments: st.N()})
+
+		got := make(map[pairKey][]matchRec)
+		for _, p := range pairs {
+			got[pairKey{p.ASid, p.BSid}] = append(got[pairKey{p.ASid, p.BSid}],
+				matchRec{p.APos, p.BPos, p.MatchLen})
+		}
+		want := bruteMaximalMatches(st, psi)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d pair keys, want %d", trial, len(got), len(want))
+		}
+		for k, ws := range want {
+			gs := got[k]
+			if len(gs) != len(ws) {
+				t.Fatalf("trial %d key %v: %d matches, want %d\ngot %v\nwant %v",
+					trial, k, len(gs), len(ws), gs, ws)
+			}
+			sortRecs(gs)
+			sortRecs(ws)
+			for i := range ws {
+				if gs[i] != ws[i] {
+					t.Fatalf("trial %d key %v: match %d = %v, want %v", trial, k, i, gs[i], ws[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDecreasingOrder verifies the on-demand sorted-order property
+// (step S2): emitted match lengths never increase.
+func TestDecreasingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	frags := randomFrags(rng, 8, 30, 60, 0.02)
+	st := makeStore(frags...)
+	tree := buildTree(st, 4)
+	pairs, _ := collect(tree, Config{Psi: 5, NumFragments: st.N()})
+	if len(pairs) == 0 {
+		t.Skip("no pairs in random input")
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].MatchLen > pairs[i-1].MatchLen {
+			t.Fatalf("order violated at %d: %d after %d", i, pairs[i].MatchLen, pairs[i-1].MatchLen)
+		}
+	}
+	for _, p := range pairs {
+		if p.MatchLen < 5 {
+			t.Fatalf("pair below ψ emitted: %+v", p)
+		}
+	}
+}
+
+// TestAnchorsAreRealMatches verifies each emitted anchor is a genuine
+// exact match of the claimed length in the claimed orientation.
+func TestAnchorsAreRealMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	frags := randomFrags(rng, 6, 30, 60, 0.03)
+	st := makeStore(frags...)
+	tree := buildTree(st, 4)
+	pairs, _ := collect(tree, Config{Psi: 5, NumFragments: st.N()})
+	for _, p := range pairs {
+		a := st.Seq(int(p.ASid))
+		b := st.Seq(int(p.BSid))
+		for k := int32(0); k < p.MatchLen; k++ {
+			ca, cb := a[p.APos+k], b[p.BPos+k]
+			if ca != cb || !seq.IsBase(ca) {
+				t.Fatalf("anchor not an exact unmasked match: %+v at offset %d", p, k)
+			}
+		}
+	}
+}
+
+func TestCanonicalOrientation(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	frags := randomFrags(rng, 6, 30, 60, 0)
+	st := makeStore(frags...)
+	tree := buildTree(st, 4)
+	pairs, _ := collect(tree, Config{Psi: 5, NumFragments: st.N()})
+	n := int32(st.N())
+	for _, p := range pairs {
+		fa, fb := p.ASid%n, p.BSid%n
+		if fa == fb {
+			t.Fatalf("self pair emitted: %+v", p)
+		}
+		lo := fa
+		loSid := p.ASid
+		if fb < fa {
+			lo, loSid = fb, p.BSid
+		}
+		if loSid >= n {
+			t.Fatalf("non-canonical pair: lower fragment %d is reverse-complemented: %+v", lo, p)
+		}
+	}
+}
+
+// TestOverlappingReadsPlanted plants two reads sampled from one region
+// on opposite strands and checks the pair is found with the full
+// overlap as the longest match.
+func TestOverlappingReadsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	genome := make([]byte, 120)
+	for i := range genome {
+		genome[i] = seq.Base(rng.Intn(4))
+	}
+	readA := string(genome[:80])                            // forward
+	readB := string(seq.ReverseComplement(genome[40:120])) // reverse strand
+	st := makeStore(readA, readB)
+	tree := buildTree(st, 8)
+	pairs, _ := collect(tree, Config{Psi: 12, NumFragments: st.N()})
+	best := int32(0)
+	for _, p := range pairs {
+		if p.MatchLen > best {
+			best = p.MatchLen
+			// Fragment 0 forward must pair with fragment 1 reverse.
+			if p.ASid != 0 || p.BSid != 3 {
+				t.Fatalf("unexpected orientation: %+v", p)
+			}
+		}
+	}
+	// The true overlap is genome[40:80]: 40 bases (up to random repeats).
+	if best < 40 {
+		t.Fatalf("longest match %d < planted overlap 40", best)
+	}
+}
+
+// TestDuplicateElimination checks the §5 variant: same fragment-pair
+// coverage, same maximum match length per pair, no more emissions than
+// distinct maximal matches.
+func TestDuplicateElimination(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		// Repeat-heavy input to force duplicate matches: build
+		// fragments by stitching repeated motifs.
+		motifs := randomFrags(rng, 3, 10, 14, 0)
+		frags := make([]string, 5)
+		for i := range frags {
+			s := ""
+			for k := 0; k < 4; k++ {
+				s += motifs[rng.Intn(len(motifs))]
+			}
+			frags[i] = s
+		}
+		st := makeStore(frags...)
+		psi := 6
+		tree := buildTree(st, 4)
+
+		full, _ := collect(tree, Config{Psi: psi, NumFragments: st.N()})
+		dedup, _ := collect(tree, Config{Psi: psi, NumFragments: st.N(), DuplicateElimination: true})
+
+		type agg struct {
+			count  int
+			maxLen int32
+		}
+		group := func(ps []Pair) map[pairKey]agg {
+			m := make(map[pairKey]agg)
+			for _, p := range ps {
+				k := pairKey{p.ASid, p.BSid}
+				a := m[k]
+				a.count++
+				if p.MatchLen > a.maxLen {
+					a.maxLen = p.MatchLen
+				}
+				m[k] = a
+			}
+			return m
+		}
+		gf, gd := group(full), group(dedup)
+		if len(gf) != len(gd) {
+			t.Fatalf("trial %d: dedup covers %d pairs, full covers %d", trial, len(gd), len(gf))
+		}
+		for k, af := range gf {
+			ad, ok := gd[k]
+			if !ok {
+				t.Fatalf("trial %d: pair %v missing under dedup", trial, k)
+			}
+			if ad.maxLen != af.maxLen {
+				t.Fatalf("trial %d: pair %v max len %d != %d", trial, k, ad.maxLen, af.maxLen)
+			}
+			if ad.count > af.count {
+				t.Fatalf("trial %d: pair %v dedup count %d > full %d", trial, k, ad.count, af.count)
+			}
+		}
+	}
+}
+
+func TestDedupReducesEmissionsOnRepeats(t *testing.T) {
+	// A shared tandem repeat produces many duplicate generations that
+	// the dedup variant must cut down.
+	motif := "ACGTTGCAGT"
+	a, b := "", ""
+	for i := 0; i < 6; i++ {
+		a += motif
+		b += motif
+	}
+	st := makeStore(a, b)
+	tree := buildTree(st, 4)
+	full, _ := collect(tree, Config{Psi: 6, NumFragments: st.N()})
+	dedup, _ := collect(tree, Config{Psi: 6, NumFragments: st.N(), DuplicateElimination: true})
+	if len(dedup) >= len(full) {
+		t.Errorf("dedup %d not fewer than full %d on tandem repeats", len(dedup), len(full))
+	}
+	if len(dedup) == 0 {
+		t.Error("dedup emitted nothing")
+	}
+}
+
+func TestPsiBelowWPanics(t *testing.T) {
+	st := makeStore("ACGTACGTACGT")
+	tree := buildTree(st, 6)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for ψ < w")
+		}
+	}()
+	Generate(tree, Config{Psi: 4, NumFragments: 1}, func(Pair) bool { return true })
+}
+
+func TestEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	frags := randomFrags(rng, 8, 40, 60, 0)
+	st := makeStore(frags...)
+	tree := buildTree(st, 4)
+	count := 0
+	Generate(tree, Config{Psi: 4, NumFragments: st.N()}, func(Pair) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop delivered %d pairs", count)
+	}
+}
+
+func TestStreamMatchesPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	frags := randomFrags(rng, 8, 30, 60, 0.02)
+	st := makeStore(frags...)
+	tree := buildTree(st, 4)
+	cfg := Config{Psi: 5, NumFragments: st.N()}
+	want, _ := collect(tree, cfg)
+
+	s := NewStream(tree, cfg, 16)
+	var got []Pair
+	for {
+		batch := s.Take(nil, 7)
+		got = append(got, batch...)
+		if len(batch) < 7 {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream delivered %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if s.Stats().Emitted != int64(len(want)) {
+		t.Errorf("stream stats emitted = %d", s.Stats().Emitted)
+	}
+}
+
+func TestStreamCloseEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	frags := randomFrags(rng, 10, 40, 70, 0)
+	st := makeStore(frags...)
+	tree := buildTree(st, 4)
+	s := NewStream(tree, Config{Psi: 4, NumFragments: st.N()}, 4)
+	s.Take(nil, 3)
+	s.Close() // must not deadlock
+	s.Close() // idempotent
+}
+
+func TestMaskedRegionsBlockPairs(t *testing.T) {
+	// Identical fragments fully masked must generate nothing.
+	masked := "NNNNNNNNNNNNNNNNNNNN"
+	st := makeStore(masked, masked)
+	tree := buildTree(st, 4)
+	pairs, _ := collect(tree, Config{Psi: 4, NumFragments: st.N()})
+	if len(pairs) != 0 {
+		t.Errorf("masked fragments generated %d pairs", len(pairs))
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	frags := randomFrags(rng, 6, 30, 50, 0)
+	st := makeStore(frags...)
+	tree := buildTree(st, 4)
+	pairs, stats := collect(tree, Config{Psi: 5, NumFragments: st.N()})
+	if stats.Emitted != int64(len(pairs)) {
+		t.Errorf("Emitted = %d, want %d", stats.Emitted, len(pairs))
+	}
+	if stats.NodesVisited == 0 {
+		t.Error("NodesVisited = 0")
+	}
+}

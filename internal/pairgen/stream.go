@@ -1,0 +1,83 @@
+package pairgen
+
+import (
+	"sync"
+
+	"repro/internal/suffixtree"
+)
+
+// Stream adapts Generate into a pull-based iterator, which is what a
+// worker processor needs: the master dictates how many new pairs to
+// produce per iteration (the request size r of Section 7), so pairs
+// must be drawn on demand rather than pushed. The generator runs in
+// its own goroutine and parks between batches.
+type Stream struct {
+	ch    chan Pair
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+	stats Stats
+}
+
+// NewStream starts streaming pairs from the tree. The buffer size
+// bounds how far generation can run ahead of consumption.
+func NewStream(tree *suffixtree.Tree, cfg Config, buffer int) *Stream {
+	if buffer < 1 {
+		buffer = 64
+	}
+	s := &Stream{
+		ch:   make(chan Pair, buffer),
+		stop: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(s.ch)
+		s.stats = Generate(tree, cfg, func(p Pair) bool {
+			select {
+			case s.ch <- p:
+				return true
+			case <-s.stop:
+				return false
+			}
+		})
+	}()
+	return s
+}
+
+// Next returns the next pair; ok is false once the stream is
+// exhausted or closed.
+func (s *Stream) Next() (Pair, bool) {
+	p, ok := <-s.ch
+	return p, ok
+}
+
+// Take appends up to max pairs to dst and returns it; fewer are
+// returned only at end of stream.
+func (s *Stream) Take(dst []Pair, max int) []Pair {
+	for len(dst) < max {
+		p, ok := s.Next()
+		if !ok {
+			break
+		}
+		dst = append(dst, p)
+	}
+	return dst
+}
+
+// Close stops generation and releases the generator goroutine. Safe to
+// call multiple times and concurrently with Next.
+func (s *Stream) Close() {
+	s.once.Do(func() { close(s.stop) })
+	// Drain so the generator unblocks if it was mid-send.
+	for range s.ch {
+	}
+	s.wg.Wait()
+}
+
+// Stats returns the generator's counters; valid after the stream is
+// exhausted or closed.
+func (s *Stream) Stats() Stats {
+	s.wg.Wait()
+	return s.stats
+}

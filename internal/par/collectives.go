@@ -1,0 +1,214 @@
+package par
+
+// Collective operations, all built on the point-to-point layer so their
+// cost is charged through the same α + n/β model.
+
+// Barrier blocks until every rank has entered it. Linear gather to rank
+// 0 followed by a broadcast — adequate at the rank counts simulated
+// here.
+func (c *Comm) Barrier() {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	if c.rank == 0 {
+		// Receive from explicit sources: per-sender FIFO ordering then
+		// keeps consecutive collective epochs from interleaving.
+		for i := 1; i < p; i++ {
+			c.Recv(i, tagBarrier)
+		}
+		for i := 1; i < p; i++ {
+			c.Send(i, tagBarrier, nil)
+		}
+	} else {
+		c.Send(0, tagBarrier, nil)
+		c.Recv(0, tagBarrier)
+	}
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root
+// ranks pass nil. Binomial-tree dissemination.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	p := c.Size()
+	if p == 1 {
+		return data
+	}
+	// Re-index so the root is virtual rank 0. In a binomial tree,
+	// virtual rank vr receives from vr − msb(vr) and sends to vr + bit
+	// for every power of two bit > vr.
+	vr := (c.rank - root + p) % p
+	if vr != 0 {
+		parent := (vr - msb(vr) + root) % p
+		msg := c.Recv(parent, tagBcast)
+		data = msg.Data
+	}
+	for bit := 1; bit < p; bit <<= 1 {
+		if vr < bit && vr+bit < p {
+			dst := (vr + bit + root) % p
+			c.Send(dst, tagBcast, data)
+		}
+	}
+	return data
+}
+
+// Gather collects each rank's data at root. At the root the returned
+// slice has one entry per rank (the root's own at its index); other
+// ranks get nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	p := c.Size()
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, p)
+	out[root] = data
+	for i := 0; i < p; i++ {
+		if i == root {
+			continue
+		}
+		out[i] = c.Recv(i, tagGather).Data
+	}
+	return out
+}
+
+// Scatter distributes parts[i] from root to rank i and returns this
+// rank's part. Non-root ranks pass nil.
+func (c *Comm) Scatter(root int, parts [][]byte) []byte {
+	p := c.Size()
+	if c.rank == root {
+		if len(parts) != p {
+			panic("par: scatter needs one part per rank")
+		}
+		for i := 0; i < p; i++ {
+			if i != root {
+				c.Send(i, tagScatter, parts[i])
+			}
+		}
+		return parts[root]
+	}
+	return c.Recv(root, tagScatter).Data
+}
+
+// ReduceOp combines two values.
+type ReduceOp func(a, b int64) int64
+
+// Sum is the addition reduce operator.
+func Sum(a, b int64) int64 { return a + b }
+
+// Max is the maximum reduce operator.
+func Max(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min is the minimum reduce operator.
+func Min(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Reduce combines each rank's v with op at root; only the root's return
+// value is meaningful.
+func (c *Comm) Reduce(root int, v int64, op ReduceOp) int64 {
+	vals := c.Gather(root, encodeInt64(v))
+	if c.rank != root {
+		return 0
+	}
+	acc := v
+	for i, raw := range vals {
+		if i == root {
+			continue
+		}
+		acc = op(acc, decodeInt64(raw))
+	}
+	return acc
+}
+
+// Allreduce combines every rank's v with op and returns the result on
+// all ranks.
+func (c *Comm) Allreduce(v int64, op ReduceOp) int64 {
+	r := c.Reduce(0, v, op)
+	var out []byte
+	if c.rank == 0 {
+		out = encodeInt64(r)
+	}
+	return decodeInt64(c.Bcast(0, out))
+}
+
+// Alltoallv exchanges bufs[dst] from every rank to every rank using
+// direct eager sends: all p−1 messages are posted before any is
+// received, so a rank's receive buffers may hold up to the full
+// incoming volume at once — the behaviour whose worst-case buffer
+// growth the paper's customized version exists to avoid (Section 6).
+// Returns recv[src] = the buffer src sent to this rank.
+func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
+	p := c.Size()
+	if len(bufs) != p {
+		panic("par: alltoallv needs one buffer per rank")
+	}
+	out := make([][]byte, p)
+	out[c.rank] = bufs[c.rank]
+	for d := 0; d < p; d++ {
+		if d != c.rank {
+			c.Send(d, tagAlltoall, bufs[d])
+		}
+	}
+	for s := 0; s < p; s++ {
+		if s != c.rank {
+			out[s] = c.Recv(s, tagAlltoall).Data
+		}
+	}
+	return out
+}
+
+// AlltoallvStaged is the paper's customized Alltoallv: p−1 rounds of
+// pairwise exchanges (round r pairs rank i with i+r and i−r mod p), so
+// at most one incoming buffer is in flight per rank at a time and
+// buffer space stays O(total/p) (Section 6). Returns recv[src].
+func (c *Comm) AlltoallvStaged(bufs [][]byte) [][]byte {
+	p := c.Size()
+	if len(bufs) != p {
+		panic("par: alltoallv needs one buffer per rank")
+	}
+	out := make([][]byte, p)
+	out[c.rank] = bufs[c.rank]
+	for r := 1; r < p; r++ {
+		dst := (c.rank + r) % p
+		src := (c.rank - r + p) % p
+		// Rounds share a tag but each round's source is unique, and
+		// per-sender FIFO keeps repeated calls ordered.
+		msg := c.SendRecv(dst, bufs[dst], src, tagSendRecv)
+		out[src] = msg.Data
+	}
+	return out
+}
+
+// msb returns the highest power of two ≤ v (v ≥ 1).
+func msb(v int) int {
+	b := 1
+	for b<<1 <= v {
+		b <<= 1
+	}
+	return b
+}
+
+func encodeInt64(v int64) []byte {
+	b := make([]byte, 8)
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	return b
+}
+
+func decodeInt64(b []byte) int64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return int64(u)
+}

@@ -1,0 +1,469 @@
+// Package pgst implements the paper's parallel generalized suffix tree
+// construction (Section 6). Each rank enumerates the suffixes of its
+// fragment share, suffixes are sorted into w-prefix buckets and
+// redistributed so every rank owns a load-balanced set of whole
+// buckets, and each rank then builds its bucket subtrees depth-first —
+// fetching the fragments a batch of buckets needs through two
+// collective communication steps per batch, so per-rank space stays
+// O(N/p) instead of O(min(N·l/p, N)).
+//
+// Bucket-to-rank assignment uses sample sort splitters over the packed
+// w-prefix keys: a bucket's suffixes all share one key, so a range
+// partition of the key space keeps buckets whole while balancing
+// suffix counts (the paper's load-balanced redistribution).
+package pgst
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/par"
+	"repro/internal/seq"
+	"repro/internal/suffixtree"
+	"repro/internal/wire"
+)
+
+// Modeled per-operation costs, BlueGene/L-flavored (a ~700 MHz node
+// spends a few nanoseconds per simple operation). Absolute values set
+// the time scale; the scaling shapes come from the algorithm.
+const (
+	costChar = 4e-9  // per character examined (scan, pack, trie build)
+	costSort = 25e-9 // per element per comparison level (n·log₂n total)
+	costSuf  = 30e-9 // per suffix record handled (bucket, encode, decode)
+)
+
+// Config parameterizes construction.
+type Config struct {
+	// W is the bucket prefix length (paper: 11 for maize-scale data;
+	// scaled down with input size here).
+	W int
+	// MinLen skips suffixes shorter than this (set it to ψ: shorter
+	// suffixes cannot carry a qualifying maximal match).
+	MinLen int
+	// FirstOwner is the lowest rank that owns buckets: 0 normally, 1
+	// under the master–worker clustering where rank 0 holds no tree.
+	FirstOwner int
+	// BatchBytes bounds the fragment bytes fetched per construction
+	// batch (per-rank Θ(N/p) space); default 1 MiB.
+	BatchBytes int
+	// Staged selects the customized Alltoallv (p−1 pairwise exchanges)
+	// for the redistribution and fetch steps.
+	Staged bool
+	// Seed for splitter sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchBytes == 0 {
+		c.BatchBytes = 1 << 20
+	}
+	if c.MinLen < c.W {
+		c.MinLen = c.W
+	}
+	return c
+}
+
+// Local is one rank's part of the distributed GST.
+type Local struct {
+	Tree *suffixtree.Tree
+	// Buckets is the number of buckets this rank built.
+	Buckets int
+	// SuffixesOwned is the number of suffixes in this rank's buckets.
+	SuffixesOwned int
+	// FetchRounds is the number of batched fragment-fetch rounds.
+	FetchRounds int
+}
+
+// ownerBounds partitions fragment IDs contiguously so each owner rank
+// holds roughly equal base counts; bounds[i] is the first fragment of
+// owner i (bounds has owners+1 entries). Every rank computes the same
+// partition, so fragment ownership is an O(1)–O(log p) lookup — the
+// paper's "recalling the initial distribution".
+func ownerBounds(st *seq.Store, owners int) []int {
+	bounds := make([]int, owners+1)
+	total := st.TotalBases()
+	per := total/owners + 1
+	fid, acc := 0, 0
+	for r := 0; r < owners; r++ {
+		bounds[r] = fid
+		want := (r + 1) * per
+		for fid < st.N() && acc < want {
+			acc += st.Fragment(fid).Len()
+			fid++
+		}
+	}
+	bounds[owners] = st.N()
+	return bounds
+}
+
+func ownerOf(bounds []int, fid int) int {
+	// bounds is ascending; find r with bounds[r] ≤ fid < bounds[r+1].
+	lo, hi := 0, len(bounds)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if bounds[mid] <= fid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+type keyedSuffix struct {
+	key seq.Kmer
+	suf suffixtree.Suffix
+}
+
+// Build constructs this rank's portion of the distributed GST. All
+// ranks of the communicator must call it collectively.
+func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
+	cfg = cfg.withDefaults()
+	p := c.Size()
+	owners := p - cfg.FirstOwner
+	if owners < 1 {
+		panic("pgst: no owner ranks")
+	}
+	n := st.N()
+	bounds := ownerBounds(st, owners)
+
+	// Phase 1: enumerate and key the suffixes of this rank's fragments
+	// (both orientations). Ranks below FirstOwner hold no fragments.
+	var local []keyedSuffix
+	if me := c.Rank() - cfg.FirstOwner; me >= 0 {
+		var chars int64
+		for fid := bounds[me]; fid < bounds[me+1]; fid++ {
+			for _, sid := range [2]int32{int32(fid), int32(fid + n)} {
+				s := st.Seq(int(sid))
+				chars += int64(len(s))
+				sufs := suffixtree.EnumerateSuffixes(
+					func(int32) []byte { return s }, []int32{sid}, cfg.MinLen)
+				for _, sf := range sufs {
+					if key, ok := suffixtree.BucketKey(s, int(sf.Pos), cfg.W); ok {
+						local = append(local, keyedSuffix{key, sf})
+					}
+				}
+			}
+		}
+		c.ChargeCompute(float64(chars)*costChar + float64(len(local))*costSuf)
+	}
+
+	// Phase 2: sort local suffixes by key and agree on splitters.
+	sort.Slice(local, func(i, j int) bool { return local[i].key < local[j].key })
+	c.ChargeCompute(float64(len(local)) * log2f(len(local)) * costSort)
+	splitters := chooseSplitters(c, local, owners, cfg.Seed)
+
+	// Phase 3: redistribute suffixes so each bucket lands whole on its
+	// owner rank.
+	mine := redistribute(c, local, splitters, cfg)
+	sort.Slice(mine, func(i, j int) bool { return mine[i].key < mine[j].key })
+	c.ChargeCompute(float64(len(mine)) * log2f(len(mine)) * costSort)
+
+	// Phase 4: split into buckets and plan fetch batches.
+	var buckets [][]suffixtree.Suffix
+	var keys []seq.Kmer
+	for lo := 0; lo < len(mine); {
+		hi := lo
+		for hi < len(mine) && mine[hi].key == mine[lo].key {
+			hi++
+		}
+		b := make([]suffixtree.Suffix, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			b = append(b, mine[i].suf)
+		}
+		buckets = append(buckets, b)
+		keys = append(keys, mine[lo].key)
+		lo = hi
+	}
+	batches := planBatches(st, buckets, cfg.BatchBytes)
+	rounds := int(c.Allreduce(int64(len(batches)), par.Max))
+
+	// Phase 5: per batch, fetch the needed fragments with two
+	// collective steps (request, serve), then build the subtrees.
+	ib := suffixtree.NewIncrementalBuilder(cfg.W)
+	var prevWork int64
+	for round := 0; round < rounds; round++ {
+		var batch []int
+		if round < len(batches) {
+			batch = batches[round]
+		}
+		cache := fetchFragments(c, st, buckets, batch, bounds, cfg)
+		access := cacheAccess(st, cache)
+		for _, bi := range batch {
+			ib.AddBucket(access, buckets[bi])
+		}
+		c.ChargeCompute(float64(ib.Work()-prevWork) * costChar)
+		prevWork = ib.Work()
+	}
+
+	nsuf := 0
+	for _, b := range buckets {
+		nsuf += len(b)
+	}
+	return &Local{
+		Tree:          ib.Tree(),
+		Buckets:       len(buckets),
+		SuffixesOwned: nsuf,
+		FetchRounds:   rounds,
+	}
+}
+
+func log2f(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	l := 0.0
+	for v := n; v > 1; v >>= 1 {
+		l++
+	}
+	return l
+}
+
+// chooseSplitters gathers evenly spaced key samples at rank 0, sorts
+// them, and broadcasts owners−1 splitters.
+func chooseSplitters(c *par.Comm, local []keyedSuffix, owners int, seed int64) []seq.Kmer {
+	const perRank = 64
+	rng := rand.New(rand.NewSource(seed + int64(c.Rank())))
+	w := wire.NewBuffer(perRank * 9)
+	if len(local) > 0 {
+		for i := 0; i < perRank; i++ {
+			// Evenly spaced with jitter over the sorted local keys.
+			idx := i * len(local) / perRank
+			idx += rng.Intn(len(local)/perRank + 1)
+			if idx >= len(local) {
+				idx = len(local) - 1
+			}
+			w.PutUint(uint64(local[idx].key))
+		}
+	}
+	gathered := c.Gather(0, w.Bytes())
+	var enc []byte
+	if c.Rank() == 0 {
+		var samples []seq.Kmer
+		for _, buf := range gathered {
+			r := wire.NewReader(buf)
+			for r.Remaining() > 0 {
+				samples = append(samples, seq.Kmer(r.Uint()))
+			}
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		out := wire.NewBuffer((owners - 1) * 9)
+		for i := 1; i < owners; i++ {
+			idx := i * len(samples) / owners
+			if len(samples) == 0 {
+				break
+			}
+			if idx >= len(samples) {
+				idx = len(samples) - 1
+			}
+			out.PutUint(uint64(samples[idx]))
+		}
+		enc = out.Bytes()
+	}
+	enc = c.Bcast(0, enc)
+	var splitters []seq.Kmer
+	r := wire.NewReader(enc)
+	for r.Remaining() > 0 {
+		splitters = append(splitters, seq.Kmer(r.Uint()))
+	}
+	return splitters
+}
+
+// destOf maps a bucket key to its owner rank.
+func destOf(splitters []seq.Kmer, key seq.Kmer, firstOwner int) int {
+	// First splitter index with splitter > key.
+	lo, hi := 0, len(splitters)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if splitters[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return firstOwner + lo
+}
+
+// redistribute exchanges keyed suffixes so each lands on its bucket's
+// owner rank.
+func redistribute(c *par.Comm, local []keyedSuffix, splitters []seq.Kmer, cfg Config) []keyedSuffix {
+	p := c.Size()
+	bufs := make([]*wire.Buffer, p)
+	for i := range bufs {
+		bufs[i] = wire.NewBuffer(0)
+	}
+	for _, ks := range local {
+		d := destOf(splitters, ks.key, cfg.FirstOwner)
+		w := bufs[d]
+		w.PutUint(uint64(ks.key))
+		w.PutInt(int(ks.suf.Sid))
+		w.PutInt(int(ks.suf.Pos))
+		w.PutInt(int(ks.suf.Prev))
+	}
+	c.ChargeCompute(float64(len(local)) * costSuf)
+	raw := make([][]byte, p)
+	for i := range raw {
+		raw[i] = bufs[i].Bytes()
+	}
+	var recv [][]byte
+	if cfg.Staged {
+		recv = c.AlltoallvStaged(raw)
+	} else {
+		recv = c.Alltoallv(raw)
+	}
+	var mine []keyedSuffix
+	for _, buf := range recv {
+		r := wire.NewReader(buf)
+		for r.Remaining() > 0 {
+			key := seq.Kmer(r.Uint())
+			sid := int32(r.Int())
+			pos := int32(r.Int())
+			prev := int8(r.Int())
+			mine = append(mine, keyedSuffix{key, suffixtree.Suffix{Sid: sid, Pos: pos, Prev: prev}})
+		}
+	}
+	c.ChargeCompute(float64(len(mine)) * costSuf)
+	return mine
+}
+
+// planBatches groups bucket indices into batches whose distinct
+// fragments total at most batchBytes.
+func planBatches(st *seq.Store, buckets [][]suffixtree.Suffix, batchBytes int) [][]int {
+	n := st.N()
+	var batches [][]int
+	var cur []int
+	seen := make(map[int32]bool)
+	bytes := 0
+	flush := func() {
+		if len(cur) > 0 {
+			batches = append(batches, cur)
+			cur = nil
+			seen = make(map[int32]bool)
+			bytes = 0
+		}
+	}
+	// contribution returns the new-fragment bytes bucket b adds over
+	// the current seen set, without mutating it.
+	contribution := func(b []suffixtree.Suffix) (int, []int32) {
+		add := 0
+		var fids []int32
+		dup := make(map[int32]bool)
+		for _, sf := range b {
+			fid := sf.Sid % int32(n)
+			if !seen[fid] && !dup[fid] {
+				dup[fid] = true
+				fids = append(fids, fid)
+				add += st.Fragment(int(fid)).Len()
+			}
+		}
+		return add, fids
+	}
+	for bi, b := range buckets {
+		add, fids := contribution(b)
+		if bytes+add > batchBytes && len(cur) > 0 {
+			flush()
+			add, fids = contribution(b)
+		}
+		cur = append(cur, bi)
+		for _, fid := range fids {
+			seen[fid] = true
+		}
+		bytes += add
+	}
+	flush()
+	return batches
+}
+
+// fetchFragments performs the two collective steps of one batch:
+// request the owners of every fragment the batch's buckets reference,
+// then receive their bases. Returns fid → forward bases.
+func fetchFragments(c *par.Comm, st *seq.Store, buckets [][]suffixtree.Suffix, batch []int, bounds []int, cfg Config) map[int32][]byte {
+	p := c.Size()
+	n := st.N()
+	need := make(map[int32]bool)
+	for _, bi := range batch {
+		for _, sf := range buckets[bi] {
+			need[sf.Sid%int32(n)] = true
+		}
+	}
+	// Step 1: send request lists to owners.
+	reqBufs := make([]*wire.Buffer, p)
+	for i := range reqBufs {
+		reqBufs[i] = wire.NewBuffer(0)
+	}
+	for fid := range need {
+		owner := cfg.FirstOwner + ownerOf(bounds, int(fid))
+		reqBufs[owner].PutInt(int(fid))
+	}
+	raw := make([][]byte, p)
+	for i := range raw {
+		raw[i] = reqBufs[i].Bytes()
+	}
+	var reqs [][]byte
+	if cfg.Staged {
+		reqs = c.AlltoallvStaged(raw)
+	} else {
+		reqs = c.Alltoallv(raw)
+	}
+	// Step 2: serve the requests.
+	respBufs := make([]*wire.Buffer, p)
+	for i := range respBufs {
+		respBufs[i] = wire.NewBuffer(0)
+	}
+	served := 0
+	for src, buf := range reqs {
+		r := wire.NewReader(buf)
+		for r.Remaining() > 0 {
+			fid := r.Int()
+			respBufs[src].PutInt(fid)
+			respBufs[src].PutBytes(st.Fragment(fid).Bases)
+			served++
+		}
+	}
+	c.ChargeCompute(float64(served) * costSuf)
+	for i := range raw {
+		raw[i] = respBufs[i].Bytes()
+	}
+	var resps [][]byte
+	if cfg.Staged {
+		resps = c.AlltoallvStaged(raw)
+	} else {
+		resps = c.Alltoallv(raw)
+	}
+	cache := make(map[int32][]byte, len(need))
+	for _, buf := range resps {
+		r := wire.NewReader(buf)
+		for r.Remaining() > 0 {
+			fid := int32(r.Int())
+			cache[fid] = r.Bytes()
+		}
+	}
+	return cache
+}
+
+// cacheAccess builds the Access function for one batch: forward bases
+// come from the fetched cache; reverse complements are derived on
+// demand and memoized.
+func cacheAccess(st *seq.Store, cache map[int32][]byte) suffixtree.Access {
+	n := int32(st.N())
+	rcCache := make(map[int32][]byte)
+	return func(sid int32) []byte {
+		if sid < n {
+			b, ok := cache[sid]
+			if !ok {
+				panic("pgst: access to unfetched fragment")
+			}
+			return b
+		}
+		if rc, ok := rcCache[sid]; ok {
+			return rc
+		}
+		b, ok := cache[sid-n]
+		if !ok {
+			panic("pgst: access to unfetched fragment")
+		}
+		rc := seq.ReverseComplement(b)
+		rcCache[sid] = rc
+		return rc
+	}
+}

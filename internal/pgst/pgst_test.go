@@ -1,0 +1,283 @@
+package pgst
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/pairgen"
+	"repro/internal/par"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+	"repro/internal/suffixtree"
+)
+
+func testStore(seed int64, genomeLen int, coverage float64) *seq.Store {
+	rng := rand.New(rand.NewSource(seed))
+	g := simulate.NewGenome(rng, "g", simulate.GenomeConfig{
+		Length:  genomeLen,
+		Repeats: []simulate.RepeatFamily{{Length: 300, Copies: 8, Divergence: 0.02}},
+	})
+	rc := simulate.DefaultReadConfig()
+	rc.MeanLen = 200
+	rc.LenSD = 30
+	rc.VectorProb = 0
+	reads := simulate.SampleWGS(rng, g, coverage, rc, "r")
+	return seq.NewStore(reads)
+}
+
+func serialTree(st *seq.Store, w, minLen int) *suffixtree.Tree {
+	acc := func(sid int32) []byte { return st.Seq(int(sid)) }
+	sids := make([]int32, st.NumSeqs())
+	for i := range sids {
+		sids[i] = int32(i)
+	}
+	return suffixtree.Build(acc, suffixtree.EnumerateSuffixes(acc, sids, minLen), w)
+}
+
+// treeSignature summarizes a forest as a multiset of node signatures
+// plus the sorted multiset of leaf suffixes, which identifies the tree
+// content independent of node numbering or bucket distribution.
+func treeSignature(trees ...*suffixtree.Tree) (nodes map[string]int, sufs []string) {
+	nodes = make(map[string]int)
+	for _, t := range trees {
+		for i := range t.Nodes {
+			u := int32(i)
+			k := fmt.Sprintf("d%d/leaf%v/n%d", t.Nodes[u].Depth, t.IsLeaf(u),
+				t.Nodes[u].SufEnd-t.Nodes[u].SufStart)
+			nodes[k]++
+			if t.IsLeaf(u) {
+				for _, sf := range t.LeafSuffixes(u) {
+					sufs = append(sufs, fmt.Sprintf("%d:%d:%d:%d", sf.Sid, sf.Pos, sf.Prev, t.Nodes[u].Depth))
+				}
+			}
+		}
+	}
+	sort.Strings(sufs)
+	return nodes, sufs
+}
+
+func collectPairs(tree *suffixtree.Tree, psi, n int) []string {
+	var out []string
+	pairgen.Generate(tree, pairgen.Config{Psi: psi, NumFragments: n}, func(p pairgen.Pair) bool {
+		out = append(out, fmt.Sprintf("%d/%d/%d/%d/%d", p.ASid, p.BSid, p.APos, p.BPos, p.MatchLen))
+		return true
+	})
+	return out
+}
+
+// TestParallelMatchesSerial is the key equivalence test: for several
+// rank counts, batch budgets, and both Alltoallv variants, the union
+// of the per-rank subtrees must be exactly the serial GST, and pair
+// generation over the distributed forest must emit exactly the serial
+// pair multiset.
+func TestParallelMatchesSerial(t *testing.T) {
+	st := testStore(1, 6000, 3.0)
+	const w, psi = 6, 8
+	ref := serialTree(st, w, psi)
+	wantNodes, wantSufs := treeSignature(ref)
+	wantPairs := collectPairs(ref, psi, st.N())
+	sort.Strings(wantPairs)
+	if len(wantPairs) == 0 {
+		t.Fatal("test input generates no pairs; weak test")
+	}
+
+	cases := []struct {
+		p          int
+		firstOwner int
+		batch      int
+		staged     bool
+	}{
+		{1, 0, 1 << 20, false},
+		{2, 0, 1 << 20, false},
+		{4, 0, 4096, false}, // small batches force many fetch rounds
+		{4, 0, 1 << 20, true},
+		{5, 1, 1 << 20, false}, // master-worker layout: rank 0 owns nothing
+		{7, 1, 8192, true},
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("p=%d first=%d batch=%d staged=%v", tc.p, tc.firstOwner, tc.batch, tc.staged)
+		locals := make([]*Local, tc.p)
+		par.Run(par.DefaultConfig(tc.p), func(c *par.Comm) {
+			locals[c.Rank()] = Build(c, st, Config{
+				W: w, MinLen: psi, FirstOwner: tc.firstOwner,
+				BatchBytes: tc.batch, Staged: tc.staged, Seed: 7,
+			})
+		})
+		var trees []*suffixtree.Tree
+		var gotPairs []string
+		rounds := 0
+		for r, l := range locals {
+			trees = append(trees, l.Tree)
+			gotPairs = append(gotPairs, collectPairs(l.Tree, psi, st.N())...)
+			if l.FetchRounds > rounds {
+				rounds = l.FetchRounds
+			}
+			if r < tc.firstOwner && l.Buckets != 0 {
+				t.Errorf("%s: rank %d below FirstOwner owns %d buckets", name, r, l.Buckets)
+			}
+		}
+		gotNodes, gotSufs := treeSignature(trees...)
+		if len(gotSufs) != len(wantSufs) {
+			t.Fatalf("%s: %d leaf suffixes, want %d", name, len(gotSufs), len(wantSufs))
+		}
+		for i := range wantSufs {
+			if gotSufs[i] != wantSufs[i] {
+				t.Fatalf("%s: leaf suffix %d = %s, want %s", name, i, gotSufs[i], wantSufs[i])
+			}
+		}
+		for k, v := range wantNodes {
+			if gotNodes[k] != v {
+				t.Fatalf("%s: node sig %q count %d, want %d", name, k, gotNodes[k], v)
+			}
+		}
+		sort.Strings(gotPairs)
+		if len(gotPairs) != len(wantPairs) {
+			t.Fatalf("%s: %d pairs, want %d", name, len(gotPairs), len(wantPairs))
+		}
+		for i := range wantPairs {
+			if gotPairs[i] != wantPairs[i] {
+				t.Fatalf("%s: pair %d = %s, want %s", name, i, gotPairs[i], wantPairs[i])
+			}
+		}
+		if tc.batch <= 8192 && rounds < 2 {
+			t.Errorf("%s: expected multiple fetch rounds, got %d", name, rounds)
+		}
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	st := testStore(2, 12000, 4.0)
+	const p = 6
+	locals := make([]*Local, p)
+	par.Run(par.DefaultConfig(p), func(c *par.Comm) {
+		locals[c.Rank()] = Build(c, st, Config{W: 6, MinLen: 8, Seed: 3})
+	})
+	total, maxOwn := 0, 0
+	for _, l := range locals {
+		total += l.SuffixesOwned
+		if l.SuffixesOwned > maxOwn {
+			maxOwn = l.SuffixesOwned
+		}
+	}
+	mean := total / p
+	if maxOwn > 3*mean {
+		t.Errorf("imbalanced: max %d vs mean %d suffixes", maxOwn, mean)
+	}
+}
+
+func TestComputeAndCommCharged(t *testing.T) {
+	st := testStore(3, 5000, 3.0)
+	stats := par.Run(par.DefaultConfig(4), func(c *par.Comm) {
+		Build(c, st, Config{W: 6, MinLen: 8, Seed: 1})
+	})
+	agg := par.Summarize(stats)
+	if agg.MaxComp <= 0 {
+		t.Error("no modeled compute charged")
+	}
+	if agg.MaxComm <= 0 {
+		t.Error("no modeled communication charged")
+	}
+	if agg.TotalBytes == 0 {
+		t.Error("no bytes exchanged")
+	}
+}
+
+// TestStrongScaling checks the Fig. 5 shape: modeled construction time
+// decreases as ranks are added.
+func TestStrongScaling(t *testing.T) {
+	st := testStore(4, 20000, 4.0)
+	modeled := func(p int) float64 {
+		stats := par.Run(par.DefaultConfig(p), func(c *par.Comm) {
+			Build(c, st, Config{W: 6, MinLen: 8, Seed: 1})
+		})
+		return par.Summarize(stats).MaxModeled
+	}
+	t1, t4 := modeled(1), modeled(4)
+	if t4 >= t1 {
+		t.Errorf("no speedup: p=1 %.4fs, p=4 %.4fs", t1, t4)
+	}
+	if t1/t4 < 1.8 {
+		t.Errorf("weak scaling efficiency: %.2fx on 4 ranks", t1/t4)
+	}
+}
+
+func TestOwnerBounds(t *testing.T) {
+	st := testStore(5, 4000, 2.0)
+	bounds := ownerBounds(st, 4)
+	if bounds[0] != 0 || bounds[4] != st.N() {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	for i := 0; i < 4; i++ {
+		if bounds[i] > bounds[i+1] {
+			t.Fatalf("bounds not monotone: %v", bounds)
+		}
+	}
+	for fid := 0; fid < st.N(); fid += 17 {
+		r := ownerOf(bounds, fid)
+		if fid < bounds[r] || fid >= bounds[r+1] {
+			t.Fatalf("ownerOf(%d) = %d with bounds %v", fid, r, bounds)
+		}
+	}
+}
+
+func TestDestOf(t *testing.T) {
+	spl := []seq.Kmer{10, 20, 30}
+	cases := map[seq.Kmer]int{5: 0, 10: 1, 15: 1, 20: 2, 25: 2, 30: 3, 99: 3}
+	for key, want := range cases {
+		if got := destOf(spl, key, 0); got != want {
+			t.Errorf("destOf(%d) = %d, want %d", key, got, want)
+		}
+	}
+	if destOf(nil, 5, 2) != 2 {
+		t.Error("empty splitters must map to firstOwner")
+	}
+}
+
+func TestMoreRanksThanFragments(t *testing.T) {
+	// Three tiny fragments on an 8-rank machine: several ranks own no
+	// fragments and possibly no buckets, yet construction must agree
+	// with the serial tree.
+	frags := []*seq.Fragment{
+		{Name: "a", Bases: []byte("ACGTACGTACGTACGTACGT")},
+		{Name: "b", Bases: []byte("CGTACGTACGTACGTACGTT")},
+		{Name: "c", Bases: []byte("TTTTACGTACGTACGTAAAA")},
+	}
+	st := seq.NewStore(frags)
+	const w, psi = 4, 6
+	ref := serialTree(st, w, psi)
+	wantPairs := collectPairs(ref, psi, st.N())
+	sort.Strings(wantPairs)
+
+	locals := make([]*Local, 8)
+	par.Run(par.DefaultConfig(8), func(c *par.Comm) {
+		locals[c.Rank()] = Build(c, st, Config{W: w, MinLen: psi, Seed: 5})
+	})
+	var got []string
+	for _, l := range locals {
+		got = append(got, collectPairs(l.Tree, psi, st.N())...)
+	}
+	sort.Strings(got)
+	if len(got) != len(wantPairs) {
+		t.Fatalf("%d pairs, want %d", len(got), len(wantPairs))
+	}
+	for i := range wantPairs {
+		if got[i] != wantPairs[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	st := seq.NewStore(nil)
+	locals := make([]*Local, 3)
+	par.Run(par.DefaultConfig(3), func(c *par.Comm) {
+		locals[c.Rank()] = Build(c, st, Config{W: 4, MinLen: 6, Seed: 1})
+	})
+	for r, l := range locals {
+		if l.Buckets != 0 || l.Tree.NumNodes() != 0 {
+			t.Errorf("rank %d built %d buckets from nothing", r, l.Buckets)
+		}
+	}
+}

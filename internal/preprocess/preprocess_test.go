@@ -1,0 +1,232 @@
+package preprocess
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func goodQuals(n int) []byte {
+	q := make([]byte, n)
+	for i := range q {
+		q[i] = 40
+	}
+	return q
+}
+
+func randBases(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seq.Base(rng.Intn(4))
+	}
+	return b
+}
+
+func TestMottKeepsGoodCore(t *testing.T) {
+	// 20 awful bases, 200 good, 30 awful.
+	quals := append(append(make([]byte, 0, 250), bytesOf(3, 20)...), goodQuals(200)...)
+	quals = append(quals, bytesOf(3, 30)...)
+	lo, hi := mott(quals, 0.02)
+	if lo > 22 || lo < 18 {
+		t.Errorf("lo = %d, want ≈20", lo)
+	}
+	if hi < 218 || hi > 222 {
+		t.Errorf("hi = %d, want ≈220", hi)
+	}
+}
+
+func bytesOf(v byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+func TestMottAllBad(t *testing.T) {
+	lo, hi := mott(bytesOf(2, 100), 0.02)
+	if hi-lo > 5 {
+		t.Errorf("kept %d bases of garbage", hi-lo)
+	}
+}
+
+func TestTrimInvalidatesShort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := &seq.Fragment{Bases: randBases(rng, 60), Qual: goodQuals(60)}
+	if _, ok := Trim(f, TrimConfig{MinLen: 100}); ok {
+		t.Error("short fragment must be invalidated")
+	}
+}
+
+func TestTrimRemovesVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vector := []byte("GGCCGCTCTAGAACTAGTGGATCCCCCGGGCTGCAGGAATTC")
+	insert := randBases(rng, 300)
+	read := append(append([]byte{}, vector[10:]...), insert...)
+	f := &seq.Fragment{Bases: read, Qual: goodQuals(len(read))}
+	out, ok := Trim(f, TrimConfig{MinLen: 100, Vector: vector})
+	if !ok {
+		t.Fatal("fragment invalidated")
+	}
+	if len(out.Bases) > len(insert)+4 {
+		t.Errorf("vector not removed: %d bases remain of %d insert", len(out.Bases), len(insert))
+	}
+	// The surviving sequence must be a substring of the insert.
+	if !contains(insert, out.Bases) {
+		t.Error("trimmed output is not an insert substring")
+	}
+}
+
+func contains(hay, needle []byte) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		ok := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTrimOutputIsSubstringOfInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rc := simulate.DefaultReadConfig()
+	g := simulate.NewGenome(rng, "g", simulate.GenomeConfig{Length: 50000})
+	reads := simulate.SampleWGS(rng, g, 2.0, rc, "r")
+	kept := 0
+	for _, f := range reads {
+		out, ok := Trim(f, DefaultTrimConfig())
+		if !ok {
+			continue
+		}
+		kept++
+		if !contains(f.Bases, out.Bases) {
+			t.Fatal("trim output not a substring of input")
+		}
+		if out.Qual != nil && len(out.Qual) != len(out.Bases) {
+			t.Fatal("qual length mismatch after trim")
+		}
+	}
+	if kept < len(reads)/2 {
+		t.Errorf("only %d/%d reads survive default trimming", kept, len(reads))
+	}
+}
+
+func TestDetectRepeatsFindsPlantedFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := simulate.NewGenome(rng, "g", simulate.GenomeConfig{
+		Length:  120000,
+		Repeats: []simulate.RepeatFamily{{Length: 600, Copies: 60, Divergence: 0.01}},
+	})
+	rc := simulate.DefaultReadConfig()
+	rc.VectorProb = 0
+	reads := simulate.SampleWGS(rng, g, 3.0, rc, "r")
+	sample := Sample(rng, reads, 0.3)
+	db := DetectRepeats(sample, 16, 6)
+	if db.Size() == 0 {
+		t.Fatal("no repeat k-mers detected")
+	}
+
+	// Masking a repeat-heavy read should mask a lot; a unique-region
+	// read should stay mostly intact.
+	repeatRead := append([]byte(nil), g.Seq[g.Repeats[0].Span.Start:g.Repeats[0].Span.End]...)
+	masked := db.Mask(repeatRead)
+	if float64(masked)/float64(len(repeatRead)) < 0.5 {
+		t.Errorf("repeat copy only %d/%d masked", masked, len(repeatRead))
+	}
+}
+
+func TestMaskLeavesUniqueSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	unique := randBases(rng, 500)
+	db := NewRepeatDBFromSeqs([][]byte{randBases(rng, 300)}, 16)
+	cp := append([]byte(nil), unique...)
+	masked := db.Mask(cp)
+	if masked > 16 {
+		t.Errorf("masked %d bases of unrelated sequence", masked)
+	}
+	for i := range cp {
+		if cp[i] != unique[i] && cp[i] != seq.Masked {
+			t.Fatal("mask altered an unmasked character")
+		}
+	}
+}
+
+func TestMaskBothStrands(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	repeat := randBases(rng, 100)
+	db := NewRepeatDBFromSeqs([][]byte{repeat}, 16)
+	fwd := append([]byte(nil), repeat...)
+	rcv := seq.ReverseComplement(repeat)
+	if db.Mask(fwd) < 80 {
+		t.Error("forward strand not masked")
+	}
+	if db.Mask(rcv) < 80 {
+		t.Error("reverse strand not masked (canonical k-mers should catch it)")
+	}
+}
+
+// TestRunTable2Shape reproduces the qualitative Table 2 result: WGS
+// fragments from a repeat-rich genome lose most of their number to
+// repeat masking, while island-biased (gene-enriched) fragments mostly
+// survive.
+func TestRunTable2Shape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := simulate.MaizeLike(rng, 120000)
+
+	// Known-repeat database from the planted repeat spans.
+	var repSeqs [][]byte
+	for _, r := range m.Genome.Repeats {
+		repSeqs = append(repSeqs, m.Genome.Seq[r.Span.Start:r.Span.End])
+	}
+	db := NewRepeatDBFromSeqs(repSeqs, 16)
+
+	cfg := Config{Trim: DefaultTrimConfig(), Repeats: db}
+	cfg.Trim.Vector = simulate.DefaultReadConfig().Vector
+
+	_, wgsStats := Run(m.WGS, cfg)
+	_, mfStats := Run(m.MF, cfg)
+
+	if wgsStats.SurvivalRate() > 0.65 {
+		t.Errorf("WGS survival %.2f too high for a 70%%-repeat genome", wgsStats.SurvivalRate())
+	}
+	if mfStats.SurvivalRate() < 0.55 {
+		t.Errorf("MF survival %.2f too low for island-biased reads", mfStats.SurvivalRate())
+	}
+	if mfStats.SurvivalRate() <= wgsStats.SurvivalRate() {
+		t.Errorf("enriched survival %.2f not above shotgun %.2f",
+			mfStats.SurvivalRate(), wgsStats.SurvivalRate())
+	}
+	if wgsStats.FragsBefore != len(m.WGS) || wgsStats.FragsAfter+wgsStats.Trimmed+wgsStats.Repetitive != wgsStats.FragsBefore {
+		t.Errorf("stats don't add up: %+v", wgsStats)
+	}
+}
+
+func TestRunKeepsMaskedBases(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	repeat := randBases(rng, 200)
+	db := NewRepeatDBFromSeqs([][]byte{repeat}, 16)
+	read := append(append(append([]byte{}, randBases(rng, 200)...), repeat...), randBases(rng, 200)...)
+	f := &seq.Fragment{Name: "x", Bases: read, Qual: goodQuals(len(read))}
+	out, st := Run([]*seq.Fragment{f}, Config{Trim: DefaultTrimConfig(), Repeats: db})
+	if len(out) != 1 {
+		t.Fatalf("fragment dropped: %+v", st)
+	}
+	if st.MaskedBases < 150 {
+		t.Errorf("masked %d bases, want ≈200", st.MaskedBases)
+	}
+	frac := seq.MaskedFraction(out[0].Bases)
+	if frac < 0.2 || frac > 0.5 {
+		t.Errorf("masked fraction %.2f", frac)
+	}
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "name", "count")
+	tb.AddRow("alpha", "10")
+	tb.AddRow("b", "2,000")
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table X", "name", "alpha", "2,000", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and data rows align: "count" column starts at the same
+	// offset everywhere.
+	idx := strings.Index(lines[2], "count")
+	if idx < 0 {
+		t.Fatalf("header line wrong: %q", lines[2])
+	}
+}
+
+func TestShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[int64]string{
+		0:        "0",
+		999:      "999",
+		1000:     "1,000",
+		1234567:  "1,234,567",
+		-1234567: "-1,234,567",
+	}
+	for v, want := range cases {
+		if got := Int(v); got != want {
+			t.Errorf("Int(%d) = %q, want %q", v, got, want)
+		}
+	}
+	if Pct(0.443) != "44.3%" {
+		t.Errorf("Pct = %q", Pct(0.443))
+	}
+	if Seconds(0.0123) != "12.3ms" {
+		t.Errorf("Seconds = %q", Seconds(0.0123))
+	}
+	if Seconds(12.3) != "12.30s" {
+		t.Errorf("Seconds = %q", Seconds(12.3))
+	}
+	if Seconds(240) != "240s" {
+		t.Errorf("Seconds = %q", Seconds(240))
+	}
+	if Mbp(1250000) != "1.25" {
+		t.Errorf("Mbp = %q", Mbp(1250000))
+	}
+}

@@ -1,0 +1,184 @@
+package scaffold
+
+import (
+	"testing"
+
+	"repro/internal/assembly"
+)
+
+// layout builds synthetic contigs with manual read placements. Reads
+// are 100 bp; fragment IDs are assigned by the caller.
+func contig(length int, reads ...assembly.Placement) assembly.Contig {
+	return assembly.Contig{Bases: make([]byte, length), Reads: reads}
+}
+
+func testCfg() Config {
+	return Config{MinLinks: 2, ReadLen: 100, MaxGapSlack: 400}
+}
+
+// Genome truth for the tests: contig0 = [0,1000), gap 200,
+// contig1 = [1200,2200), gap 300, contig2 = [2500,3500).
+// A clone of insert 1500 starting at genome 600 has its forward read
+// at 600 (contig0, offset 600) and its reverse read covering
+// [2000,2100) (contig1, offset 800, placed reversed).
+func threeContigLinks() ([]assembly.Contig, []MateLink) {
+	contigs := []assembly.Contig{
+		contig(1000,
+			assembly.Placement{Frag: 0, Offset: 600, Reverse: false},
+			assembly.Placement{Frag: 2, Offset: 650, Reverse: false},
+		),
+		contig(1000,
+			assembly.Placement{Frag: 1, Offset: 800, Reverse: true},
+			assembly.Placement{Frag: 3, Offset: 850, Reverse: true},
+			assembly.Placement{Frag: 4, Offset: 700, Reverse: false},
+			assembly.Placement{Frag: 6, Offset: 750, Reverse: false},
+		),
+		contig(1000,
+			// Clone from genome 1900: F at 1900 (contig1 off 700), R
+			// covers [3300,3400) → contig2 offset 800, reversed.
+			assembly.Placement{Frag: 5, Offset: 800, Reverse: true},
+			assembly.Placement{Frag: 7, Offset: 850, Reverse: true},
+		),
+	}
+	links := []MateLink{
+		{ForwardFrag: 0, ReverseFrag: 1, InsertLen: 1500},
+		{ForwardFrag: 2, ReverseFrag: 3, InsertLen: 1500},
+		{ForwardFrag: 4, ReverseFrag: 5, InsertLen: 1500},
+		{ForwardFrag: 6, ReverseFrag: 7, InsertLen: 1500},
+	}
+	return contigs, links
+}
+
+func TestChainsThreeContigsInOrder(t *testing.T) {
+	contigs, links := threeContigLinks()
+	scs := Build(contigs, links, testCfg())
+	if len(scs) != 1 {
+		t.Fatalf("%d scaffolds, want 1 chain", len(scs))
+	}
+	got := scs[0].Contigs
+	if len(got) != 3 {
+		t.Fatalf("chain length %d", len(got))
+	}
+	order := []int{got[0].Contig, got[1].Contig, got[2].Contig}
+	fwd := order[0] == 0 && order[1] == 1 && order[2] == 2
+	rev := order[0] == 2 && order[1] == 1 && order[2] == 0
+	if !fwd && !rev {
+		t.Fatalf("chain order %v", order)
+	}
+	for _, p := range got {
+		if p.Reverse {
+			t.Errorf("contig %d flipped in an all-forward layout", p.Contig)
+		}
+	}
+	// Middle gap estimates: 0–1 gap 200, 1–2 gap... clone from 1900:
+	// distA = 1000−700 = 300, distB = 800+100 = 900 → gap 300. ✓
+	gaps := map[int]bool{got[0].Gap: true, got[1].Gap: true}
+	if !gaps[200] || !gaps[300] {
+		t.Errorf("gaps %d,%d want {200,300}", got[0].Gap, got[1].Gap)
+	}
+}
+
+func TestDetectsFlippedContig(t *testing.T) {
+	contigs, links := threeContigLinks()
+	// Flip contig 1: placements mirror (off' = len − off − readLen) and
+	// reverse flags toggle.
+	c1 := contigs[1]
+	for i := range c1.Reads {
+		c1.Reads[i].Offset = len(c1.Bases) - c1.Reads[i].Offset - 100
+		c1.Reads[i].Reverse = !c1.Reads[i].Reverse
+	}
+	contigs[1] = c1
+	scs := Build(contigs, links, testCfg())
+	if len(scs) != 1 || len(scs[0].Contigs) != 3 {
+		t.Fatalf("scaffolds = %+v", Summarize(scs))
+	}
+	flips := make(map[int]bool)
+	for _, p := range scs[0].Contigs {
+		flips[p.Contig] = p.Reverse
+	}
+	// Contig 1 must be flipped relative to contigs 0 and 2.
+	if flips[1] == flips[0] || flips[1] == flips[2] {
+		t.Errorf("flips = %v; contig 1 must differ", flips)
+	}
+}
+
+func TestMinLinksFiltersSingletons(t *testing.T) {
+	contigs, links := threeContigLinks()
+	// Only one clone supports the 1–2 join.
+	links = links[:3]
+	scs := Build(contigs, links, testCfg())
+	st := Summarize(scs)
+	if st.Scaffolds != 2 || st.LargestChain != 2 || st.Singletons != 1 {
+		t.Errorf("stats = %+v; want 0–1 chained, 2 alone", st)
+	}
+}
+
+func TestSameContigAndUnplacedLinksIgnored(t *testing.T) {
+	contigs, _ := threeContigLinks()
+	links := []MateLink{
+		{ForwardFrag: 0, ReverseFrag: 2, InsertLen: 1500},  // same contig
+		{ForwardFrag: 0, ReverseFrag: 99, InsertLen: 1500}, // unplaced mate
+	}
+	scs := Build(contigs, links, testCfg())
+	if Summarize(scs).LargestChain != 1 {
+		t.Error("spurious links joined contigs")
+	}
+}
+
+func TestNegativeGapBundleRejected(t *testing.T) {
+	contigs, links := threeContigLinks()
+	// Shrink the clones so the implied 0–1 gap is deeply negative.
+	for i := range links[:2] {
+		links[i].InsertLen = 600 // gap = 600−400−900 = −700 < −400
+	}
+	scs := Build(contigs, links, testCfg())
+	// 0–1 rejected; 1–2 survives.
+	st := Summarize(scs)
+	if st.LargestChain != 2 || st.Singletons != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDegreeCapPreventsBranching(t *testing.T) {
+	// Four contigs all linked to contig 0: only two joins may attach.
+	contigs := []assembly.Contig{
+		contig(1000),
+		contig(1000),
+		contig(1000),
+		contig(1000),
+	}
+	frag := 0
+	var links []MateLink
+	for b := 1; b <= 3; b++ {
+		for k := 0; k < 2; k++ {
+			contigs[0].Reads = append(contigs[0].Reads,
+				assembly.Placement{Frag: frag, Offset: 800, Reverse: false})
+			contigs[b].Reads = append(contigs[b].Reads,
+				assembly.Placement{Frag: frag + 1, Offset: 300, Reverse: true})
+			links = append(links, MateLink{ForwardFrag: frag, ReverseFrag: frag + 1, InsertLen: 800})
+			frag += 2
+		}
+	}
+	scs := Build(contigs, links, testCfg())
+	for _, s := range scs {
+		for i, p := range s.Contigs {
+			if p.Contig == 0 && len(s.Contigs) > 3 {
+				t.Errorf("contig 0 chained into %d-long scaffold at %d", len(s.Contigs), i)
+			}
+		}
+	}
+	st := Summarize(scs)
+	if st.TotalContigs != 4 {
+		t.Errorf("contigs lost: %+v", st)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if scs := Build(nil, nil, testCfg()); len(scs) != 0 {
+		t.Error("empty input must produce no scaffolds")
+	}
+	scs := Build([]assembly.Contig{contig(500)}, nil, testCfg())
+	if len(scs) != 1 || len(scs[0].Contigs) != 1 {
+		t.Error("isolated contig must be a singleton scaffold")
+	}
+}

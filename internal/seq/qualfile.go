@@ -1,0 +1,121 @@
+package seq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Qual-file support: the Sanger-era companion format to FASTA (as
+// consumed by phrap, CAP3 and Lucy) — same headers, but records hold
+// space-separated per-base phred scores instead of bases.
+
+// QualRecord is one quality record.
+type QualRecord struct {
+	Name  string
+	Quals []byte
+}
+
+// ReadQual parses a .qual file. Scores are clamped to [0, 93].
+func ReadQual(r io.Reader) ([]QualRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var recs []QualRecord
+	var cur *QualRecord
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '>' {
+			recs = append(recs, QualRecord{Name: string(bytes.TrimSpace(line[1:]))})
+			cur = &recs[len(recs)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("qual: line %d: scores before first header", lineno)
+		}
+		for _, f := range bytes.Fields(line) {
+			v, err := strconv.Atoi(string(f))
+			if err != nil {
+				return nil, fmt.Errorf("qual: line %d: bad score %q", lineno, f)
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > 93 {
+				v = 93
+			}
+			cur.Quals = append(cur.Quals, byte(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("qual: %w", err)
+	}
+	return recs, nil
+}
+
+// WriteQual writes records in .qual format, perLine scores per line
+// (20 if ≤ 0).
+func WriteQual(w io.Writer, recs []QualRecord, perLine int) error {
+	if perLine <= 0 {
+		perLine = 20
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", rec.Name); err != nil {
+			return err
+		}
+		for i, q := range rec.Quals {
+			if i > 0 {
+				if i%perLine == 0 {
+					bw.WriteByte('\n')
+				} else {
+					bw.WriteByte(' ')
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(q))); err != nil {
+				return err
+			}
+		}
+		if len(rec.Quals) > 0 {
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// AttachQuals matches quality records to fragments by name (the part
+// of the FASTA header before the first space) and attaches them.
+// Fragments with no matching record keep nil qualities; a matching
+// record with the wrong length is an error.
+func AttachQuals(frags []*Fragment, quals []QualRecord) error {
+	byName := make(map[string][]byte, len(quals))
+	for _, q := range quals {
+		byName[firstWord(q.Name)] = q.Quals
+	}
+	for _, f := range frags {
+		q, ok := byName[firstWord(f.Name)]
+		if !ok {
+			continue
+		}
+		if len(q) != len(f.Bases) {
+			return fmt.Errorf("qual: %s: %d scores for %d bases", f.Name, len(q), len(f.Bases))
+		}
+		f.Qual = q
+	}
+	return nil
+}
+
+func firstWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '\t' {
+			return s[:i]
+		}
+	}
+	return s
+}

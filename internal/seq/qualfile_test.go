@@ -1,0 +1,78 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQualRoundTrip(t *testing.T) {
+	in := []QualRecord{
+		{Name: "r1 some description", Quals: []byte{40, 40, 38, 12, 0, 93}},
+		{Name: "r2", Quals: make([]byte, 45)},
+		{Name: "empty"},
+	}
+	for i := range in[1].Quals {
+		in[1].Quals[i] = byte(i * 2)
+	}
+	var buf bytes.Buffer
+	if err := WriteQual(&buf, in, 10); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadQual(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Name != in[i].Name {
+			t.Errorf("record %d name %q", i, out[i].Name)
+		}
+		if !bytes.Equal(out[i].Quals, in[i].Quals) {
+			t.Errorf("record %d quals %v != %v", i, out[i].Quals, in[i].Quals)
+		}
+	}
+}
+
+func TestReadQualClampsAndErrors(t *testing.T) {
+	recs, err := ReadQual(strings.NewReader(">a\n120 -5 40\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Quals[0] != 93 || recs[0].Quals[1] != 0 || recs[0].Quals[2] != 40 {
+		t.Errorf("clamping wrong: %v", recs[0].Quals)
+	}
+	if _, err := ReadQual(strings.NewReader(">a\nxyz\n")); err == nil {
+		t.Error("expected error for non-numeric score")
+	}
+	if _, err := ReadQual(strings.NewReader("10 20\n")); err == nil {
+		t.Error("expected error for scores before header")
+	}
+}
+
+func TestAttachQuals(t *testing.T) {
+	frags := []*Fragment{
+		{Name: "r1 desc", Bases: []byte("ACGT")},
+		{Name: "r2", Bases: []byte("GG")},
+		{Name: "r3", Bases: []byte("T")},
+	}
+	quals := []QualRecord{
+		{Name: "r1 other words", Quals: []byte{10, 20, 30, 40}},
+		{Name: "r2", Quals: []byte{5, 6}},
+	}
+	if err := AttachQuals(frags, quals); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frags[0].Qual, quals[0].Quals) {
+		t.Error("r1 quals not attached by first word")
+	}
+	if frags[2].Qual != nil {
+		t.Error("r3 should have no quals")
+	}
+	bad := []QualRecord{{Name: "r2", Quals: []byte{1, 2, 3}}}
+	if err := AttachQuals(frags, bad); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}

@@ -1,0 +1,119 @@
+// Package seq provides DNA sequence primitives shared by every other
+// module: the nucleotide alphabet, reverse complementation, masking,
+// FASTA I/O, k-mer encoding, and an indexed store of sequencing
+// fragments together with their reverse complements.
+//
+// Throughout the repository sequences are byte slices over the uppercase
+// alphabet {A, C, G, T} plus 'N', which marks masked or ambiguous
+// positions. A masked position never matches anything, including another
+// masked position; this is how repeat-masked regions are prevented from
+// seeding overlaps (paper, Section 8).
+package seq
+
+// Alphabet size of unambiguous DNA.
+const AlphabetSize = 4
+
+// Masked is the byte used for masked or ambiguous positions.
+const Masked = 'N'
+
+// code maps a nucleotide byte to 0..3, or -1 for anything else
+// (including 'N'). Lowercase input is accepted and treated as masked,
+// mirroring the soft-masking convention of repeat maskers.
+var code [256]int8
+
+// complement maps a nucleotide to its Watson–Crick complement.
+// Non-ACGT bytes map to 'N'.
+var complement [256]byte
+
+func init() {
+	for i := range code {
+		code[i] = -1
+		complement[i] = Masked
+	}
+	code['A'] = 0
+	code['C'] = 1
+	code['G'] = 2
+	code['T'] = 3
+	complement['A'] = 'T'
+	complement['T'] = 'A'
+	complement['C'] = 'G'
+	complement['G'] = 'C'
+}
+
+// Code returns the 0..3 code of an unambiguous nucleotide, or -1 if the
+// byte is masked or not a nucleotide.
+func Code(b byte) int { return int(code[b]) }
+
+// Base returns the nucleotide byte for a 0..3 code.
+func Base(c int) byte { return "ACGT"[c] }
+
+// IsBase reports whether b is an unambiguous uppercase nucleotide.
+func IsBase(b byte) bool { return code[b] >= 0 }
+
+// Complement returns the Watson–Crick complement of a single base.
+// Masked and unknown bytes complement to Masked.
+func Complement(b byte) byte { return complement[b] }
+
+// ReverseComplement returns a newly allocated reverse complement of s.
+func ReverseComplement(s []byte) []byte {
+	rc := make([]byte, len(s))
+	for i, b := range s {
+		rc[len(s)-1-i] = complement[b]
+	}
+	return rc
+}
+
+// ReverseComplementInPlace reverse-complements s in place.
+func ReverseComplementInPlace(s []byte) {
+	i, j := 0, len(s)-1
+	for i < j {
+		s[i], s[j] = complement[s[j]], complement[s[i]]
+		i, j = i+1, j-1
+	}
+	if i == j {
+		s[i] = complement[s[i]]
+	}
+}
+
+// Clean returns a copy of s with every byte canonicalized: lowercase
+// acgt is uppercased, anything that is not ACGT becomes Masked.
+func Clean(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, b := range s {
+		switch b {
+		case 'a':
+			b = 'A'
+		case 'c':
+			b = 'C'
+		case 'g':
+			b = 'G'
+		case 't':
+			b = 'T'
+		}
+		if !IsBase(b) {
+			b = Masked
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// CountUnmasked returns the number of unambiguous bases in s.
+func CountUnmasked(s []byte) int {
+	n := 0
+	for _, b := range s {
+		if IsBase(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// MaskedFraction returns the fraction of s that is masked; 0 for an
+// empty sequence.
+func MaskedFraction(s []byte) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return float64(len(s)-CountUnmasked(s)) / float64(len(s))
+}

@@ -1,0 +1,223 @@
+// Package simulate synthesizes the sequencing workloads the paper
+// evaluates on: repeat-rich genomes with sparse gene islands
+// (maize-like), uniformly shotgunned genomes (Drosophila-like), and
+// multi-species environmental samples (Sargasso-like). Real traces are
+// unavailable offline, so the simulator reproduces the statistical
+// properties the assembly algorithms are sensitive to — repeat content
+// and divergence, non-uniform island-biased sampling, 1–2 % sequencing
+// error, sub-kilobase reads — and records each read's true origin for
+// validation (something the paper had to approximate with BLAST
+// against a published assembly).
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// Span is a half-open interval on a genome.
+type Span struct {
+	Start, End int
+}
+
+// Len returns the span length.
+func (s Span) Len() int { return s.End - s.Start }
+
+// Contains reports whether position p lies in the span.
+func (s Span) Contains(p int) bool { return p >= s.Start && p < s.End }
+
+// Overlaps reports whether two spans intersect.
+func (s Span) Overlaps(o Span) bool { return s.Start < o.End && o.Start < s.End }
+
+// RepeatFamily describes one repeat family to plant.
+type RepeatFamily struct {
+	Length     int     // consensus length
+	Copies     int     // number of copies to place
+	Divergence float64 // per-base mutation rate of each copy vs consensus
+}
+
+// GenomeConfig parameterizes genome synthesis.
+type GenomeConfig struct {
+	Length int
+	GC     float64 // GC content, 0.5 if zero
+
+	// Gene islands: contiguous low-copy regions repeats avoid,
+	// mirroring the maize gene space (paper, Section 1).
+	IslandFraction float64 // fraction of the genome inside islands
+	MeanIslandLen  int     // mean island length
+
+	Repeats []RepeatFamily
+}
+
+// RepeatOcc is one placed repeat copy.
+type RepeatOcc struct {
+	Family int
+	Span   Span
+}
+
+// Genome is a synthetic source sequence with its ground-truth
+// annotation.
+type Genome struct {
+	Name    string
+	Seq     []byte
+	Islands []Span
+	Repeats []RepeatOcc
+	// FamilySeqs holds each repeat family's consensus sequence, the
+	// material a curated repeat database would record.
+	FamilySeqs [][]byte
+}
+
+// RepeatFraction returns the fraction of genome positions covered by a
+// planted repeat copy.
+func (g *Genome) RepeatFraction() float64 {
+	if len(g.Seq) == 0 {
+		return 0
+	}
+	covered := make([]bool, len(g.Seq))
+	for _, r := range g.Repeats {
+		for i := r.Span.Start; i < r.Span.End && i < len(covered); i++ {
+			covered[i] = true
+		}
+	}
+	n := 0
+	for _, c := range covered {
+		if c {
+			n++
+		}
+	}
+	return float64(n) / float64(len(g.Seq))
+}
+
+// IslandIndex returns the index of the island containing p, or -1.
+func (g *Genome) IslandIndex(p int) int {
+	for i, is := range g.Islands {
+		if is.Contains(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// randomBases fills a fresh slice with random bases at the given GC
+// content.
+func randomBases(rng *rand.Rand, n int, gc float64) []byte {
+	if gc == 0 {
+		gc = 0.5
+	}
+	out := make([]byte, n)
+	for i := range out {
+		if rng.Float64() < gc {
+			if rng.Intn(2) == 0 {
+				out[i] = 'C'
+			} else {
+				out[i] = 'G'
+			}
+		} else {
+			if rng.Intn(2) == 0 {
+				out[i] = 'A'
+			} else {
+				out[i] = 'T'
+			}
+		}
+	}
+	return out
+}
+
+// mutate returns a copy of s with each base substituted at the given
+// rate (repeat-copy divergence is substitution-dominated).
+func mutate(rng *rand.Rand, s []byte, rate float64) []byte {
+	out := append([]byte(nil), s...)
+	for i := range out {
+		if rng.Float64() < rate {
+			out[i] = seq.Base((seq.Code(out[i]) + 1 + rng.Intn(3)) % 4)
+		}
+	}
+	return out
+}
+
+// NewGenome synthesizes a genome: random background, non-overlapping
+// gene islands, and repeat copies planted outside islands.
+func NewGenome(rng *rand.Rand, name string, cfg GenomeConfig) *Genome {
+	g := &Genome{
+		Name: name,
+		Seq:  randomBases(rng, cfg.Length, cfg.GC),
+	}
+
+	// Carve islands left to right with random gaps so they never
+	// overlap and spread across the genome.
+	if cfg.IslandFraction > 0 && cfg.MeanIslandLen > 0 {
+		targetTotal := int(float64(cfg.Length) * cfg.IslandFraction)
+		nIslands := targetTotal / cfg.MeanIslandLen
+		if nIslands < 1 {
+			nIslands = 1
+		}
+		meanGap := (cfg.Length - targetTotal) / (nIslands + 1)
+		pos := 0
+		for i := 0; i < nIslands; i++ {
+			gap := meanGap/2 + rng.Intn(meanGap+1)
+			l := cfg.MeanIslandLen/2 + rng.Intn(cfg.MeanIslandLen+1)
+			start := pos + gap
+			if start+l > cfg.Length {
+				break
+			}
+			g.Islands = append(g.Islands, Span{start, start + l})
+			pos = start + l
+		}
+	}
+
+	// Plant repeats outside islands.
+	inIsland := func(sp Span) bool {
+		for _, is := range g.Islands {
+			if sp.Overlaps(is) {
+				return true
+			}
+		}
+		return false
+	}
+	g.FamilySeqs = make([][]byte, len(cfg.Repeats))
+	for fi, fam := range cfg.Repeats {
+		if fam.Length <= 0 || fam.Length > cfg.Length {
+			continue
+		}
+		consensus := randomBases(rng, fam.Length, cfg.GC)
+		g.FamilySeqs[fi] = consensus
+		for c := 0; c < fam.Copies; c++ {
+			// A few attempts to land outside islands; give up and
+			// place anyway (real repeats do intrude occasionally).
+			var sp Span
+			placed := false
+			for try := 0; try < 20; try++ {
+				start := rng.Intn(cfg.Length - fam.Length + 1)
+				sp = Span{start, start + fam.Length}
+				if !inIsland(sp) {
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				continue
+			}
+			copySeq := mutate(rng, consensus, fam.Divergence)
+			if rng.Intn(2) == 1 {
+				seq.ReverseComplementInPlace(copySeq)
+			}
+			copy(g.Seq[sp.Start:sp.End], copySeq)
+			g.Repeats = append(g.Repeats, RepeatOcc{Family: fi, Span: sp})
+		}
+	}
+	return g
+}
+
+// NewGenomeSet synthesizes n genomes with lengths drawn uniformly from
+// [minLen, maxLen], for environmental samples.
+func NewGenomeSet(rng *rand.Rand, n, minLen, maxLen int, cfg GenomeConfig) []*Genome {
+	out := make([]*Genome, n)
+	for i := range out {
+		c := cfg
+		c.Length = minLen + rng.Intn(maxLen-minLen+1)
+		out[i] = NewGenome(rng, fmt.Sprintf("species%03d", i), c)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// Clone-mate simulation: fragments sequenced in pairs from either end
+// of longer sub-clones of approximately known length (paper,
+// Section 1: "fragments are typically sequenced in pairs from either
+// end of longer DNA sequences (or sub-clones) of approximate known
+// length (~5000 bp)"). Mate information is the classical tool for
+// detecting repeat-induced overlaps and for scaffolding.
+
+// MatePair is two reads from opposite ends of one sub-clone: Forward
+// reads into the clone from its left end on the forward strand,
+// Reverse reads from its right end on the reverse strand.
+type MatePair struct {
+	Forward *seq.Fragment
+	Reverse *seq.Fragment
+	// InsertLen is the true sub-clone length.
+	InsertLen int
+}
+
+// SampleMatePairs draws paired-end reads at the given clone coverage:
+// clones of length ≈ insertLen ± insertSD placed uniformly, one read
+// off each end. Returns the pairs; Flatten gives the plain fragment
+// list for the assembly pipeline.
+func SampleMatePairs(rng *rand.Rand, g *Genome, coverage float64, insertLen, insertSD int, rc ReadConfig, prefix string) []MatePair {
+	rc = rc.withDefaults()
+	nPairs := int(coverage * float64(len(g.Seq)) / float64(2*rc.MeanLen))
+	var pairs []MatePair
+	for i := 0; i < nPairs; i++ {
+		il := insertLen + int(rng.NormFloat64()*float64(insertSD))
+		if il < 3*rc.MeanLen {
+			il = 3 * rc.MeanLen
+		}
+		if il >= len(g.Seq) {
+			il = len(g.Seq) - 1
+		}
+		start := rng.Intn(len(g.Seq) - il)
+		end := start + il
+
+		fwd := sampleOriented(rng, g, rc, start, false, fmt.Sprintf("%s_%06d_F", prefix, i))
+		rev := sampleOriented(rng, g, rc, end-rc.MeanLen, true, fmt.Sprintf("%s_%06d_R", prefix, i))
+		pairs = append(pairs, MatePair{Forward: fwd, Reverse: rev, InsertLen: il})
+	}
+	return pairs
+}
+
+// sampleOriented cuts one read at start with a fixed strand.
+func sampleOriented(rng *rand.Rand, g *Genome, rc ReadConfig, start int, reverse bool, name string) *seq.Fragment {
+	if start < 0 {
+		start = 0
+	}
+	l := rc.readLen(rng)
+	if start+l > len(g.Seq) {
+		l = len(g.Seq) - start
+	}
+	template := g.Seq[start : start+l]
+	if reverse {
+		template = seq.ReverseComplement(template)
+	}
+	bases, quals := rc.applyErrors(rng, template)
+	mid := start + l/2
+	return &seq.Fragment{
+		Name:  name,
+		Bases: bases,
+		Qual:  quals,
+		Origin: &seq.Origin{
+			Source:  g.Name,
+			Start:   start,
+			End:     start + l,
+			Reverse: reverse,
+			Region:  g.IslandIndex(mid),
+		},
+	}
+}
+
+// Flatten returns all reads of the pairs in order (forward, reverse,
+// forward, reverse, ...).
+func Flatten(pairs []MatePair) []*seq.Fragment {
+	out := make([]*seq.Fragment, 0, 2*len(pairs))
+	for _, p := range pairs {
+		out = append(out, p.Forward, p.Reverse)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package simulate
+
+import (
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// The presets below are scaled-down versions of the paper's three
+// evaluation workloads. Genome length and read counts shrink; the
+// dimensionless knobs — repeat fraction and divergence, island
+// fraction, read length, error rate, coverage, type mixture — stay at
+// the paper's values so ratio-type results (alignment savings, cluster
+// size distributions, idle fractions) transfer.
+
+// MaizeData is a scaled maize-like dataset: one repeat-rich genome and
+// the four fragment types of Table 2.
+type MaizeData struct {
+	Genome *Genome
+	MF     []*seq.Fragment // methyl-filtrated: strongly island-biased
+	HC     []*seq.Fragment // High-C0t: island-biased
+	BAC    []*seq.Fragment // BAC-derived shotgun
+	WGS    []*seq.Fragment // whole-genome shotgun
+}
+
+// All returns the four read sets concatenated in Table 2 order.
+func (m *MaizeData) All() []*seq.Fragment {
+	var out []*seq.Fragment
+	out = append(out, m.MF...)
+	out = append(out, m.HC...)
+	out = append(out, m.BAC...)
+	out = append(out, m.WGS...)
+	return out
+}
+
+// maizeRepeats budgets repeat families to cover roughly the target
+// fraction of the genome: mostly long LTR-retrotransposon-like
+// elements (which nest into multi-kilobase blocks that swallow whole
+// reads) plus shorter high-copy families, at low divergence (maize
+// repeats are young, paper Section 1). Placement is a Poisson process,
+// so the budget must exceed the target coverage: planted bases b per
+// unit length yield ≈ 1−e^-b covered.
+func maizeRepeats(genomeLen int, fraction float64) []RepeatFamily {
+	budget := float64(genomeLen) * fraction
+	// Families 0–1 are the long, well-characterized elements a curated
+	// repeat database would know. Families 2–3 are the medium-sized
+	// elements the paper reports surviving its screens (Section 7.2):
+	// family 2 is young (copies nearly identical — its read pairs pass
+	// the overlap test and glue a repeat cluster together) and family 3
+	// is ancient (copy pairs diverge past the identity cutoff — its
+	// read pairs get aligned and rejected, burning alignment work).
+	fams := []struct {
+		length int
+		share  float64
+		div    float64
+	}{
+		{6000, 0.55, 0.02},
+		{1500, 0.22, 0.03},
+		{300, 0.15, 0.02},
+		{120, 0.08, 0.08},
+	}
+	var out []RepeatFamily
+	for _, f := range fams {
+		copies := int(budget * f.share / float64(f.length))
+		if copies < 2 {
+			copies = 2
+		}
+		out = append(out, RepeatFamily{Length: f.length, Copies: copies, Divergence: f.div})
+	}
+	return out
+}
+
+// MaizeLike synthesizes the Section 8 workload at the given genome
+// length: ~70 % repeats, ~12 % gene islands, and a read mixture whose
+// base-count shares follow Table 2 (MF 13 %, HC 14 %, BAC 36 %,
+// WGS 37 % of ~1.1× genome length total).
+func MaizeLike(rng *rand.Rand, genomeLen int) *MaizeData {
+	g := NewGenome(rng, "maize", GenomeConfig{
+		Length:         genomeLen,
+		IslandFraction: 0.12,
+		MeanIslandLen:  4000,
+		Repeats:        maizeRepeats(genomeLen, 1.3),
+	})
+	rc := DefaultReadConfig()
+	total := 1.1 * float64(genomeLen)
+	nOf := func(share float64) int {
+		n := int(total * share / float64(rc.MeanLen))
+		if n < 4 {
+			n = 4
+		}
+		return n
+	}
+	bacLen := genomeLen / 15
+	if bacLen < 4*rc.MeanLen {
+		bacLen = 4 * rc.MeanLen
+	}
+	if bacLen > genomeLen {
+		bacLen = genomeLen
+	}
+	nBACReads := nOf(0.36)
+	readsPerBAC := 40
+	nBACs := nBACReads / readsPerBAC
+	if nBACs < 1 {
+		nBACs = 1
+		readsPerBAC = nBACReads
+	}
+	return &MaizeData{
+		Genome: g,
+		MF:     SampleEnriched(rng, g, nOf(0.13), 0.85, rc, "mf"),
+		HC:     SampleEnriched(rng, g, nOf(0.14), 0.75, rc, "hc"),
+		BAC:    SampleBACs(rng, g, nBACs, bacLen, readsPerBAC, rc, "bac"),
+		WGS:    SampleWGS(rng, g, total*0.37/float64(genomeLen), rc, "wgs"),
+	}
+}
+
+// DrosophilaLike synthesizes the Section 9.1 workload: a genome with
+// moderate repeat content (a few thousand high-copy sequences at full
+// scale) shotgunned uniformly at 8.8×.
+func DrosophilaLike(rng *rand.Rand, genomeLen int) (*Genome, []*seq.Fragment) {
+	// Repeat families keep paper-like copy numbers (the 5407 Drosophila
+	// high-copy sequences are genuinely high-copy): family lengths
+	// shrink with the genome so copy counts stay detectable by the
+	// statistical 0.1–0.3× sampling method at every scale.
+	g := NewGenome(rng, "dpse", GenomeConfig{
+		Length: genomeLen,
+		Repeats: []RepeatFamily{
+			{Length: 400, Copies: int(0.10*float64(genomeLen)/400) + 15, Divergence: 0.04},
+			{Length: 150, Copies: int(0.05*float64(genomeLen)/150) + 15, Divergence: 0.05},
+		},
+	})
+	reads := SampleWGS(rng, g, 8.8, DefaultReadConfig(), "dpse")
+	return g, reads
+}
+
+// SargassoLike synthesizes the Section 9.2 workload: an environmental
+// sample of many small genomes with Zipf-skewed abundances, including
+// near-identical strain pairs (the deconvolution hazard the paper
+// notes).
+func SargassoLike(rng *rand.Rand, nSpecies, totalReads int) ([]*Genome, []*seq.Fragment) {
+	genomes := NewGenomeSet(rng, nSpecies, 15000, 60000, GenomeConfig{
+		Repeats: []RepeatFamily{{Length: 800, Copies: 3, Divergence: 0.03}},
+	})
+	// Make every eighth species a close strain of its predecessor.
+	for i := 8; i < len(genomes); i += 8 {
+		strain := mutate(rng, genomes[i-1].Seq, 0.02)
+		genomes[i].Seq = strain
+	}
+	reads := SampleEnvironmental(rng, genomes, 1.0, totalReads, DefaultReadConfig(), "env")
+	return genomes, reads
+}

@@ -1,0 +1,278 @@
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// ReadConfig parameterizes read sampling and the sequencing error
+// model. Reads carry per-base phred-style qualities; the error
+// probability at each position is derived from a quality profile that
+// degrades toward the 3' end, so quality trimming (preprocess package)
+// removes genuinely error-dense tails, as Lucy does for real traces.
+type ReadConfig struct {
+	MeanLen int // mean read length (paper: 500–1000 bp)
+	LenSD   int // length standard deviation
+
+	// BaseQuality is the phred score in the high-quality core of the
+	// read (40 ≈ 0.01 % error); TailQuality is the score the 3' tail
+	// degrades to (15 ≈ 3 % error). TailStart is the fraction of the
+	// read where degradation begins.
+	BaseQuality int
+	TailQuality int
+	TailStart   float64
+
+	// Vector contamination: with probability VectorProb a read begins
+	// with a random-length piece of the cloning vector.
+	Vector     []byte
+	VectorProb float64
+}
+
+// DefaultReadConfig mirrors conventional Sanger-era shotgun reads.
+func DefaultReadConfig() ReadConfig {
+	return ReadConfig{
+		MeanLen:     700,
+		LenSD:       80,
+		BaseQuality: 40,
+		TailQuality: 12,
+		TailStart:   0.7,
+		Vector:      []byte("GGCCGCTCTAGAACTAGTGGATCCCCCGGGCTGCAGGAATTC"), // pUC-style polylinker
+		VectorProb:  0.15,
+	}
+}
+
+func (rc ReadConfig) withDefaults() ReadConfig {
+	d := DefaultReadConfig()
+	if rc.MeanLen == 0 {
+		rc.MeanLen = d.MeanLen
+	}
+	if rc.BaseQuality == 0 {
+		rc.BaseQuality = d.BaseQuality
+	}
+	if rc.TailQuality == 0 {
+		rc.TailQuality = d.TailQuality
+	}
+	if rc.TailStart == 0 {
+		rc.TailStart = d.TailStart
+	}
+	return rc
+}
+
+// qualityAt returns the phred score at fractional position t ∈ [0,1).
+func (rc ReadConfig) qualityAt(t float64) int {
+	if t < rc.TailStart {
+		return rc.BaseQuality
+	}
+	f := (t - rc.TailStart) / (1 - rc.TailStart)
+	q := float64(rc.BaseQuality) - f*f*float64(rc.BaseQuality-rc.TailQuality)
+	return int(q)
+}
+
+func phredErr(q int) float64 { return math.Pow(10, -float64(q)/10) }
+
+// readLen draws a read length.
+func (rc ReadConfig) readLen(rng *rand.Rand) int {
+	l := rc.MeanLen + int(rng.NormFloat64()*float64(rc.LenSD))
+	if l < 50 {
+		l = 50
+	}
+	return l
+}
+
+// applyErrors turns a perfect genome substring into a sequenced read:
+// per-base quality-driven substitutions and indels, plus optional
+// leading vector sequence. Returned bases and quals have equal length.
+func (rc ReadConfig) applyErrors(rng *rand.Rand, template []byte) (bases, quals []byte) {
+	n := len(template)
+	bases = make([]byte, 0, n+16)
+	quals = make([]byte, 0, n+16)
+	if rc.VectorProb > 0 && len(rc.Vector) > 0 && rng.Float64() < rc.VectorProb {
+		vl := 5 + rng.Intn(len(rc.Vector)-4)
+		v := rc.Vector[len(rc.Vector)-vl:]
+		for _, b := range v {
+			bases = append(bases, b)
+			quals = append(quals, byte(rc.BaseQuality))
+		}
+	}
+	for i, b := range template {
+		q := rc.qualityAt(float64(i) / float64(n))
+		p := phredErr(q)
+		r := rng.Float64()
+		switch {
+		case r < p/4: // deletion
+			continue
+		case r < p/2: // insertion
+			bases = append(bases, b, seq.Base(rng.Intn(4)))
+			quals = append(quals, byte(q), byte(q))
+		case r < p: // substitution
+			bases = append(bases, seq.Base((seq.Code(b)+1+rng.Intn(3))%4))
+			quals = append(quals, byte(q))
+		default:
+			bases = append(bases, b)
+			quals = append(quals, byte(q))
+		}
+	}
+	return bases, quals
+}
+
+// sampleAt cuts a read of drawn length at start, sequencing a random
+// strand, and records ground truth.
+func (rc ReadConfig) sampleAt(rng *rand.Rand, g *Genome, start int, name string) *seq.Fragment {
+	l := rc.readLen(rng)
+	if start+l > len(g.Seq) {
+		l = len(g.Seq) - start
+	}
+	template := g.Seq[start : start+l]
+	reverse := rng.Intn(2) == 1
+	if reverse {
+		template = seq.ReverseComplement(template)
+	}
+	bases, quals := rc.applyErrors(rng, template)
+	mid := start + l/2
+	return &seq.Fragment{
+		Name:  name,
+		Bases: bases,
+		Qual:  quals,
+		Origin: &seq.Origin{
+			Source:  g.Name,
+			Start:   start,
+			End:     start + l,
+			Reverse: reverse,
+			Region:  g.IslandIndex(mid),
+		},
+	}
+}
+
+// SampleAt draws one read at a fixed genome position — deterministic
+// workloads for tests and validation harnesses.
+func SampleAt(rng *rand.Rand, g *Genome, rc ReadConfig, start int, name string) *seq.Fragment {
+	rc = rc.withDefaults()
+	return rc.sampleAt(rng, g, start, name)
+}
+
+// SampleWGS draws uniform whole-genome shotgun reads to the given
+// coverage (total read bases ≈ coverage × genome length).
+func SampleWGS(rng *rand.Rand, g *Genome, coverage float64, rc ReadConfig, prefix string) []*seq.Fragment {
+	rc = rc.withDefaults()
+	nReads := int(coverage * float64(len(g.Seq)) / float64(rc.MeanLen))
+	frags := make([]*seq.Fragment, 0, nReads)
+	for i := 0; i < nReads; i++ {
+		start := rng.Intn(len(g.Seq))
+		frags = append(frags, rc.sampleAt(rng, g, start, fmt.Sprintf("%s_%06d", prefix, i)))
+	}
+	return frags
+}
+
+// SampleEnriched draws gene-enriched reads: with probability
+// islandBias a read starts inside a gene island (methyl-filtration /
+// High-C0t behaviour, paper Section 8); island choice is
+// abundance-skewed so sampling over the gene space is non-uniform, the
+// regime that breaks linear-space assumptions in conventional
+// assemblers (Section 2).
+func SampleEnriched(rng *rand.Rand, g *Genome, nReads int, islandBias float64, rc ReadConfig, prefix string) []*seq.Fragment {
+	rc = rc.withDefaults()
+	frags := make([]*seq.Fragment, 0, nReads)
+	for i := 0; i < nReads; i++ {
+		var start int
+		if len(g.Islands) > 0 && rng.Float64() < islandBias {
+			// Skewed island choice: squaring the uniform variate
+			// overweights low-index islands ~2:1.
+			idx := int(float64(len(g.Islands)) * rng.Float64() * rng.Float64())
+			if idx >= len(g.Islands) {
+				idx = len(g.Islands) - 1
+			}
+			is := g.Islands[idx]
+			off := rng.Intn(is.Len())
+			start = is.Start + off - rc.MeanLen/2
+			if start < 0 {
+				start = 0
+			}
+			if start >= len(g.Seq) {
+				start = len(g.Seq) - 1
+			}
+		} else {
+			start = rng.Intn(len(g.Seq))
+		}
+		frags = append(frags, rc.sampleAt(rng, g, start, fmt.Sprintf("%s_%06d", prefix, i)))
+	}
+	return frags
+}
+
+// SampleBACs simulates bacterial-artificial-chromosome sequencing:
+// nBACs long clones are chosen, and each is shotgunned end-and-middle
+// with readsPerBAC reads (paper, Section 8).
+func SampleBACs(rng *rand.Rand, g *Genome, nBACs, bacLen, readsPerBAC int, rc ReadConfig, prefix string) []*seq.Fragment {
+	rc = rc.withDefaults()
+	if bacLen > len(g.Seq) {
+		bacLen = len(g.Seq)
+	}
+	var frags []*seq.Fragment
+	for b := 0; b < nBACs; b++ {
+		bacStart := rng.Intn(len(g.Seq) - bacLen + 1)
+		for r := 0; r < readsPerBAC; r++ {
+			var off int
+			switch rng.Intn(3) {
+			case 0: // left end
+				off = rng.Intn(bacLen / 10)
+			case 1: // right end
+				off = bacLen - bacLen/10 + rng.Intn(bacLen/10) - rc.MeanLen
+				if off < 0 {
+					off = 0
+				}
+			default: // internal
+				off = rng.Intn(bacLen)
+			}
+			start := bacStart + off
+			if start >= len(g.Seq) {
+				start = len(g.Seq) - 1
+			}
+			name := fmt.Sprintf("%s_b%03d_%04d", prefix, b, r)
+			frags = append(frags, rc.sampleAt(rng, g, start, name))
+		}
+	}
+	return frags
+}
+
+// SampleEnvironmental draws reads from a community of genomes with
+// Zipf-skewed abundances (rank r gets weight r^-s), the regime of the
+// Sargasso Sea sample (paper, Section 9.2). totalReads are apportioned
+// by abundance.
+func SampleEnvironmental(rng *rand.Rand, genomes []*Genome, zipfS float64, totalReads int, rc ReadConfig, prefix string) []*seq.Fragment {
+	rc = rc.withDefaults()
+	if zipfS <= 0 {
+		zipfS = 1
+	}
+	weights := make([]float64, len(genomes))
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -zipfS)
+		sum += weights[i]
+	}
+	var frags []*seq.Fragment
+	idx := 0
+	for gi, g := range genomes {
+		n := int(float64(totalReads) * weights[gi] / sum)
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			start := rng.Intn(len(g.Seq))
+			name := fmt.Sprintf("%s_%06d", prefix, idx)
+			idx++
+			frags = append(frags, rc.sampleAt(rng, g, start, name))
+		}
+	}
+	return frags
+}
+
+// TotalBases sums fragment lengths.
+func TotalBases(frags []*seq.Fragment) int {
+	n := 0
+	for _, f := range frags {
+		n += len(f.Bases)
+	}
+	return n
+}

@@ -1,0 +1,315 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/seq"
+)
+
+func TestNewGenomeDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGenome(rng, "g", GenomeConfig{
+		Length:         50000,
+		IslandFraction: 0.12,
+		MeanIslandLen:  2000,
+		Repeats:        []RepeatFamily{{Length: 500, Copies: 40, Divergence: 0.02}},
+	})
+	if len(g.Seq) != 50000 {
+		t.Fatalf("length %d", len(g.Seq))
+	}
+	for _, b := range g.Seq {
+		if !seq.IsBase(b) {
+			t.Fatal("genome contains non-bases")
+		}
+	}
+	if len(g.Islands) == 0 {
+		t.Fatal("no islands carved")
+	}
+	for i, is := range g.Islands {
+		if is.Start < 0 || is.End > 50000 || is.Len() <= 0 {
+			t.Fatalf("island %d invalid: %+v", i, is)
+		}
+		if i > 0 && g.Islands[i-1].End > is.Start {
+			t.Fatal("islands overlap or out of order")
+		}
+	}
+	if len(g.Repeats) < 20 {
+		t.Fatalf("only %d repeat copies placed", len(g.Repeats))
+	}
+	for _, r := range g.Repeats {
+		for _, is := range g.Islands {
+			if r.Span.Overlaps(is) {
+				t.Fatalf("repeat %+v intrudes into island %+v", r, is)
+			}
+		}
+	}
+}
+
+func TestRepeatFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewGenome(rng, "g", GenomeConfig{
+		Length:  100000,
+		Repeats: maizeRepeats(100000, 0.70),
+	})
+	f := g.RepeatFraction()
+	if f < 0.45 || f > 0.85 {
+		t.Errorf("repeat fraction %.2f outside maize-like band", f)
+	}
+}
+
+func TestIslandIndex(t *testing.T) {
+	g := &Genome{
+		Seq:     make([]byte, 100),
+		Islands: []Span{{10, 20}, {50, 70}},
+	}
+	if g.IslandIndex(15) != 0 || g.IslandIndex(60) != 1 {
+		t.Error("island lookup wrong")
+	}
+	if g.IslandIndex(5) != -1 || g.IslandIndex(20) != -1 {
+		t.Error("non-island positions must return -1")
+	}
+}
+
+func TestSampleWGSCoverageAndGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := NewGenome(rng, "g", GenomeConfig{Length: 60000})
+	rc := DefaultReadConfig()
+	rc.VectorProb = 0 // keep template comparison simple
+	reads := SampleWGS(rng, g, 5.0, rc, "r")
+	total := TotalBases(reads)
+	cov := float64(total) / 60000
+	if cov < 4.0 || cov > 6.0 {
+		t.Errorf("coverage %.2f, want ≈5", cov)
+	}
+	for _, f := range reads[:50] {
+		o := f.Origin
+		if o == nil || o.Source != "g" || o.Start < 0 || o.End > 60000 || o.Start >= o.End {
+			t.Fatalf("bad origin %+v", o)
+		}
+		if len(f.Qual) != len(f.Bases) {
+			t.Fatal("quality length mismatch")
+		}
+		// The read must closely resemble its template under a real
+		// alignment (indels shift frames, so positional identity is
+		// the wrong measure).
+		template := g.Seq[o.Start:o.End]
+		if o.Reverse {
+			template = seq.ReverseComplement(template)
+		}
+		r := align.Global(f.Bases, template, align.DefaultScoring())
+		if r.Identity() < 0.93 {
+			t.Fatalf("read diverges from template: %.2f identity", r.Identity())
+		}
+	}
+}
+
+func TestErrorRateMatchesQualityModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rc := DefaultReadConfig()
+	rc.VectorProb = 0
+	template := randomBases(rng, 700, 0.5)
+	subs, total := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		bases, _ := rc.applyErrors(rng, template)
+		// Count exact-position substitutions approximately via global
+		// identity: indels shift frames, so just require the overall
+		// edit burden to be small but nonzero.
+		n := len(bases)
+		if n > len(template) {
+			n = len(template)
+		}
+		for i := 0; i < n; i++ {
+			total++
+			if bases[i] != template[i] {
+				subs++
+			}
+		}
+	}
+	rate := float64(subs) / float64(total)
+	if rate < 0.001 {
+		t.Errorf("error model produced almost no errors (%.4f)", rate)
+	}
+	if rate > 0.15 {
+		t.Errorf("error model too noisy (%.4f)", rate)
+	}
+}
+
+func TestVectorContamination(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rc := DefaultReadConfig()
+	rc.VectorProb = 1.0
+	template := randomBases(rng, 200, 0.5)
+	bases, quals := rc.applyErrors(rng, template)
+	if len(bases) <= 200-10 {
+		t.Fatal("vector not prepended")
+	}
+	if len(bases) != len(quals) {
+		t.Fatal("qual length mismatch")
+	}
+}
+
+func TestSampleEnrichedBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := NewGenome(rng, "g", GenomeConfig{
+		Length:         200000,
+		IslandFraction: 0.12,
+		MeanIslandLen:  4000,
+	})
+	reads := SampleEnriched(rng, g, 800, 0.85, DefaultReadConfig(), "mf")
+	inIsland := 0
+	for _, f := range reads {
+		if f.Origin.Region >= 0 {
+			inIsland++
+		}
+	}
+	frac := float64(inIsland) / float64(len(reads))
+	if frac < 0.4 {
+		t.Errorf("only %.2f of enriched reads hit islands; want strong bias over the 0.12 baseline", frac)
+	}
+
+	uniform := SampleWGS(rng, g, 3.0, DefaultReadConfig(), "wgs")
+	uIn := 0
+	for _, f := range uniform {
+		if f.Origin.Region >= 0 {
+			uIn++
+		}
+	}
+	uFrac := float64(uIn) / float64(len(uniform))
+	if frac < 2*uFrac {
+		t.Errorf("enrichment bias %.2f not clearly above uniform %.2f", frac, uFrac)
+	}
+}
+
+func TestSampleBACsLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGenome(rng, "g", GenomeConfig{Length: 300000})
+	reads := SampleBACs(rng, g, 3, 30000, 50, DefaultReadConfig(), "bac")
+	if len(reads) != 150 {
+		t.Fatalf("got %d reads", len(reads))
+	}
+	// Reads of one BAC must cluster within ~bacLen of each other.
+	byBAC := map[string][]*seq.Fragment{}
+	for _, f := range reads {
+		key := f.Name[:8] // "bac_bNNN"
+		byBAC[key] = append(byBAC[key], f)
+	}
+	if len(byBAC) != 3 {
+		t.Fatalf("expected 3 BACs, got %d", len(byBAC))
+	}
+	for k, fs := range byBAC {
+		lo, hi := 1<<30, 0
+		for _, f := range fs {
+			if f.Origin.Start < lo {
+				lo = f.Origin.Start
+			}
+			if f.Origin.End > hi {
+				hi = f.Origin.End
+			}
+		}
+		if hi-lo > 30000+2000 {
+			t.Errorf("BAC %s reads span %d ≫ clone length", k, hi-lo)
+		}
+	}
+}
+
+func TestSampleEnvironmentalAbundanceSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	genomes := NewGenomeSet(rng, 10, 20000, 30000, GenomeConfig{})
+	reads := SampleEnvironmental(rng, genomes, 1.0, 2000, DefaultReadConfig(), "env")
+	counts := map[string]int{}
+	for _, f := range reads {
+		counts[f.Origin.Source]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("species sampled: %d", len(counts))
+	}
+	if counts[genomes[0].Name] <= counts[genomes[9].Name] {
+		t.Errorf("abundance skew missing: first %d, last %d",
+			counts[genomes[0].Name], counts[genomes[9].Name])
+	}
+}
+
+func TestMaizeLikePreset(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := MaizeLike(rng, 150000)
+	if m.Genome.RepeatFraction() < 0.4 {
+		t.Errorf("maize-like repeat fraction %.2f too low", m.Genome.RepeatFraction())
+	}
+	all := m.All()
+	if len(all) == 0 {
+		t.Fatal("no reads")
+	}
+	total := float64(TotalBases(all))
+	if total < 0.7*150000 || total > 1.6*150000 {
+		t.Errorf("total bases %.0f not ≈1.1× genome", total)
+	}
+	// Type shares roughly per Table 2.
+	share := func(fs []*seq.Fragment) float64 { return float64(TotalBases(fs)) / total }
+	if s := share(m.BAC) + share(m.WGS); s < 0.5 {
+		t.Errorf("shotgun share %.2f too low", s)
+	}
+	if s := share(m.MF) + share(m.HC); s < 0.15 {
+		t.Errorf("enriched share %.2f too low", s)
+	}
+}
+
+func TestDrosophilaLikePreset(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g, reads := DrosophilaLike(rng, 100000)
+	cov := float64(TotalBases(reads)) / float64(len(g.Seq))
+	if cov < 7 || cov > 11 {
+		t.Errorf("coverage %.1f, want ≈8.8", cov)
+	}
+}
+
+func TestSargassoLikePreset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	genomes, reads := SargassoLike(rng, 16, 1500)
+	if len(genomes) != 16 {
+		t.Fatalf("%d genomes", len(genomes))
+	}
+	if len(reads) < 1000 {
+		t.Fatalf("only %d reads", len(reads))
+	}
+	// Strain pairs: genome 8 is a mutated copy of genome 7.
+	same, n := 0, len(genomes[7].Seq)
+	if len(genomes[8].Seq) < n {
+		n = len(genomes[8].Seq)
+	}
+	for i := 0; i < n; i++ {
+		if genomes[7].Seq[i] == genomes[8].Seq[i] {
+			same++
+		}
+	}
+	if float64(same)/float64(n) < 0.95 {
+		t.Error("strain pair not near-identical")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MaizeLike(rand.New(rand.NewSource(42)), 50000)
+	b := MaizeLike(rand.New(rand.NewSource(42)), 50000)
+	if string(a.Genome.Seq) != string(b.Genome.Seq) {
+		t.Error("genome not deterministic for fixed seed")
+	}
+	if len(a.MF) != len(b.MF) || string(a.MF[0].Bases) != string(b.MF[0].Bases) {
+		t.Error("reads not deterministic for fixed seed")
+	}
+}
+
+func TestFlattenOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := NewGenome(rng, "g", GenomeConfig{Length: 20000})
+	pairs := SampleMatePairs(rng, g, 1.0, 4000, 200, DefaultReadConfig(), "m")
+	flat := Flatten(pairs)
+	if len(flat) != 2*len(pairs) {
+		t.Fatalf("flatten length %d for %d pairs", len(flat), len(pairs))
+	}
+	for i, p := range pairs {
+		if flat[2*i] != p.Forward || flat[2*i+1] != p.Reverse {
+			t.Fatal("flatten order wrong")
+		}
+	}
+}

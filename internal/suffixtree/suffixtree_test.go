@@ -1,0 +1,451 @@
+package suffixtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// storeAccess adapts a seq.Store to the Access interface.
+func storeAccess(st *seq.Store) Access {
+	return func(sid int32) []byte { return st.Seq(int(sid)) }
+}
+
+func allSids(st *seq.Store) []int32 {
+	sids := make([]int32, st.NumSeqs())
+	for i := range sids {
+		sids[i] = int32(i)
+	}
+	return sids
+}
+
+func buildStore(bases ...string) *seq.Store {
+	frags := make([]*seq.Fragment, len(bases))
+	for i, b := range bases {
+		frags[i] = &seq.Fragment{Name: fmt.Sprintf("f%d", i), Bases: []byte(b)}
+	}
+	return seq.NewStore(frags)
+}
+
+func randomStore(rng *rand.Rand, n, minLen, maxLen int, maskProb float64) *seq.Store {
+	frags := make([]*seq.Fragment, n)
+	for i := range frags {
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		b := make([]byte, l)
+		for j := range b {
+			if rng.Float64() < maskProb {
+				b[j] = seq.Masked
+			} else {
+				b[j] = seq.Base(rng.Intn(4))
+			}
+		}
+		frags[i] = &seq.Fragment{Name: fmt.Sprintf("r%d", i), Bases: b}
+	}
+	return seq.NewStore(frags)
+}
+
+// lcp computes the longest common prefix of two suffixes under masking
+// semantics: comparison stops at any masked byte.
+func lcp(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] && seq.IsBase(a[n]) {
+		n++
+	}
+	return n
+}
+
+func TestEnumerateSuffixes(t *testing.T) {
+	st := buildStore("ACGT")
+	sufs := EnumerateSuffixes(storeAccess(st), []int32{0}, 2)
+	// Suffixes of length ≥ 2: positions 0..2.
+	if len(sufs) != 3 {
+		t.Fatalf("got %d suffixes", len(sufs))
+	}
+	if sufs[0].Prev != PrevNone {
+		t.Error("first suffix must be λ class")
+	}
+	if sufs[1].Prev != int8(seq.Code('A')) || sufs[2].Prev != int8(seq.Code('C')) {
+		t.Errorf("prev classes: %d %d", sufs[1].Prev, sufs[2].Prev)
+	}
+}
+
+func TestEnumerateSuffixesMaskedPrev(t *testing.T) {
+	st := buildStore("ANGTC")
+	sufs := EnumerateSuffixes(storeAccess(st), []int32{0}, 1)
+	// Suffix at pos 2 (G...) is preceded by N → λ class.
+	for _, sf := range sufs {
+		if sf.Pos == 2 && sf.Prev != PrevNone {
+			t.Errorf("masked prev should be λ, got %d", sf.Prev)
+		}
+	}
+}
+
+func TestBuildDropsInvalidWindows(t *testing.T) {
+	st := buildStore("ACNGT")
+	// w=3: windows at 0 (ACN) and 1 (CNG), 2 (NGT) invalid; no valid
+	// window on the forward strand except... none. RC = ACNGT→ACNGT rc
+	// is ACNGT reversed-complemented: "ACNGT" → rc "ACNGT"? compute:
+	// complement of TGNCA... rc("ACNGT") = "ACNGT" reversed = TGNCA →
+	// complement... rc = "ACNGT" → reverse "TGNCA" → complement each of
+	// original reversed: rc[i] = comp(s[n-1-i]): comp(T)=A, comp(G)=C,
+	// comp(N)=N, comp(C)=G, comp(A)=T → "ACNGT". Also no valid window.
+	sufs := EnumerateSuffixes(storeAccess(st), allSids(st), 3)
+	tree := Build(storeAccess(st), sufs, 3)
+	if len(tree.Roots) != 0 || tree.NumNodes() != 0 {
+		t.Errorf("expected empty forest, got %d roots %d nodes", len(tree.Roots), tree.NumNodes())
+	}
+}
+
+func TestEverySuffixInExactlyOneLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	st := randomStore(rng, 8, 30, 60, 0.03)
+	w := 4
+	acc := storeAccess(st)
+	sufs := EnumerateSuffixes(acc, allSids(st), w)
+	tree := Build(acc, sufs, w)
+
+	want := make(map[[2]int32]bool)
+	for _, sf := range sufs {
+		if _, ok := BucketKey(acc(sf.Sid), int(sf.Pos), w); ok {
+			want[[2]int32{sf.Sid, sf.Pos}] = true
+		}
+	}
+	got := make(map[[2]int32]int)
+	for i := range tree.Nodes {
+		u := int32(i)
+		if !tree.IsLeaf(u) {
+			continue
+		}
+		for _, sf := range tree.LeafSuffixes(u) {
+			got[[2]int32{sf.Sid, sf.Pos}]++
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("leaf suffixes %d != bucketed suffixes %d", len(got), len(want))
+	}
+	for k, c := range got {
+		if c != 1 {
+			t.Fatalf("suffix %v appears in %d leaves", k, c)
+		}
+		if !want[k] {
+			t.Fatalf("unexpected suffix %v in tree", k)
+		}
+	}
+}
+
+func checkStructure(t *testing.T, tree *Tree, acc Access) {
+	t.Helper()
+	for i := range tree.Nodes {
+		u := int32(i)
+		n := &tree.Nodes[u]
+		if n.Parent != NoNode {
+			p := &tree.Nodes[n.Parent]
+			if n.Depth < p.Depth {
+				t.Fatalf("node %d depth %d < parent depth %d", u, n.Depth, p.Depth)
+			}
+			if !tree.IsLeaf(u) && n.Depth <= p.Depth {
+				t.Fatalf("internal node %d depth %d ≤ parent depth %d", u, n.Depth, p.Depth)
+			}
+		}
+		if int(n.Depth) < tree.W {
+			t.Fatalf("node %d depth %d below bucket prefix %d", u, n.Depth, tree.W)
+		}
+		if !tree.IsLeaf(u) {
+			// Internal nodes have ≥ 2 children and own no suffixes.
+			kids := 0
+			tree.Children(u, func(int32) { kids++ })
+			if kids < 2 {
+				t.Fatalf("internal node %d has %d children", u, kids)
+			}
+			if n.SufStart != -1 {
+				t.Fatalf("internal node %d owns suffixes", u)
+			}
+		} else {
+			sufs := tree.LeafSuffixes(u)
+			if len(sufs) == 0 {
+				t.Fatalf("leaf %d has no suffixes", u)
+			}
+			// All suffixes in a leaf share an unmasked prefix of the
+			// leaf's depth.
+			first := acc(sufs[0].Sid)[sufs[0].Pos:]
+			for _, sf := range sufs[1:] {
+				s := acc(sf.Sid)[sf.Pos:]
+				if lcp(first, s) < int(n.Depth) {
+					t.Fatalf("leaf %d: suffixes do not share depth-%d prefix", u, n.Depth)
+				}
+			}
+		}
+	}
+}
+
+func TestStructuralInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		st := randomStore(rng, 4+rng.Intn(8), 20, 80, []float64{0, 0.05}[trial%2])
+		w := 3 + rng.Intn(3)
+		acc := storeAccess(st)
+		sufs := EnumerateSuffixes(acc, allSids(st), w)
+		tree := Build(acc, sufs, w)
+		checkStructure(t, tree, acc)
+	}
+}
+
+// TestLCADepthEqualsLCP is the key semantic check: for any two suffixes
+// in the same bucket subtree, the string-depth of their lowest common
+// ancestor equals their longest common (unmasked) prefix.
+func TestLCADepthEqualsLCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	st := randomStore(rng, 6, 25, 50, 0.02)
+	w := 3
+	acc := storeAccess(st)
+	sufs := EnumerateSuffixes(acc, allSids(st), w)
+	tree := Build(acc, sufs, w)
+
+	// Locate each suffix's leaf and root.
+	type loc struct {
+		leaf int32
+		suf  Suffix
+	}
+	var locs []loc
+	for i := range tree.Nodes {
+		u := int32(i)
+		if tree.IsLeaf(u) {
+			for _, sf := range tree.LeafSuffixes(u) {
+				locs = append(locs, loc{u, sf})
+			}
+		}
+	}
+	rootOf := func(u int32) int32 {
+		for tree.Nodes[u].Parent != NoNode {
+			u = tree.Nodes[u].Parent
+		}
+		return u
+	}
+	ancestors := func(u int32) []int32 {
+		var as []int32
+		for v := u; v != NoNode; v = tree.Nodes[v].Parent {
+			as = append(as, v)
+		}
+		return as
+	}
+	lca := func(a, b int32) int32 {
+		seen := make(map[int32]bool)
+		for _, v := range ancestors(a) {
+			seen[v] = true
+		}
+		for _, v := range ancestors(b) {
+			if seen[v] {
+				return v
+			}
+		}
+		return NoNode
+	}
+
+	// Group suffixes by root so sampled pairs usually share a bucket.
+	byRoot := make(map[int32][]loc)
+	for _, l := range locs {
+		r := rootOf(l.leaf)
+		byRoot[r] = append(byRoot[r], l)
+	}
+	var pools [][]loc
+	for _, pool := range byRoot {
+		if len(pool) >= 2 {
+			pools = append(pools, pool)
+		}
+	}
+	if len(pools) == 0 {
+		t.Fatal("no multi-suffix buckets in test input")
+	}
+	checked := 0
+	for trial := 0; trial < 1500; trial++ {
+		var a, b loc
+		if trial%3 == 0 {
+			// Occasionally cross buckets to exercise the lcp < w branch.
+			a = locs[rng.Intn(len(locs))]
+			b = locs[rng.Intn(len(locs))]
+		} else {
+			pool := pools[rng.Intn(len(pools))]
+			a = pool[rng.Intn(len(pool))]
+			b = pool[rng.Intn(len(pool))]
+		}
+		if a == b {
+			continue
+		}
+		sa := acc(a.suf.Sid)[a.suf.Pos:]
+		sb := acc(b.suf.Sid)[b.suf.Pos:]
+		l := lcp(sa, sb)
+		sameTree := rootOf(a.leaf) == rootOf(b.leaf)
+		if l < w {
+			if sameTree {
+				t.Fatalf("suffixes with lcp %d < w in same bucket subtree", l)
+			}
+			continue
+		}
+		if !sameTree {
+			t.Fatalf("suffixes with lcp %d ≥ w in different subtrees", l)
+		}
+		u := lca(a.leaf, b.leaf)
+		if u == NoNode {
+			t.Fatal("no LCA within subtree")
+		}
+		var want int32
+		if a.leaf == b.leaf {
+			// Same leaf: identical (possibly mask-clamped) suffixes.
+			want = tree.Nodes[u].Depth
+			if int(want) > l {
+				t.Fatalf("leaf depth %d exceeds lcp %d", want, l)
+			}
+		} else {
+			want = int32(l)
+			if tree.Nodes[u].Depth != want {
+				t.Fatalf("LCA depth %d != lcp %d (suffixes %v %v)",
+					tree.Nodes[u].Depth, l, a.suf, b.suf)
+			}
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d informative pairs checked", checked)
+	}
+}
+
+func TestNodesByDepthDescOrderAndTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	st := randomStore(rng, 6, 30, 60, 0.02)
+	w := 3
+	acc := storeAccess(st)
+	tree := Build(acc, EnumerateSuffixes(acc, allSids(st), w), w)
+	order := tree.NodesByDepthDesc(w)
+	seen := make(map[int32]bool)
+	prevDepth := int32(1 << 30)
+	prevLeaf := true
+	for _, u := range order {
+		d := tree.Nodes[u].Depth
+		if d > prevDepth {
+			t.Fatal("depth order violated")
+		}
+		if d == prevDepth && tree.IsLeaf(u) && !prevLeaf {
+			t.Fatal("leaf after internal node at equal depth")
+		}
+		prevDepth, prevLeaf = d, tree.IsLeaf(u)
+		seen[u] = true
+	}
+	// Children must appear before parents.
+	for _, u := range order {
+		if p := tree.Nodes[u].Parent; p != NoNode && seen[p] {
+			// parent also in order; verify position: rebuild index
+			break
+		}
+	}
+	pos := make(map[int32]int)
+	for i, u := range order {
+		pos[u] = i
+	}
+	for _, u := range order {
+		if p := tree.Nodes[u].Parent; p != NoNode {
+			if pp, ok := pos[p]; ok && pp <= pos[u] {
+				t.Fatalf("parent %d processed before child %d", p, u)
+			}
+		}
+	}
+	// minDepth filtering.
+	deep := tree.NodesByDepthDesc(w + 5)
+	for _, u := range deep {
+		if int(tree.Nodes[u].Depth) < w+5 {
+			t.Fatal("minDepth filter failed")
+		}
+	}
+}
+
+func TestIdenticalFragmentsShareLeaf(t *testing.T) {
+	st := buildStore("ACGTACGTACGT", "ACGTACGTACGT")
+	acc := storeAccess(st)
+	w := 4
+	tree := Build(acc, EnumerateSuffixes(acc, allSids(st), w), w)
+	// The full-length suffixes (pos 0) of fragments 0 and 1 must share
+	// a leaf of depth 12.
+	found := false
+	for i := range tree.Nodes {
+		u := int32(i)
+		if !tree.IsLeaf(u) {
+			continue
+		}
+		has0, has1 := false, false
+		for _, sf := range tree.LeafSuffixes(u) {
+			if sf.Pos == 0 && sf.Sid == 0 {
+				has0 = true
+			}
+			if sf.Pos == 0 && sf.Sid == 1 {
+				has1 = true
+			}
+		}
+		if has0 && has1 {
+			found = true
+			if tree.Nodes[u].Depth != 12 {
+				t.Errorf("shared leaf depth = %d", tree.Nodes[u].Depth)
+			}
+		}
+	}
+	if !found {
+		t.Error("identical suffixes not in one leaf")
+	}
+}
+
+func TestBuildBucketsMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	st := randomStore(rng, 6, 30, 50, 0)
+	w := 3
+	acc := storeAccess(st)
+	sufs := EnumerateSuffixes(acc, allSids(st), w)
+
+	t1 := Build(acc, sufs, w)
+
+	byKey := make(map[seq.Kmer][]Suffix)
+	for _, sf := range sufs {
+		if key, ok := BucketKey(acc(sf.Sid), int(sf.Pos), w); ok {
+			byKey[key] = append(byKey[key], sf)
+		}
+	}
+	var buckets [][]Suffix
+	for _, b := range byKey {
+		buckets = append(buckets, b)
+	}
+	t2 := BuildBuckets(acc, buckets, w)
+
+	if t1.NumNodes() != t2.NumNodes() || len(t1.Roots) != len(t2.Roots) {
+		t.Fatalf("shape mismatch: %d/%d nodes, %d/%d roots",
+			t1.NumNodes(), t2.NumNodes(), len(t1.Roots), len(t2.Roots))
+	}
+	// Node multiset by (depth, leafness, #sufs) must match.
+	sig := func(tr *Tree) map[string]int {
+		m := make(map[string]int)
+		for i := range tr.Nodes {
+			u := int32(i)
+			k := fmt.Sprintf("%d/%v/%d", tr.Nodes[u].Depth, tr.IsLeaf(u),
+				tr.Nodes[u].SufEnd-tr.Nodes[u].SufStart)
+			m[k]++
+		}
+		return m
+	}
+	s1, s2 := sig(t1), sig(t2)
+	for k, v := range s1 {
+		if s2[k] != v {
+			t.Fatalf("node signature %q: %d != %d", k, v, s2[k])
+		}
+	}
+}
+
+func TestDeepRepeatDoesNotExplode(t *testing.T) {
+	// A long homopolymer run exercises the worst-case deep paths.
+	long := make([]byte, 500)
+	for i := range long {
+		long[i] = 'A'
+	}
+	st := buildStore(string(long), string(long[:400]))
+	acc := storeAccess(st)
+	w := 5
+	tree := Build(acc, EnumerateSuffixes(acc, allSids(st), w), w)
+	checkStructure(t, tree, acc)
+}

@@ -1,0 +1,72 @@
+package validate
+
+import "repro/internal/assembly"
+
+// Mate-pair consistency: clone mates should land in the same contig,
+// facing each other, separated by roughly the clone length. Violations
+// indicate misassembly — the classical use of clone-mate information
+// the paper describes in Section 1.
+
+// MateMetrics summarizes mate placement across an assembly.
+type MateMetrics struct {
+	Pairs         int // mate pairs whose reads are both placed
+	SameContig    int // both mates in one contig
+	Consistent    int // same contig, opposite strands, sane separation
+	BadSeparation int // same contig but separation outside tolerance
+	BadOrient     int // same contig but same strand
+}
+
+// ConsistencyRate returns Consistent/SameContig (1 if no co-placed
+// pairs).
+func (m MateMetrics) ConsistencyRate() float64 {
+	if m.SameContig == 0 {
+		return 1
+	}
+	return float64(m.Consistent) / float64(m.SameContig)
+}
+
+// Mates checks each (forwardFrag, reverseFrag, insertLen) triple
+// against the contigs. tolerance is the allowed deviation of the
+// observed mate separation from the clone length.
+func Mates(contigs []assembly.Contig, pairs [][3]int, tolerance int) MateMetrics {
+	type place struct {
+		contig int
+		off    int
+		rev    bool
+		ok     bool
+	}
+	where := make(map[int]place)
+	for ci, c := range contigs {
+		for _, p := range c.Reads {
+			where[p.Frag] = place{contig: ci, off: p.Offset, rev: p.Reverse, ok: true}
+		}
+	}
+	var m MateMetrics
+	for _, pr := range pairs {
+		f, ok1 := where[pr[0]]
+		r, ok2 := where[pr[1]]
+		if !ok1 || !ok2 {
+			continue
+		}
+		m.Pairs++
+		if f.contig != r.contig {
+			continue
+		}
+		m.SameContig++
+		if f.rev == r.rev {
+			m.BadOrient++
+			continue
+		}
+		sep := f.off - r.off
+		if sep < 0 {
+			sep = -sep
+		}
+		insert := pr[2]
+		if sep < insert-tolerance || sep > insert+tolerance {
+			m.BadSeparation++
+			continue
+		}
+		m.Consistent++
+	}
+	return m
+}

@@ -1,0 +1,101 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/assembly"
+	"repro/internal/cluster"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func TestMatesSynthetic(t *testing.T) {
+	contigs := []assembly.Contig{
+		{Reads: []assembly.Placement{
+			{Frag: 0, Offset: 0, Reverse: false},
+			{Frag: 1, Offset: 4300, Reverse: true}, // good pair: sep 4300 ≈ 5000±1000
+			{Frag: 2, Offset: 100, Reverse: false},
+			{Frag: 3, Offset: 150, Reverse: true}, // bad separation
+			{Frag: 4, Offset: 0, Reverse: false},
+			{Frag: 5, Offset: 4800, Reverse: false}, // bad orientation
+		}},
+		{Reads: []assembly.Placement{{Frag: 7, Offset: 0}}},
+	}
+	pairs := [][3]int{
+		{0, 1, 5000},
+		{2, 3, 5000},
+		{4, 5, 5000},
+		{6, 7, 5000}, // frag 6 unplaced
+		{8, 9, 5000}, // both unplaced
+	}
+	m := Mates(contigs, pairs, 1000)
+	if m.Pairs != 3 {
+		t.Errorf("Pairs = %d", m.Pairs)
+	}
+	if m.SameContig != 3 || m.Consistent != 1 || m.BadSeparation != 1 || m.BadOrient != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.ConsistencyRate() < 0.3 || m.ConsistencyRate() > 0.34 {
+		t.Errorf("rate = %g", m.ConsistencyRate())
+	}
+}
+
+// TestMatesEndToEnd assembles paired reads of one region and expects
+// co-placed mates to be overwhelmingly consistent.
+func TestMatesEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := simulate.NewGenome(rng, "g", simulate.GenomeConfig{Length: 12000})
+	rc := simulate.DefaultReadConfig()
+	rc.MeanLen = 400
+	rc.LenSD = 30
+	rc.VectorProb = 0
+	mates := simulate.SampleMatePairs(rng, g, 8.0, 3000, 150, rc, "m")
+	frags := simulate.Flatten(mates)
+	store := seq.NewStore(frags)
+
+	ccfg := cluster.DefaultConfig()
+	ccfg.Psi = 16
+	ccfg.W = 8
+	res := cluster.Serial(store, ccfg)
+
+	var contigs []assembly.Contig
+	for _, cl := range res.Clusters() {
+		contigs = append(contigs, assembly.AssembleCluster(store, cl, assembly.DefaultConfig())...)
+	}
+
+	var pairs [][3]int
+	for _, mp := range mates {
+		pairs = append(pairs, [3]int{mp.Forward.ID, mp.Reverse.ID, mp.InsertLen})
+	}
+	m := Mates(contigs, pairs, 800)
+	if m.SameContig < len(mates)/2 {
+		t.Fatalf("only %d/%d mate pairs co-placed", m.SameContig, len(mates))
+	}
+	if m.ConsistencyRate() < 0.8 {
+		t.Errorf("mate consistency %.2f (%+v)", m.ConsistencyRate(), m)
+	}
+}
+
+func TestSampleMatePairsGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := simulate.NewGenome(rng, "g", simulate.GenomeConfig{Length: 30000})
+	rc := simulate.DefaultReadConfig()
+	rc.VectorProb = 0
+	mates := simulate.SampleMatePairs(rng, g, 2.0, 5000, 300, rc, "m")
+	if len(mates) == 0 {
+		t.Fatal("no pairs")
+	}
+	for _, mp := range mates {
+		of, or := mp.Forward.Origin, mp.Reverse.Origin
+		if of.Reverse || !or.Reverse {
+			t.Fatal("mate orientations wrong")
+		}
+		// The reverse read's drawn length varies around MeanLen, so the
+		// observed span floats around the insert by a few length SDs.
+		span := or.End - of.Start
+		if span < mp.InsertLen-400 || span > mp.InsertLen+400 {
+			t.Fatalf("clone span %d vs insert %d", span, mp.InsertLen)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package validate measures clustering and assembly quality against
+// the simulator's ground truth. The paper validates by mapping reads
+// to a published benchmark assembly with BLASTN (98.7 % of clusters
+// map to a single benchmark sequence, Section 9.1) and by aligning
+// contigs to finished genes (<1 error per 10,000 bases, Section 8);
+// here each read carries its true origin, a strictly stronger oracle.
+package validate
+
+import (
+	"sort"
+
+	"repro/internal/align"
+	"repro/internal/assembly"
+	"repro/internal/seq"
+)
+
+// ClusterMetrics summarizes clustering quality.
+type ClusterMetrics struct {
+	Clusters int // multi-fragment clusters evaluated
+	// SourcePure clusters draw all reads from one source sequence —
+	// the paper's "maps to a single benchmark sequence".
+	SourcePure int
+	// RegionPure clusters are source-pure and their reads' true spans
+	// form one contiguous stretch.
+	RegionPure int
+	// SplitViolations counts truly-overlapping adjacent read pairs
+	// that ended up in different clusters (false splits; the
+	// correctness property of Section 3).
+	SplitViolations int
+	// OverlapPairsChecked is the denominator for SplitViolations.
+	OverlapPairsChecked int
+}
+
+// Specificity returns SourcePure/Clusters.
+func (m ClusterMetrics) Specificity() float64 {
+	if m.Clusters == 0 {
+		return 0
+	}
+	return float64(m.SourcePure) / float64(m.Clusters)
+}
+
+// SplitRate returns SplitViolations/OverlapPairsChecked.
+func (m ClusterMetrics) SplitRate() float64 {
+	if m.OverlapPairsChecked == 0 {
+		return 0
+	}
+	return float64(m.SplitViolations) / float64(m.OverlapPairsChecked)
+}
+
+// Clusters evaluates a clustering against read origins. minOverlap is
+// the true-overlap threshold for the false-split check: adjacent reads
+// of one source overlapping by at least this many bases must share a
+// cluster. Fragments without Origin are ignored.
+func Clusters(store *seq.Store, clusters [][]int, clusterOf []int, minOverlap int) ClusterMetrics {
+	var m ClusterMetrics
+	for _, cl := range clusters {
+		if len(cl) < 2 {
+			continue
+		}
+		m.Clusters++
+		type span struct{ start, end int }
+		var spans []span
+		source := ""
+		pure := true
+		for _, fid := range cl {
+			o := store.Fragment(fid).Origin
+			if o == nil {
+				pure = false
+				break
+			}
+			if source == "" {
+				source = o.Source
+			} else if source != o.Source {
+				pure = false
+				break
+			}
+			spans = append(spans, span{o.Start, o.End})
+		}
+		if !pure {
+			continue
+		}
+		m.SourcePure++
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+		contiguous := true
+		maxEnd := spans[0].end
+		for _, s := range spans[1:] {
+			if s.start > maxEnd {
+				contiguous = false
+				break
+			}
+			if s.end > maxEnd {
+				maxEnd = s.end
+			}
+		}
+		if contiguous {
+			m.RegionPure++
+		}
+	}
+
+	// False-split check: for each source, walk reads by start position
+	// and require truly overlapping neighbours to co-cluster.
+	bySource := make(map[string][]int)
+	for i := 0; i < store.N(); i++ {
+		if o := store.Fragment(i).Origin; o != nil {
+			bySource[o.Source] = append(bySource[o.Source], i)
+		}
+	}
+	for _, fids := range bySource {
+		// Heavily masked reads may have lost the overlapping sequence
+		// to repeat masking, so their splits are masking-induced, not
+		// clustering failures; restrict the check to mostly-unmasked
+		// reads (the paper's finished-gene benchmarks are unmasked).
+		var usable []int
+		for _, fid := range fids {
+			if seq.MaskedFraction(store.Fragment(fid).Bases) <= 0.1 {
+				usable = append(usable, fid)
+			}
+		}
+		sort.Slice(usable, func(i, j int) bool {
+			return store.Fragment(usable[i]).Origin.Start < store.Fragment(usable[j]).Origin.Start
+		})
+		for i := 1; i < len(usable); i++ {
+			a := store.Fragment(usable[i-1]).Origin
+			b := store.Fragment(usable[i]).Origin
+			if a.End-b.Start >= minOverlap {
+				m.OverlapPairsChecked++
+				if clusterOf[usable[i-1]] != clusterOf[usable[i]] {
+					m.SplitViolations++
+				}
+			}
+		}
+	}
+	return m
+}
+
+// ClusterOf builds the fragment → cluster-label map from groups
+// (including singletons), labeling each cluster by its smallest member.
+func ClusterOf(n int, groups [][]int) []int {
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	for _, g := range groups {
+		for _, f := range g {
+			labels[f] = g[0]
+		}
+	}
+	return labels
+}
+
+// ContigMetrics summarizes assembly accuracy against true genomes.
+type ContigMetrics struct {
+	Contigs       int
+	Evaluated     int // contigs with ≥2 reads and a known source
+	Chimeric      int // contigs mixing reads from different sources
+	MeanIdentity  float64
+	ErrorsPer10kb float64
+	TotalColumns  int
+}
+
+// Contigs aligns each multi-read contig against the region of its true
+// source genome that its reads claim, and accumulates error rates.
+func Contigs(store *seq.Store, contigs []assembly.Contig, genomes map[string][]byte) ContigMetrics {
+	var m ContigMetrics
+	idSum := 0.0
+	errors := 0
+	for _, c := range contigs {
+		m.Contigs++
+		if len(c.Reads) < 2 {
+			continue
+		}
+		source := ""
+		lo, hi := 1<<60, 0
+		mixed := false
+		for _, p := range c.Reads {
+			o := store.Fragment(p.Frag).Origin
+			if o == nil {
+				mixed = true
+				break
+			}
+			if source == "" {
+				source = o.Source
+			} else if source != o.Source {
+				mixed = true
+				break
+			}
+			if o.Start < lo {
+				lo = o.Start
+			}
+			if o.End > hi {
+				hi = o.End
+			}
+		}
+		if mixed {
+			m.Chimeric++
+			continue
+		}
+		g, ok := genomes[source]
+		if !ok {
+			continue
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(g) {
+			hi = len(g)
+		}
+		if hi <= lo {
+			continue
+		}
+		truth := g[lo:hi]
+		// Banded fit of the contig into its claimed truth span: the
+		// two are near-colinear (the span comes from the contig's own
+		// reads), so a band covering indel drift suffices and memory
+		// stays O(len·band) even for long contigs.
+		band := len(c.Bases)/20 + 64
+		sc := align.DefaultScoring()
+		bases := c.Bases
+		r, ok := align.Fit(truth, bases, 0, band, sc)
+		rcBases := seq.ReverseComplement(c.Bases)
+		if r2, ok2 := align.Fit(truth, rcBases, 0, band, sc); ok2 && (!ok || r2.Score > r.Score) {
+			r, ok = r2, true
+			bases = rcBases
+		}
+		if !ok {
+			continue
+		}
+		matches, columns := unmaskedAccuracy(truth, bases, r)
+		if columns == 0 {
+			continue
+		}
+		m.Evaluated++
+		idSum += float64(matches) / float64(columns)
+		errors += columns - matches
+		m.TotalColumns += columns
+	}
+	if m.Evaluated > 0 {
+		m.MeanIdentity = idSum / float64(m.Evaluated)
+	}
+	if m.TotalColumns > 0 {
+		m.ErrorsPer10kb = float64(errors) / float64(m.TotalColumns) * 10000
+	}
+	return m
+}
+
+// unmaskedAccuracy walks a Fit alignment (A = truth, B = contig) and
+// scores only columns whose contig base is unmasked: masked repeat
+// columns are unreconstructable by design and must not count as
+// consensus errors (the paper's accuracy benchmarks are finished,
+// unmasked genes).
+func unmaskedAccuracy(truth, contig []byte, r align.Result) (matches, columns int) {
+	ti, ci := r.AStart, r.BStart
+	for _, op := range r.Ops {
+		switch op {
+		case align.OpM:
+			if seq.IsBase(contig[ci]) {
+				columns++
+				if contig[ci] == truth[ti] {
+					matches++
+				}
+			}
+			ti++
+			ci++
+		case align.OpX: // truth base missing from the contig
+			columns++
+			ti++
+		case align.OpY: // contig base against a gap in the truth
+			if seq.IsBase(contig[ci]) {
+				columns++
+			}
+			ci++
+		}
+	}
+	return matches, columns
+}

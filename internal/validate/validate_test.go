@@ -1,0 +1,148 @@
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/assembly"
+	"repro/internal/cluster"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func frag(name, source string, start, end int) *seq.Fragment {
+	bases := make([]byte, end-start)
+	for i := range bases {
+		bases[i] = 'A' // unmasked placeholder sequence
+	}
+	return &seq.Fragment{
+		Name:   name,
+		Bases:  bases,
+		Origin: &seq.Origin{Source: source, Start: start, End: end},
+	}
+}
+
+func TestClusterMetricsPureAndMixed(t *testing.T) {
+	frags := []*seq.Fragment{
+		frag("a0", "A", 0, 100),
+		frag("a1", "A", 50, 150),
+		frag("b0", "B", 0, 100),
+		frag("b1", "B", 60, 160),
+		frag("a2", "A", 400, 500), // disjoint region of A
+	}
+	st := seq.NewStore(frags)
+	clusters := [][]int{{0, 1}, {2, 3, 4}} // second cluster mixes B and A
+	labels := ClusterOf(st.N(), clusters)
+	m := Clusters(st, clusters, labels, 40)
+	if m.Clusters != 2 || m.SourcePure != 1 || m.RegionPure != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Specificity() != 0.5 {
+		t.Errorf("specificity = %g", m.Specificity())
+	}
+}
+
+func TestClusterMetricsRegionPurity(t *testing.T) {
+	frags := []*seq.Fragment{
+		frag("a0", "A", 0, 100),
+		frag("a1", "A", 80, 180),
+		frag("a2", "A", 500, 600), // same source, disconnected region
+	}
+	st := seq.NewStore(frags)
+	clusters := [][]int{{0, 1, 2}}
+	m := Clusters(st, clusters, ClusterOf(st.N(), clusters), 40)
+	if m.SourcePure != 1 || m.RegionPure != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestSplitViolations(t *testing.T) {
+	frags := []*seq.Fragment{
+		frag("a0", "A", 0, 100),
+		frag("a1", "A", 20, 120),  // overlaps a0 by 80
+		frag("a2", "A", 110, 210), // overlaps a1 by 10 < minOverlap
+	}
+	st := seq.NewStore(frags)
+	clusters := [][]int{{0}, {1}, {2}} // everything split
+	m := Clusters(st, clusters, ClusterOf(st.N(), clusters), 40)
+	if m.OverlapPairsChecked != 1 {
+		t.Fatalf("checked %d pairs, want 1", m.OverlapPairsChecked)
+	}
+	if m.SplitViolations != 1 {
+		t.Errorf("violations = %d", m.SplitViolations)
+	}
+	if m.SplitRate() != 1.0 {
+		t.Errorf("split rate = %g", m.SplitRate())
+	}
+}
+
+// TestEndToEndValidation runs the full cluster→assemble path on
+// simulated islands and checks the headline quantities: specificity
+// near 1, no false splits, and low consensus error.
+func TestEndToEndValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	genomes := map[string][]byte{}
+	var frags []*seq.Fragment
+	rc := simulate.DefaultReadConfig()
+	rc.MeanLen = 300
+	rc.LenSD = 20
+	rc.VectorProb = 0
+	for gi := 0; gi < 3; gi++ {
+		g := simulate.NewGenome(rng, fmt.Sprintf("g%d", gi), simulate.GenomeConfig{Length: 2500})
+		genomes[g.Name] = g.Seq
+		for i := 0; i < 40; i++ {
+			start := (i * 57) % (2500 - 310)
+			frags = append(frags, simulate.SampleAt(rng, g, rc, start, fmt.Sprintf("g%d_r%d", gi, i)))
+		}
+	}
+	st := seq.NewStore(frags)
+	cfg := cluster.DefaultConfig()
+	cfg.Psi = 16
+	cfg.W = 8
+	res := cluster.Serial(st, cfg)
+
+	groups := res.UF.Groups()
+	labels := ClusterOf(st.N(), groups)
+	cm := Clusters(st, res.Clusters(), labels, cfg.Criteria.MinOverlap*2)
+	if cm.Specificity() < 0.99 {
+		t.Errorf("specificity %.3f; reads of distinct random genomes must not co-cluster", cm.Specificity())
+	}
+	if cm.SplitViolations != 0 {
+		t.Errorf("%d false splits of %d checked", cm.SplitViolations, cm.OverlapPairsChecked)
+	}
+
+	var contigs []assembly.Contig
+	for _, cl := range res.Clusters() {
+		contigs = append(contigs, assembly.AssembleCluster(st, cl, assembly.DefaultConfig())...)
+	}
+	am := Contigs(st, contigs, genomes)
+	if am.Evaluated == 0 {
+		t.Fatal("no contigs evaluated")
+	}
+	if am.Chimeric != 0 {
+		t.Errorf("%d chimeric contigs", am.Chimeric)
+	}
+	if am.MeanIdentity < 0.98 {
+		t.Errorf("mean contig identity %.4f", am.MeanIdentity)
+	}
+	if am.ErrorsPer10kb > 200 {
+		t.Errorf("errors per 10kb = %.1f", am.ErrorsPer10kb)
+	}
+}
+
+func TestContigMetricsChimeraDetection(t *testing.T) {
+	frags := []*seq.Fragment{
+		frag("a", "A", 0, 100),
+		frag("b", "B", 0, 100),
+	}
+	st := seq.NewStore(frags)
+	contigs := []assembly.Contig{{
+		Bases: make([]byte, 150),
+		Reads: []assembly.Placement{{Frag: 0}, {Frag: 1}},
+	}}
+	m := Contigs(st, contigs, map[string][]byte{"A": make([]byte, 200), "B": make([]byte, 200)})
+	if m.Chimeric != 1 {
+		t.Errorf("chimera not detected: %+v", m)
+	}
+}

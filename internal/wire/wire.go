@@ -1,0 +1,129 @@
+// Package wire provides a compact binary encoding for the fixed
+// message formats the parallel protocols exchange (suffix
+// redistribution, promising-pair batches, alignment results). Values
+// are varint-encoded; readers panic on malformed input, which for an
+// internal protocol indicates a programming error, not bad user data.
+package wire
+
+import "encoding/binary"
+
+// Buffer accumulates an encoded message.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer returns a buffer with the given capacity hint.
+func NewBuffer(capHint int) *Buffer {
+	return &Buffer{b: make([]byte, 0, capHint)}
+}
+
+// Bytes returns the encoded message.
+func (w *Buffer) Bytes() []byte { return w.b }
+
+// Len returns the current encoded size.
+func (w *Buffer) Len() int { return len(w.b) }
+
+// Reset clears the buffer for reuse.
+func (w *Buffer) Reset() { w.b = w.b[:0] }
+
+// PutUint appends an unsigned varint.
+func (w *Buffer) PutUint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+
+// PutInt appends a signed (zigzag) varint.
+func (w *Buffer) PutInt(v int) { w.b = binary.AppendVarint(w.b, int64(v)) }
+
+// PutBool appends a boolean.
+func (w *Buffer) PutBool(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+
+// PutBytes appends a length-prefixed byte slice.
+func (w *Buffer) PutBytes(p []byte) {
+	w.PutUint(uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// PutString appends a length-prefixed string.
+func (w *Buffer) PutString(s string) {
+	w.PutUint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// PutInts appends a length-prefixed slice of signed varints.
+func (w *Buffer) PutInts(vs []int) {
+	w.PutUint(uint64(len(vs)))
+	for _, v := range vs {
+		w.PutInt(v)
+	}
+}
+
+// Reader decodes a message produced by Buffer.
+type Reader struct {
+	b   []byte
+	off int
+}
+
+// NewReader wraps an encoded message.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Remaining reports how many undecoded bytes are left.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// Uint decodes an unsigned varint.
+func (r *Reader) Uint() uint64 {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		panic("wire: truncated uvarint")
+	}
+	r.off += n
+	return v
+}
+
+// Int decodes a signed varint.
+func (r *Reader) Int() int {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		panic("wire: truncated varint")
+	}
+	r.off += n
+	return int(v)
+}
+
+// Bool decodes a boolean.
+func (r *Reader) Bool() bool {
+	if r.off >= len(r.b) {
+		panic("wire: truncated bool")
+	}
+	v := r.b[r.off] != 0
+	r.off++
+	return v
+}
+
+// Bytes decodes a length-prefixed byte slice; the result aliases the
+// underlying message buffer.
+func (r *Reader) Bytes() []byte {
+	n := int(r.Uint())
+	if r.off+n > len(r.b) {
+		panic("wire: truncated bytes")
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Ints decodes a length-prefixed slice of signed varints.
+func (r *Reader) Ints() []int {
+	n := int(r.Uint())
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = r.Int()
+	}
+	return vs
+}

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripMixed(t *testing.T) {
+	w := NewBuffer(64)
+	w.PutUint(12345)
+	w.PutInt(-987)
+	w.PutBool(true)
+	w.PutBool(false)
+	w.PutBytes([]byte("hello"))
+	w.PutString("world")
+	w.PutInts([]int{1, -2, 3, 0})
+
+	r := NewReader(w.Bytes())
+	if r.Uint() != 12345 {
+		t.Error("uint")
+	}
+	if r.Int() != -987 {
+		t.Error("int")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bool")
+	}
+	if !bytes.Equal(r.Bytes(), []byte("hello")) {
+		t.Error("bytes")
+	}
+	if r.String() != "world" {
+		t.Error("string")
+	}
+	ints := r.Ints()
+	want := []int{1, -2, 3, 0}
+	for i := range want {
+		if ints[i] != want[i] {
+			t.Errorf("ints = %v", ints)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(u uint64, i int64, b bool, p []byte, s string) bool {
+		w := NewBuffer(0)
+		w.PutUint(u)
+		w.PutInt(int(i))
+		w.PutBool(b)
+		w.PutBytes(p)
+		w.PutString(s)
+		r := NewReader(w.Bytes())
+		return r.Uint() == u && r.Int() == int(i) && r.Bool() == b &&
+			bytes.Equal(r.Bytes(), p) && r.String() == s && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		in := make([]int, rng.Intn(100))
+		for i := range in {
+			in[i] = rng.Int() - rng.Int()
+		}
+		w := NewBuffer(0)
+		w.PutInts(in)
+		out := NewReader(w.Bytes()).Ints()
+		if len(out) != len(in) {
+			t.Fatal("length mismatch")
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatal("value mismatch")
+			}
+		}
+	}
+}
+
+func TestTruncatedPanics(t *testing.T) {
+	w := NewBuffer(0)
+	w.PutBytes([]byte("abcdef"))
+	enc := w.Bytes()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on truncated input")
+		}
+	}()
+	NewReader(enc[:2]).Bytes()
+}
+
+func TestReset(t *testing.T) {
+	w := NewBuffer(8)
+	w.PutUint(1)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+	w.PutUint(2)
+	if NewReader(w.Bytes()).Uint() != 2 {
+		t.Error("reuse after reset failed")
+	}
+}

@@ -1,0 +1,160 @@
+package repro
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func TestFacadeFASTARoundTrip(t *testing.T) {
+	frags := []*Fragment{
+		{Name: "a", Bases: []byte("ACGTACGT")},
+		{Name: "b desc", Bases: []byte("TTTT")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, frags); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Name != "a" || string(out[1].Bases) != "TTTT" {
+		t.Fatalf("roundtrip wrong: %+v", out)
+	}
+}
+
+func TestFacadeAttachQuals(t *testing.T) {
+	frags := []*Fragment{{Name: "r", Bases: []byte("ACG")}}
+	if err := AttachQuals(frags, []seq.QualRecord{{Name: "r", Quals: []byte{40, 40, 40}}}); err != nil {
+		t.Fatal(err)
+	}
+	if frags[0].Qual == nil {
+		t.Fatal("quals not attached")
+	}
+}
+
+func TestFacadeRunSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := simulate.NewGenome(rng, "g", simulate.GenomeConfig{Length: 15000})
+	reads := simulate.SampleWGS(rng, g, 5.0, simulate.DefaultReadConfig(), "r")
+	cfg := DefaultConfig()
+	cfg.Cluster.Psi = 16
+	cfg.Cluster.W = 8
+	res := Run(reads, cfg)
+	if len(res.Clusters) == 0 || res.TotalContigs() == 0 {
+		t.Fatalf("pipeline produced nothing: %d clusters, %d contigs",
+			len(res.Clusters), res.TotalContigs())
+	}
+	if res.Store == nil || res.Clustering == nil {
+		t.Fatal("result incomplete")
+	}
+}
+
+func TestFacadeDetectRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := simulate.NewGenome(rng, "g", simulate.GenomeConfig{
+		Length:  40000,
+		Repeats: []simulate.RepeatFamily{{Length: 500, Copies: 30, Divergence: 0.01}},
+	})
+	rc := simulate.DefaultReadConfig()
+	rc.VectorProb = 0
+	reads := simulate.SampleWGS(rng, g, 3.0, rc, "r")
+	db := DetectRepeats(reads, 16, 8)
+	if db.Size() == 0 {
+		t.Error("no repeats detected in a 30-copy genome")
+	}
+}
+
+func TestFacadeParallelConfig(t *testing.T) {
+	cfg := DefaultParallelConfig(8)
+	if cfg.Ranks != 8 || cfg.BatchSize == 0 {
+		t.Errorf("parallel defaults wrong: %+v", cfg)
+	}
+}
+
+// TestScaffoldEndToEnd builds a genome with a sequencing gap in the
+// middle, tiles reads over the two flanks, spans the gap with mate
+// clones, and checks that cluster → assemble → scaffold reconnects the
+// two contigs in order with a sane gap estimate.
+func TestScaffoldEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := simulate.NewGenome(rng, "g", simulate.GenomeConfig{Length: 12000})
+	rc := simulate.DefaultReadConfig()
+	rc.MeanLen = 400
+	rc.LenSD = 1
+	rc.VectorProb = 0
+
+	var frags []*Fragment
+	tile := func(lo, hi int, prefix string) {
+		for s := lo; s+400 <= hi; s += 120 {
+			frags = append(frags, simulate.SampleAt(rng, g, rc, s, prefix))
+		}
+	}
+	tile(0, 5000, "L")
+	tile(7000, 12000, "R")
+
+	// Gap-spanning clones: forward read near the left flank's end,
+	// reverse read near the right flank's start.
+	var links []MateLink
+	type pending struct{ f, r int }
+	var pend []pending
+	for k := 0; k < 4; k++ {
+		fStart := 4000 + 90*k
+		rStart := 7600 + 90*k
+		fv := simulate.SampleAt(rng, g, rc, fStart, "MF")
+		rv := simulate.SampleAt(rng, g, rc, rStart, "MR")
+		fv.Origin.Reverse = false
+		rv.Origin.Reverse = true
+		// Force strands: mate protocol needs F forward, R reverse.
+		fv.Bases = append([]byte(nil), g.Seq[fStart:fStart+400]...)
+		rv.Bases = seqRC(g.Seq[rStart : rStart+400])
+		pend = append(pend, pending{len(frags), len(frags) + 1})
+		frags = append(frags, fv, rv)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Cluster.Psi = 16
+	cfg.Cluster.W = 8
+	cfg.PreprocessEnabled = false
+	res := Run(frags, cfg)
+
+	var contigs []Contig
+	for _, cs := range res.Contigs {
+		contigs = append(contigs, cs...)
+	}
+	if len(contigs) < 2 {
+		t.Fatalf("expected ≥2 contigs across the gap, got %d", len(contigs))
+	}
+	for _, p := range pend {
+		links = append(links, MateLink{
+			ForwardFrag: p.f,
+			ReverseFrag: p.r,
+			InsertLen:   7600 + 400 - 4000, // clone span ≈ 4000
+		})
+	}
+	scfg := ScaffoldConfig{MinLinks: 2, ReadLen: 400, MaxGapSlack: 800}
+	scs := BuildScaffolds(contigs, links, scfg)
+
+	longest := 0
+	for _, s := range scs {
+		if len(s.Contigs) > longest {
+			longest = len(s.Contigs)
+		}
+	}
+	if longest < 2 {
+		t.Fatalf("scaffolding did not join the flanks: %d scaffolds, longest %d", len(scs), longest)
+	}
+}
+
+func seqRC(b []byte) []byte {
+	out := make([]byte, len(b))
+	comp := map[byte]byte{'A': 'T', 'T': 'A', 'C': 'G', 'G': 'C'}
+	for i, c := range b {
+		out[len(b)-1-i] = comp[c]
+	}
+	return out
+}
