@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race faults ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/par ./internal/cluster
+
+# Full-repo race run; the experiments package makes this slow.
+race-all:
+	$(GO) test -race ./...
+
+# CI-sized fault-tolerance sweep: kills workers and drops messages,
+# checks the partition stays exactly the serial one.
+faults:
+	$(GO) run ./cmd/experiments -run faults -quick
+
+ci: vet build test race faults

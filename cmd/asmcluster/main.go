@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/cluster"
@@ -30,6 +31,8 @@ func main() {
 	w := flag.Int("w", 10, "GST bucket prefix length (≤ ψ)")
 	minOverlap := flag.Int("minoverlap", 40, "minimum overlap length")
 	minIdentity := flag.Float64("minidentity", 0.90, "minimum overlap identity")
+	faults := flag.String("faults", "", "fault injection spec, e.g. crash=2@5,drop=0.01,seed=7 (see cluster.ParseFaults)")
+	lease := flag.Duration("lease", 250*time.Millisecond, "master lease timeout for fault runs")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -57,8 +60,26 @@ func main() {
 
 	var res *cluster.Result
 	if *ranks >= 2 {
-		res, _ = cluster.Parallel(store, cfg, cluster.DefaultParallelConfig(*ranks))
+		pcfg := cluster.DefaultParallelConfig(*ranks)
+		if *faults != "" {
+			plan, err := cluster.ParseFaults(*faults)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asmcluster:", err)
+				os.Exit(2)
+			}
+			pcfg.Faults = plan
+			pcfg.LeaseTimeout = *lease
+		}
+		var perr error
+		res, _, perr = cluster.Parallel(store, cfg, pcfg)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster:", perr)
+			os.Exit(1)
+		}
 	} else {
+		if *faults != "" {
+			fmt.Fprintln(os.Stderr, "asmcluster: -faults ignored with -ranks 1 (serial run)")
+		}
 		res = cluster.Serial(store, cfg)
 	}
 
@@ -72,6 +93,10 @@ func main() {
 	tb.AddRow("pairs generated", report.Int(res.Stats.Generated))
 	tb.AddRow("pairs aligned", report.Int(res.Stats.Aligned))
 	tb.AddRow("alignment savings", report.Pct(res.Stats.SavingsFraction()))
+	if *faults != "" {
+		tb.AddRow("workers lost", report.Int(res.Stats.WorkersLost))
+		tb.AddRow("pairs requeued", report.Int(res.Stats.Requeued))
+	}
 	tb.Fprint(os.Stdout)
 
 	of, err := os.Create(*out)

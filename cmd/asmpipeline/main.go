@@ -80,7 +80,11 @@ func main() {
 		cfg.Parallel = repro.DefaultParallelConfig(*ranks)
 	}
 
-	res := repro.Run(frags, cfg)
+	res, err := repro.Run(frags, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmpipeline:", err)
+		os.Exit(1)
+	}
 
 	tb := report.NewTable("Pipeline summary", "metric", "value")
 	tb.AddRow("input fragments", report.Int(int64(len(frags))))

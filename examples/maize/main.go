@@ -35,7 +35,10 @@ func main() {
 	cfg.Preprocess.Repeats = preprocess.NewRepeatDBFromSeqs(repSeqs, 16)
 	cfg.Parallel = repro.DefaultParallelConfig(9) // 1 master + 8 workers
 
-	res := repro.Run(m.All(), cfg)
+	res, err := repro.Run(m.All(), cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	st := res.PreprocessStats
 	fmt.Printf("preprocessing: %d → %d fragments (%d repeat-invalidated, %d trimmed away)\n",

@@ -27,7 +27,10 @@ func main() {
 	cfg.SkipAssembly = true // clustering is the contribution here
 	cfg.Parallel = repro.DefaultParallelConfig(9)
 
-	res := repro.Run(reads, cfg)
+	res, err := repro.Run(reads, cfg)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("clustering: %d clusters, %d singletons, %.1f%% alignment savings\n",
 		len(res.Clusters), len(res.Singletons),
 		100*res.Clustering.Stats.SavingsFraction())

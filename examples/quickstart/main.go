@@ -21,7 +21,10 @@ func main() {
 	fmt.Printf("sampled %d reads from a %d bp genome\n", len(reads), len(genome.Seq))
 
 	cfg := repro.DefaultConfig()
-	res := repro.Run(reads, cfg)
+	res, err := repro.Run(reads, cfg)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("preprocessing kept %d/%d fragments\n",
 		res.PreprocessStats.FragsAfter, res.PreprocessStats.FragsBefore)

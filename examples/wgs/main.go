@@ -33,7 +33,10 @@ func main() {
 	cfg.Preprocess.Trim.Vector = simulate.DefaultReadConfig().Vector
 	cfg.Preprocess.Repeats = db
 
-	res := repro.Run(reads, cfg)
+	res, err := repro.Run(reads, cfg)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("clustering: %d clusters, %d singletons, %.1f%% alignment savings\n",
 		len(res.Clusters), len(res.Singletons),
 		100*res.Clustering.Stats.SavingsFraction())

@@ -103,6 +103,9 @@ type Stats struct {
 	Skipped   int64 // pairs not aligned: fragments already co-clustered
 	Merges    int64 // cluster merges (≤ Accepted)
 
+	WorkersLost int64 // workers the master declared dead (fault runs)
+	Requeued    int64 // leased pairs requeued after a worker death
+
 	GSTSeconds     float64 // modeled time of GST construction
 	ClusterSeconds float64 // modeled time of the clustering phase
 	WallSeconds    float64 // real host time, diagnostic

@@ -121,7 +121,10 @@ func TestParallelMatchesSerial(t *testing.T) {
 			pcfg := DefaultParallelConfig(p)
 			pcfg.BatchSize = 16
 			pcfg.UseSsend = ssend
-			res, _ := Parallel(st, cfg, pcfg)
+			res, _, err := Parallel(st, cfg, pcfg)
+			if err != nil {
+				t.Fatalf("p=%d ssend=%v: %v", p, ssend, err)
+			}
 			got := clusterLabels(res)
 			for i := range want {
 				if got[i] != want[i] {
@@ -147,7 +150,10 @@ func TestParallelMatchesSerial(t *testing.T) {
 
 func TestParallelPhaseStats(t *testing.T) {
 	st, _ := islandStore(4, 2, 2000, 80)
-	res, ph := Parallel(st, testConfig(), DefaultParallelConfig(4))
+	res, ph, err := Parallel(st, testConfig(), DefaultParallelConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ph.GST.MaxModeled <= 0 {
 		t.Error("GST phase has no modeled time")
 	}
@@ -163,12 +169,23 @@ func TestParallelPhaseStats(t *testing.T) {
 }
 
 // TestParallelScaling checks the Fig. 9 shape: modeled clustering time
-// shrinks as workers are added.
+// shrinks as workers are added. The check presumes wall-clock
+// scheduling roughly tracks modeled time, which holds in normal runs
+// but not under the race detector: its serialization lets whichever
+// worker wakes first claim most of the demand-driven batches, so one
+// rank carries nearly all the modeled work at any p and no max-based
+// metric can show a speedup.
 func TestParallelScaling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("demand-driven work distribution degenerates under the race detector")
+	}
 	st, _ := islandStore(5, 3, 3000, 150)
 	cfg := testConfig()
 	modeled := func(p int) float64 {
-		_, ph := Parallel(st, cfg, DefaultParallelConfig(p))
+		_, ph, err := Parallel(st, cfg, DefaultParallelConfig(p))
+		if err != nil {
+			t.Fatal(err)
+		}
 		return ph.Cluster.MaxModeled
 	}
 	t2, t8 := modeled(2), modeled(8)
@@ -252,7 +269,10 @@ func TestMaxClusterSize(t *testing.T) {
 	if got := capped.Summarize().MaxSize; got > 20 {
 		t.Errorf("serial: max cluster %d exceeds cap 20", got)
 	}
-	cappedPar, _ := Parallel(st, cfg, DefaultParallelConfig(4))
+	cappedPar, _, err := Parallel(st, cfg, DefaultParallelConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := cappedPar.Summarize().MaxSize; got > 20 {
 		t.Errorf("parallel: max cluster %d exceeds cap 20", got)
 	}
@@ -270,11 +290,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestParallelNeedsTwoRanks(t *testing.T) {
 	st, _ := islandStore(7, 1, 1500, 20)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for 1-rank parallel run")
-		}
-	}()
-	Parallel(st, testConfig(), DefaultParallelConfig(1))
+	if _, _, err := Parallel(st, testConfig(), DefaultParallelConfig(1)); err == nil {
+		t.Error("expected error for 1-rank parallel run")
+	}
 }
-

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+// faultPcfg is the common harness for fault runs: small batches so
+// workers report many times before the kill steps fire. Crashes are
+// detected through the runtime's dead-rank flag, not lease expiry, so
+// the lease can stay generous — short enough to bound a hang, long
+// enough that a healthy worker is never fired just because the race
+// detector slowed its alignments down.
+func faultPcfg(p int, plan *par.FaultPlan) ParallelConfig {
+	pcfg := DefaultParallelConfig(p)
+	pcfg.BatchSize = 16
+	pcfg.Faults = plan
+	pcfg.LeaseTimeout = 2 * time.Second
+	return pcfg
+}
+
+// TestFaultKillHalfMatchesSerial is the headline guarantee: with p=5
+// ranks, kill ⌈(p−1)/2⌉ = 2 of the 4 workers mid-clustering and the
+// surviving machine must still produce exactly the serial partition.
+func TestFaultKillHalfMatchesSerial(t *testing.T) {
+	st, _ := islandStore(3, 3, 2200, 120)
+	cfg := testConfig()
+	serial := Serial(st, cfg)
+	want := clusterLabels(serial)
+
+	plan := &par.FaultPlan{Seed: 7, Crashes: []par.Crash{
+		CrashWorkerAtReport(2, 2),
+		CrashWorkerAtReport(4, 4),
+	}}
+	res, _, err := Parallel(st, cfg, faultPcfg(5, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := clusterLabels(res)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fragment %d in cluster %d, serial says %d", i, got[i], want[i])
+		}
+	}
+	// Merges = n − final components, so partition equality forces it.
+	if res.Stats.Merges != serial.Stats.Merges {
+		t.Errorf("merges %d != serial %d", res.Stats.Merges, serial.Stats.Merges)
+	}
+	if res.Stats.WorkersLost != 2 {
+		t.Errorf("WorkersLost = %d, want 2", res.Stats.WorkersLost)
+	}
+	// Adopted regeneration may duplicate pairs, never lose them.
+	if res.Stats.Generated < serial.Stats.Generated {
+		t.Errorf("generated %d < serial %d: pairs were lost",
+			res.Stats.Generated, serial.Stats.Generated)
+	}
+}
+
+// TestFaultEarlyDeathAdoption kills a worker before its first report
+// ever arrives: the master has no results from it at all, and its
+// entire GST portion must be rebuilt on a survivor.
+func TestFaultEarlyDeathAdoption(t *testing.T) {
+	st, _ := islandStore(6, 2, 1800, 90)
+	cfg := testConfig()
+	want := clusterLabels(Serial(st, cfg))
+
+	plan := &par.FaultPlan{Crashes: []par.Crash{CrashWorkerAtReport(1, 1)}}
+	res, _, err := Parallel(st, cfg, faultPcfg(3, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := clusterLabels(res)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fragment %d in cluster %d, serial says %d", i, got[i], want[i])
+		}
+	}
+	if res.Stats.WorkersLost != 1 {
+		t.Errorf("WorkersLost = %d, want 1", res.Stats.WorkersLost)
+	}
+}
+
+// TestFaultAllWorkersDie: with no survivors left the master must
+// return an error rather than hang or fabricate a partial result.
+func TestFaultAllWorkersDie(t *testing.T) {
+	st, _ := islandStore(6, 2, 1800, 90)
+	plan := &par.FaultPlan{Crashes: []par.Crash{
+		CrashWorkerAtReport(1, 1),
+		CrashWorkerAtReport(2, 1),
+	}}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Parallel(st, testConfig(), faultPcfg(3, plan))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Parallel succeeded with every worker dead")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Parallel hung with every worker dead")
+	}
+}
+
+// TestFaultDropRecovery runs with a lossy eager transport. Safety is
+// unconditional: if the run completes, the partition is exactly the
+// serial one. (Liveness is not: enough distinct drops can fire every
+// worker, which surfaces as an explicit error, also accepted here.)
+func TestFaultDropRecovery(t *testing.T) {
+	st, _ := islandStore(3, 3, 2200, 120)
+	cfg := testConfig()
+	want := clusterLabels(Serial(st, cfg))
+
+	plan := &par.FaultPlan{Seed: 11, DropProb: 0.02}
+	pcfg := faultPcfg(6, plan)
+	pcfg.UseSsend = false // drops only affect eager messages
+	pcfg.LeaseTimeout = 100 * time.Millisecond
+	res, _, err := Parallel(st, cfg, pcfg)
+	if err != nil {
+		t.Logf("degraded to total worker loss (acceptable): %v", err)
+		return
+	}
+	got := clusterLabels(res)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fragment %d in cluster %d, serial says %d", i, got[i], want[i])
+		}
+	}
+	t.Logf("completed with %d workers lost, %d pairs requeued",
+		res.Stats.WorkersLost, res.Stats.Requeued)
+}
+
+// TestCheckpointResume: a run resumed from a mid-flight checkpoint
+// must converge to the same partition as an uninterrupted run.
+func TestCheckpointResume(t *testing.T) {
+	st, _ := islandStore(4, 2, 2000, 80)
+	cfg := testConfig()
+	want := clusterLabels(Serial(st, cfg))
+
+	var last []byte
+	pcfg := DefaultParallelConfig(3)
+	pcfg.BatchSize = 16
+	pcfg.CheckpointEvery = 3
+	pcfg.CheckpointSink = func(b []byte) { last = append([]byte(nil), b...) }
+	if _, _, err := Parallel(st, cfg, pcfg); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("checkpoint sink never called")
+	}
+	cp, err := DecodeCheckpoint(last)
+	if err != nil {
+		t.Fatalf("sink produced an undecodable checkpoint: %v", err)
+	}
+	if cp.N != st.N() {
+		t.Fatalf("checkpoint N = %d, store has %d", cp.N, st.N())
+	}
+
+	rcfg := DefaultParallelConfig(3)
+	rcfg.BatchSize = 16
+	rcfg.ResumeFrom = last
+	res, _, err := Parallel(st, cfg, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := clusterLabels(res)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resumed run: fragment %d in cluster %d, serial says %d", i, got[i], want[i])
+		}
+	}
+
+	// Resuming against a different store must be rejected.
+	other, _ := islandStore(9, 1, 900, 30)
+	ocfg := DefaultParallelConfig(3)
+	ocfg.ResumeFrom = last
+	if _, _, err := Parallel(other, cfg, ocfg); err == nil {
+		t.Error("resume accepted a checkpoint for a different store")
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	plan, err := ParseFaults("crash=2@5,crash=3@9,drop=0.01,delayp=0.5,delay=20ms,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Crashes) != 2 || plan.Crashes[0].Rank != 2 || plan.Crashes[1].AfterSends != 9 {
+		t.Errorf("crashes parsed wrong: %+v", plan.Crashes)
+	}
+	if plan.DropProb != 0.01 || plan.DelayProb != 0.5 || plan.Delay != 20*time.Millisecond || plan.Seed != 7 {
+		t.Errorf("plan parsed wrong: %+v", plan)
+	}
+	for _, bad := range []string{
+		"", "crash=0@1", "crash=2@0", "crash=2", "drop=1.5", "drop=x",
+		"delayp=-1", "delay=fast", "seed=abc", "nonsense=1", "crash",
+	} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

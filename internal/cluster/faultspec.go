@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/par"
+)
+
+// CrashWorkerAtReport schedules worker rank w to die immediately
+// before sending its n-th report — the deterministic mid-clustering
+// kill the fault tests and experiments use (the report tag is private
+// to this package, hence the constructor).
+func CrashWorkerAtReport(w, n int) par.Crash {
+	return par.Crash{Rank: w, AfterSends: n, Tag: tagReport}
+}
+
+// ParseFaults builds a FaultPlan from a compact comma-separated spec,
+// the format of asmcluster's -faults flag:
+//
+//	crash=RANK@N   kill rank RANK before its N-th report (repeatable)
+//	drop=P         drop each eager message with probability P
+//	delay=DUR      delivery delay for delayed messages (e.g. 20ms)
+//	delayp=P       probability a message is delayed
+//	seed=S         RNG seed for drops/delays (default 1)
+//
+// Example: "crash=2@5,crash=3@9,drop=0.01,seed=7".
+func ParseFaults(spec string) (*par.FaultPlan, error) {
+	plan := &par.FaultPlan{Seed: 1}
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("cluster: empty fault spec")
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: fault spec field %q is not key=value", field)
+		}
+		switch key {
+		case "crash":
+			rs, ns, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("cluster: crash spec %q is not RANK@N", val)
+			}
+			rank, err := strconv.Atoi(rs)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: bad crash rank %q: %v", rs, err)
+			}
+			n, err := strconv.Atoi(ns)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: bad crash step %q: %v", ns, err)
+			}
+			if rank < 1 || n < 1 {
+				return nil, fmt.Errorf("cluster: crash %q must name a worker rank ≥ 1 and step ≥ 1", val)
+			}
+			plan.Crashes = append(plan.Crashes, CrashWorkerAtReport(rank, n))
+		case "drop":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("cluster: bad drop probability %q", val)
+			}
+			plan.DropProb = p
+		case "delayp":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("cluster: bad delay probability %q", val)
+			}
+			plan.DelayProb = p
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: bad delay %q: %v", val, err)
+			}
+			plan.Delay = d
+		case "seed":
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: bad seed %q: %v", val, err)
+			}
+			plan.Seed = s
+		default:
+			return nil, fmt.Errorf("cluster: unknown fault spec key %q", key)
+		}
+	}
+	return plan, nil
+}

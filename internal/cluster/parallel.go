@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/pairgen"
@@ -31,12 +32,37 @@ type ParallelConfig struct {
 	// UseSsend makes workers use synchronous sends for reports, the
 	// paper's protection against master-side buffer overflow; eager
 	// sends are the (faster, riskier) alternative it compares against.
+	// Message-drop fault injection only affects eager sends, so drop
+	// experiments must run with UseSsend false.
 	UseSsend bool
 	// ScaleBatchWithWorkers grows the dispatch granularity with the
 	// machine so the frequency of messages arriving at the master does
 	// not grow with p — the single-master remedy Section 7.2 proposes.
 	// The effective batch size becomes BatchSize × max(1, workers/8).
 	ScaleBatchWithWorkers bool
+
+	// Faults, when non-nil, injects the plan into the machine and
+	// switches the master–worker protocol into its fault-tolerant
+	// (lease-based) mode. Nil keeps the fault-free fast path, whose
+	// message pattern and modeled statistics are identical to the
+	// fault-unaware implementation.
+	Faults *par.FaultPlan
+	// LeaseTimeout is how long the master waits for a report from a
+	// worker with outstanding work before declaring it dead (fault
+	// mode only). Workers give up on a silent master after 4× this.
+	// Default 3 s.
+	LeaseTimeout time.Duration
+	// CheckpointEvery, when positive, snapshots the master state every
+	// that many processed reports and hands the encoded checkpoint to
+	// CheckpointSink.
+	CheckpointEvery int
+	// CheckpointSink receives encoded checkpoints (see Checkpoint).
+	CheckpointSink func([]byte)
+	// ResumeFrom, when non-empty, warm-starts the master from an
+	// encoded checkpoint: the union–find, statistics and pending pairs
+	// are restored, and workers regenerate pairs from scratch (the
+	// union–find makes re-delivered pairs harmless).
+	ResumeFrom []byte
 }
 
 // DefaultParallelConfig returns a p-rank configuration with paper-like
@@ -66,8 +92,21 @@ func (c ParallelConfig) withDefaults() ParallelConfig {
 	if c.BatchBytes == 0 {
 		c.BatchBytes = d.BatchBytes
 	}
+	if c.LeaseTimeout == 0 {
+		c.LeaseTimeout = 3 * time.Second
+	}
 	if c.Machine.Ranks == 0 {
 		c.Machine = par.DefaultConfig(c.Ranks)
+	}
+	if c.Faults != nil {
+		c.Machine.Faults = c.Faults
+		// The lease protocol requires workers' sends to be
+		// non-blocking: a worker the master has already given up on
+		// (fired on lease expiry while merely slow) may Ssend one last
+		// report after the master stops reading, and would wedge
+		// waiting for a match that never comes. Eager reports make a
+		// fired worker's last words harmless.
+		c.UseSsend = false
 	}
 	if c.ScaleBatchWithWorkers {
 		if f := (c.Ranks - 1) / 8; f > 1 {
@@ -94,24 +133,71 @@ type PhaseStats struct {
 	// clustering phase; its growth with p is the Section 7.2 concern
 	// that ScaleBatchWithWorkers addresses.
 	MasterMsgsRecv int
+	// Exits is the per-rank exit status (fault runs; all-OK otherwise).
+	Exits []par.Exit
 }
+
+// pairQueue is a FIFO of pairs with an O(1) head pop. The head index
+// replaces the pending[1:] re-slice, whose retained backing array
+// grows without bound; the buffer is compacted once the dead prefix
+// dominates it.
+type pairQueue struct {
+	buf  []pairgen.Pair
+	head int
+}
+
+func (q *pairQueue) Len() int { return len(q.buf) - q.head }
+
+func (q *pairQueue) push(p pairgen.Pair) { q.buf = append(q.buf, p) }
+
+func (q *pairQueue) pushAll(ps []pairgen.Pair) { q.buf = append(q.buf, ps...) }
+
+func (q *pairQueue) pop() pairgen.Pair {
+	p := q.buf[q.head]
+	q.head++
+	if q.head >= 256 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// slice returns the queued pairs in order (for checkpoints).
+func (q *pairQueue) slice() []pairgen.Pair { return q.buf[q.head:] }
 
 // Parallel clusters the store's fragments on a p-rank machine:
 // parallel GST construction (buckets on workers only), then the
-// iterative master–worker overlap detection of Figs. 7–8.
-func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, PhaseStats) {
+// iterative master–worker overlap detection of Figs. 7–8. With a
+// fault plan set it runs the lease-based fault-tolerant protocol and
+// finishes on the surviving workers; the partition it returns is then
+// identical to a fault-free run's (union–find merges are
+// order-independent and duplicated pairs are harmless).
+func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, PhaseStats, error) {
 	cfg = cfg.withDefaults()
 	pcfg = pcfg.withDefaults()
 	if pcfg.Ranks < 2 {
-		panic("cluster: parallel run needs at least 2 ranks (1 master + 1 worker)")
+		return nil, PhaseStats{}, fmt.Errorf("cluster: parallel run needs at least 2 ranks (1 master + 1 worker), got %d", pcfg.Ranks)
+	}
+	var resume *Checkpoint
+	if len(pcfg.ResumeFrom) > 0 {
+		cp, err := DecodeCheckpoint(pcfg.ResumeFrom)
+		if err != nil {
+			return nil, PhaseStats{}, err
+		}
+		if cp.N != store.N() {
+			return nil, PhaseStats{}, fmt.Errorf("cluster: checkpoint is for %d fragments, store has %d", cp.N, store.N())
+		}
+		resume = cp
 	}
 
 	result := &Result{N: store.N()}
 	gstSnaps := make([]par.Stats, pcfg.Ranks)
 	masterWork := 0.0
+	var masterErr error
 	start := time.Now()
 
-	stats := par.Run(pcfg.Machine, func(c *par.Comm) {
+	stats, exits := par.RunStatus(pcfg.Machine, func(c *par.Comm) {
 		// Phase 1: distributed GST over workers (rank 0 owns no buckets).
 		local := pgst.Build(c, store, pgst.Config{
 			W:          cfg.W,
@@ -126,14 +212,29 @@ func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, Phase
 
 		// Phase 2: master–worker clustering.
 		if c.Rank() == 0 {
-			uf, st, busy := runMaster(c, store, cfg, pcfg)
+			uf, st, busy, err := runMaster(c, store, cfg, pcfg, resume)
 			result.UF = uf
 			result.Stats = st
 			masterWork = busy
+			masterErr = err
 		} else {
 			runWorker(c, store, local, cfg, pcfg)
 		}
 	})
+
+	if !exits[0].OK {
+		return nil, PhaseStats{Exits: exits}, fmt.Errorf("cluster: master rank died: %s", exits[0].Reason)
+	}
+	if masterErr != nil {
+		return nil, PhaseStats{Exits: exits}, masterErr
+	}
+	if pcfg.Faults == nil {
+		for r, e := range exits {
+			if !e.OK {
+				return nil, PhaseStats{Exits: exits}, fmt.Errorf("cluster: rank %d died without a fault plan: %s", r, e.Reason)
+			}
+		}
+	}
 
 	result.Stats.WallSeconds = time.Since(start).Seconds()
 
@@ -148,6 +249,7 @@ func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, Phase
 		Cluster:            par.Summarize(clusterStats),
 		MasterPeakBufBytes: stats[0].PeakBufBytes,
 		MasterMsgsRecv:     clusterStats[0].MsgsRecv,
+		Exits:              exits,
 	}
 	if m := clusterStats[0].Modeled(); m > 0 && ph.Cluster.MaxModeled > 0 {
 		ph.MasterAvailability = 1 - masterWork/ph.Cluster.MaxModeled
@@ -157,7 +259,7 @@ func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, Phase
 	}
 	result.Stats.GSTSeconds = ph.GST.MaxModeled
 	result.Stats.ClusterSeconds = ph.Cluster.MaxModeled
-	return result, ph
+	return result, ph, nil
 }
 
 func subtractStats(a, b par.Stats) par.Stats {
@@ -169,13 +271,24 @@ func subtractStats(a, b par.Stats) par.Stats {
 	a.MsgsRecv -= b.MsgsRecv
 	a.BytesSent -= b.BytesSent
 	a.BytesRecv -= b.BytesRecv
+	a.MsgsDropped -= b.MsgsDropped
 	return a
 }
 
-// runMaster is the Fig. 7 algorithm. It returns the final clustering,
-// statistics, and its modeled busy seconds (for the availability
-// metric).
-func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig) (*unionfind.UF, Stats, float64) {
+// runMaster is the Fig. 7 algorithm, extended with the lease-based
+// fault protocol. It returns the final clustering, statistics, and
+// its modeled busy seconds (for the availability metric).
+//
+// Fault mode invariants: expected[w] counts reports w still owes (its
+// lease); owed[w] is the FIFO of dispatched batches not yet
+// acknowledged by a result-carrying report; covers[w] is the set of
+// GST portions w generates pairs from (its own, plus any adopted from
+// dead ranks). Per-worker traffic strictly alternates, so a received
+// report implies every earlier report from that worker was received —
+// which is why a worker that reported passive can die without losing
+// coverage, and any dropped message eventually expires the lease and
+// re-assigns both the leased batches and the coverage.
+func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, resume *Checkpoint) (*unionfind.UF, Stats, float64, error) {
 	uf := unionfind.New(store.N())
 	var st Stats
 	busy := 0.0
@@ -184,23 +297,56 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig) (
 		c.ChargeCompute(sec)
 	}
 
-	var pending []pairgen.Pair
+	ft := pcfg.Faults != nil
+	lease := pcfg.LeaseTimeout
+	pollSlice := lease / 4
+	if pollSlice > 50*time.Millisecond {
+		pollSlice = 50 * time.Millisecond
+	}
+	// adoptDeadline grants lease grace to a worker that was just asked
+	// to adopt dead ranks' GST portions: rebuilding them is real
+	// compute on the lease clock, and firing a slow adopter re-orphans
+	// an even larger portion onto the next one — a cascade that can
+	// consume every worker. The grace scales with the adoption size.
+	adoptDeadline := func(adopted int) time.Time {
+		return time.Now().Add(time.Duration(3*adopted) * lease)
+	}
+
+	var pending pairQueue
 	parked := []int{}
 	passive := make(map[int]bool)
-	// owesResults[w] is true when the batch in the last reply to w was
-	// non-empty: its results arrive only in w's report after next (the
-	// worker aligns a batch after sending its next report), so w must
+	// owed[w] holds the batches whose results are still outstanding: a
+	// non-empty batch sent to w is acknowledged by w's next
+	// result-carrying report (the worker aligns a batch after sending
+	// its following report, so at most two replies separate dispatch
+	// and acknowledgment, but at most one non-empty batch is ever
+	// unacknowledged at a decision point). A worker owing results must
 	// not be parked until an empty reply has flushed them out.
-	owesResults := make(map[int]bool)
-	inFlight := c.Size() - 1 // every worker owes an initial report
+	owed := make(map[int][][]pairgen.Pair)
+	expected := make(map[int]int) // reports outstanding per worker
+	lastHeard := make(map[int]time.Time)
+	dead := make(map[int]bool)
+	covers := make(map[int][]int) // GST portions each worker generates from
+	var orphans []int             // dead ranks' portions awaiting adoption
+	inFlight := c.Size() - 1      // every worker owes an initial report
+	now := time.Now()
+	for w := 1; w < c.Size(); w++ {
+		expected[w] = 1
+		lastHeard[w] = now
+		covers[w] = []int{w}
+	}
+	if resume != nil {
+		uf = resume.restore()
+		st = resume.Stats
+		pending.pushAll(resume.Pending)
+	}
 
 	// takeBatch extracts up to BatchSize non-stale pairs.
 	takeBatch := func() []pairgen.Pair {
 		var batch []pairgen.Pair
 		n := int32(store.N())
-		for len(batch) < pcfg.BatchSize && len(pending) > 0 {
-			p := pending[0]
-			pending = pending[1:]
+		for len(batch) < pcfg.BatchSize && pending.Len() > 0 {
+			p := pending.pop()
 			if uf.Same(int(p.ASid%n), int(p.BSid%n)) {
 				st.Skipped++ // merged since it was enqueued
 				charge(costUF)
@@ -212,11 +358,26 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig) (
 	}
 
 	activeWorkers := func() int {
-		a := c.Size() - 1 - len(passive)
+		a := 0
+		for w := 1; w < c.Size(); w++ {
+			if !dead[w] && !passive[w] {
+				a++
+			}
+		}
 		if a < 1 {
 			a = 1
 		}
 		return a
+	}
+
+	liveWorkers := func() int {
+		n := 0
+		for w := 1; w < c.Size(); w++ {
+			if !dead[w] {
+				n++
+			}
+		}
+		return n
 	}
 
 	// requestSize implements the paper's r formula: ask for enough
@@ -234,27 +395,126 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig) (
 			}
 		}
 		r := int(float64(pcfg.BatchSize) / selectivity)
-		free := pcfg.MaxPending - len(pending)
+		free := pcfg.MaxPending - pending.Len()
 		if free < 0 {
 			free = 0
 		}
-		if cap := free / activeWorkers(); r > cap {
-			r = cap
+		if quota := free / activeWorkers(); r > quota {
+			r = quota
 		}
 		return r
 	}
 
 	sendWork := func(worker int, batch []pairgen.Pair) {
 		st.Aligned += int64(len(batch))
-		owesResults[worker] = len(batch) > 0
-		c.Send(worker, tagWork, encodeWork(work{batch: batch, r: requestSize(worker)}))
+		if len(batch) > 0 {
+			owed[worker] = append(owed[worker], batch)
+		}
+		wk := work{batch: batch}
+		if ft && len(orphans) > 0 {
+			// Piggyback pending adoptions on the reply; recorded
+			// optimistically so a lost reply re-orphans them with the
+			// adopter's lease.
+			wk.adopt = orphans
+			covers[worker] = append(covers[worker], orphans...)
+			delete(passive, worker)
+			orphans = nil
+		}
+		wk.r = requestSize(worker)
+		c.Send(worker, tagWork, encodeWork(wk))
+		expected[worker]++
+		if ft {
+			lastHeard[worker] = adoptDeadline(len(wk.adopt))
+		}
 		inFlight++
 	}
 
+	// reap fires a worker: its lease is cancelled, leased batches are
+	// requeued, and — unless it had reported passive, meaning its
+	// covered portions were fully generated and received — its GST
+	// coverage is orphaned for adoption by a survivor.
+	reap := func(w int) {
+		if dead[w] {
+			return
+		}
+		dead[w] = true
+		st.WorkersLost++
+		inFlight -= expected[w]
+		expected[w] = 0
+		for _, b := range owed[w] {
+			st.Aligned -= int64(len(b))
+			st.Requeued += int64(len(b))
+			pending.pushAll(b)
+		}
+		delete(owed, w)
+		for i, x := range parked {
+			if x == w {
+				parked = append(parked[:i], parked[i+1:]...)
+				break
+			}
+		}
+		if !passive[w] {
+			orphans = append(orphans, covers[w]...)
+		}
+		delete(passive, w)
+		delete(covers, w)
+	}
+
+	// reapDead fires crashed workers (detected by the runtime) and
+	// silent ones whose lease expired; the latter get a done fence
+	// first, in case they are alive but cut off.
+	reapDead := func() bool {
+		any := false
+		now := time.Now()
+		for w := 1; w < c.Size(); w++ {
+			if dead[w] {
+				continue
+			}
+			if c.RankDead(w) {
+				reap(w)
+				any = true
+				continue
+			}
+			if expected[w] > 0 && now.Sub(lastHeard[w]) > lease {
+				c.Send(w, tagDone, nil)
+				reap(w)
+				any = true
+			}
+		}
+		return any
+	}
+
+	reports := 0
+	maybeCheckpoint := func() {
+		if pcfg.CheckpointEvery <= 0 || pcfg.CheckpointSink == nil {
+			return
+		}
+		reports++
+		if reports%pcfg.CheckpointEvery != 0 {
+			return
+		}
+		charge(float64(uf.N()) * costUF) // the Find sweep over all labels
+		pcfg.CheckpointSink(snapshotCheckpoint(uf, st, pending.slice()).Encode())
+	}
+
 	for {
-		// Dispatch pending work to parked workers first (keeping
-		// passive workers busy, Section 7).
-		for len(parked) > 0 && len(pending) > 0 {
+		// Hand orphaned GST portions to an idle (parked) worker first:
+		// it resumes generation immediately instead of waiting for a
+		// busy worker's next report.
+		if ft && len(orphans) > 0 && len(parked) > 0 {
+			a := parked[0]
+			parked = parked[1:]
+			covers[a] = append(covers[a], orphans...)
+			delete(passive, a)
+			c.Send(a, tagAdopt, encodeAdopt(adopt{deadRanks: orphans}))
+			lastHeard[a] = adoptDeadline(len(orphans))
+			orphans = nil
+			expected[a]++
+			inFlight++
+		}
+		// Dispatch pending work to parked workers (keeping passive
+		// workers busy, Section 7).
+		for len(parked) > 0 && pending.Len() > 0 {
 			batch := takeBatch()
 			if len(batch) == 0 {
 				break
@@ -264,15 +524,63 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig) (
 			sendWork(wkr, batch)
 		}
 		if inFlight == 0 {
+			if ft && liveWorkers() == 0 {
+				// Everything left is either already done or
+				// unrecoverable; any orphaned coverage or real pending
+				// pair means lost work.
+				if len(orphans) > 0 || len(takeBatch()) > 0 {
+					return uf, st, busy, fmt.Errorf("cluster: all %d workers died with work remaining", st.WorkersLost)
+				}
+			}
 			break
 		}
 
-		msg := c.Recv(par.AnySource, tagReport)
+		var msg par.Message
+		if ft {
+			got := false
+			for !got {
+				m, ok := c.RecvTimeout(par.AnySource, tagReport, pollSlice)
+				if ok {
+					msg, got = m, true
+				} else if reapDead() {
+					break
+				}
+			}
+			if !got {
+				continue // reaped instead of received: redo dispatch
+			}
+		} else {
+			msg = c.Recv(par.AnySource, tagReport)
+		}
+		if ft && dead[msg.Src] {
+			// Zombie: a worker already fired (late or delayed report).
+			// Fence it without touching the bookkeeping.
+			c.Send(msg.Src, tagDone, nil)
+			continue
+		}
 		inFlight--
-		rep := decodeReport(msg.Data)
+		if ft {
+			expected[msg.Src]--
+			lastHeard[msg.Src] = time.Now()
+		}
+		rep, derr := decodeReport(msg.Data)
+		if derr != nil {
+			if !ft {
+				panic(derr)
+			}
+			// A corrupted report means the channel to this worker is
+			// unreliable; fire it and recover its state.
+			c.Send(msg.Src, tagDone, nil)
+			reap(msg.Src)
+			continue
+		}
 		charge(costPerMsgC)
 
-		// Interpret alignment results.
+		// Interpret alignment results; they acknowledge the oldest
+		// outstanding batch.
+		if len(rep.results) > 0 && len(owed[msg.Src]) > 0 {
+			owed[msg.Src] = owed[msg.Src][1:]
+		}
 		for _, ar := range rep.results {
 			charge(costUF)
 			if ar.accepted {
@@ -295,17 +603,25 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig) (
 				st.Skipped++
 				continue
 			}
-			pending = append(pending, p)
+			pending.push(p)
 		}
 		if rep.passive {
 			passive[msg.Src] = true
+		}
+		maybeCheckpoint()
+
+		if ft && c.RankDead(msg.Src) {
+			// The reporter died after sending: replying would leak a
+			// lease on a corpse.
+			reap(msg.Src)
+			continue
 		}
 
 		// Reply to the sender: work if available; otherwise keep an
 		// active worker generating or flush outstanding results with an
 		// empty reply; park only a passive worker that owes nothing.
 		batch := takeBatch()
-		if len(batch) > 0 || !passive[msg.Src] || owesResults[msg.Src] {
+		if len(batch) > 0 || !passive[msg.Src] || len(owed[msg.Src]) > 0 || (ft && len(orphans) > 0) {
 			sendWork(msg.Src, batch)
 		} else {
 			parked = append(parked, msg.Src)
@@ -315,38 +631,58 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig) (
 	for _, wkr := range parked {
 		c.Send(wkr, tagDone, nil)
 	}
-	return uf, st, busy
+	return uf, st, busy, nil
 }
 
 // runWorker is the Fig. 8 algorithm: generate pairs on request, align
 // allocated batches while waiting for the master, and generate ahead
-// into the bounded buffer when otherwise idle.
+// into the bounded buffer when otherwise idle. Under a fault plan it
+// can adopt dead ranks' GST portions (rebuilding them locally) and
+// gives up on a silent master instead of blocking forever.
 func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcfg ParallelConfig) {
-	stream := pairgen.NewStream(local.Tree, pairgen.Config{
+	ft := pcfg.Faults != nil
+	pgCfg := pairgen.Config{
 		Psi:                  cfg.Psi,
 		NumFragments:         store.N(),
 		DuplicateElimination: cfg.DuplicateElimination,
-	}, 256)
-	defer stream.Close()
+	}
+	streams := []*pairgen.Stream{pairgen.NewStream(local.Tree, pgCfg, 256)}
+	cur := 0
+	defer func() {
+		for _, s := range streams {
+			s.Close()
+		}
+	}()
 
 	var buffered []pairgen.Pair
 	exhausted := false
 	n := int32(store.N())
 
-	// takeN draws from the buffer first, then the stream.
+	// adoptPortions rebuilds the GST portions of dead ranks locally
+	// and queues them for generation.
+	adoptPortions := func(ranks []int) {
+		for _, d := range ranks {
+			t := pgst.RebuildPortion(c, store, local, d)
+			streams = append(streams, pairgen.NewStream(t, pgCfg, 256))
+		}
+		exhausted = cur >= len(streams)
+	}
+
+	// takeN draws from the buffer first, then the streams in order.
 	takeN := func(r int) []pairgen.Pair {
 		var out []pairgen.Pair
 		for len(out) < r && len(buffered) > 0 {
 			out = append(out, buffered[0])
 			buffered = buffered[1:]
 		}
-		if len(out) < r && !exhausted {
+		for len(out) < r && !exhausted {
 			before := len(out)
-			out = stream.Take(out, r)
-			if len(out) < r {
-				exhausted = true
-			}
+			out = streams[cur].Take(out, r)
 			c.ChargeCompute(float64(len(out)-before) * costPair)
+			if len(out) < r {
+				cur++
+				exhausted = cur >= len(streams)
+			}
 		}
 		return out
 	}
@@ -394,22 +730,54 @@ func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcf
 				msg, got = m, true
 				break
 			}
-			p, ok := stream.Next()
+			p, ok := streams[cur].Next()
 			if !ok {
-				exhausted = true
-				break
+				cur++
+				if exhausted = cur >= len(streams); exhausted {
+					break
+				}
+				continue
 			}
 			c.ChargeCompute(costPair)
 			buffered = append(buffered, p)
 		}
 		if !got {
-			msg = c.Recv(0, par.AnyTag)
+			if ft {
+				m, ok := c.RecvTimeout(0, par.AnyTag, 4*pcfg.LeaseTimeout)
+				if !ok {
+					return // master dead or fence lost: self-fence
+				}
+				msg = m
+			} else {
+				msg = c.Recv(0, par.AnyTag)
+			}
 		}
-		if msg.Tag == tagDone {
+		switch msg.Tag {
+		case tagDone:
 			return
+		case tagAdopt:
+			ad, err := decodeAdopt(msg.Data)
+			if err != nil {
+				if !ft {
+					panic(err)
+				}
+				return
+			}
+			adoptPortions(ad.deadRanks)
+			curBatch = nil
+		default:
+			wk, err := decodeWork(msg.Data)
+			if err != nil {
+				if !ft {
+					panic(err)
+				}
+				return
+			}
+			if len(wk.adopt) > 0 {
+				adoptPortions(wk.adopt)
+			}
+			r = wk.r
+			curBatch = wk.batch
 		}
-		wk := decodeWork(msg.Data)
-		r = wk.r
-		curBatch = wk.batch
 	}
 }

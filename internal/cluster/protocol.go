@@ -1,17 +1,24 @@
 package cluster
 
 import (
+	"errors"
+	"fmt"
+	"strings"
+
 	"repro/internal/pairgen"
 	"repro/internal/wire"
 )
 
 // Message tags of the master–worker protocol (Fig. 6): workers send
 // reports (new pairs NP + alignment results AR); the master sends work
-// allocations (batch AW + request size r) and finally done.
+// allocations (batch AW + request size r) and finally done. tagAdopt
+// is the fault-recovery extension: it hands a surviving worker the
+// GST portions of dead ranks so their pair generation is not lost.
 const (
 	tagReport = 1
 	tagWork   = 2
 	tagDone   = 3
+	tagAdopt  = 4
 )
 
 // alignResult is one AR entry: the fragment pair and the outcome of
@@ -32,6 +39,27 @@ type report struct {
 type work struct {
 	batch []pairgen.Pair // AW: pairs to align
 	r     int            // pairs to generate for the next report
+	// adopt lists ranks whose GST portions the receiver must rebuild
+	// and generate from (fault recovery, piggybacked on a work reply).
+	// Encoded only when non-empty so a fault-free run's messages are
+	// byte-identical to the fault-unaware protocol.
+	adopt []int
+}
+
+// wireRecover converts a wire decoding panic into an error, leaving
+// any other panic untouched. Once fault injection can truncate or
+// corrupt a message in flight, malformed input is an expected runtime
+// condition for the protocol decoders, not a programming error.
+func wireRecover(err *error) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	if s, ok := p.(string); ok && strings.HasPrefix(s, "wire:") {
+		*err = errors.New(s)
+		return
+	}
+	panic(p)
 }
 
 func encodePairs(w *wire.Buffer, ps []pairgen.Pair) {
@@ -47,6 +75,9 @@ func encodePairs(w *wire.Buffer, ps []pairgen.Pair) {
 
 func decodePairs(r *wire.Reader) []pairgen.Pair {
 	n := int(r.Uint())
+	if n < 0 || n*5 > r.Remaining() { // 5 varints of ≥ 1 byte per pair
+		panic("wire: truncated pair list")
+	}
 	ps := make([]pairgen.Pair, n)
 	for i := range ps {
 		ps[i] = pairgen.Pair{
@@ -73,12 +104,15 @@ func encodeReport(rep report) []byte {
 	return w.Bytes()
 }
 
-func decodeReport(b []byte) report {
+func decodeReport(b []byte) (rep report, err error) {
+	defer wireRecover(&err)
 	r := wire.NewReader(b)
-	var rep report
 	rep.passive = r.Bool()
 	rep.pairs = decodePairs(r)
 	n := int(r.Uint())
+	if n < 0 || n*3 > r.Remaining() { // 2 varints + 1 bool per result
+		return report{}, errors.New("wire: truncated result list")
+	}
 	rep.results = make([]alignResult, n)
 	for i := range rep.results {
 		rep.results[i] = alignResult{
@@ -87,20 +121,54 @@ func decodeReport(b []byte) report {
 			accepted: r.Bool(),
 		}
 	}
-	return rep
+	if r.Remaining() != 0 {
+		return report{}, fmt.Errorf("wire: %d trailing bytes after report", r.Remaining())
+	}
+	return rep, nil
 }
 
 func encodeWork(wk work) []byte {
 	w := wire.NewBuffer(8 + 12*len(wk.batch))
 	w.PutUint(uint64(wk.r))
 	encodePairs(w, wk.batch)
+	if len(wk.adopt) > 0 {
+		w.PutInts(wk.adopt)
+	}
 	return w.Bytes()
 }
 
-func decodeWork(b []byte) work {
+func decodeWork(b []byte) (wk work, err error) {
+	defer wireRecover(&err)
 	r := wire.NewReader(b)
-	var wk work
 	wk.r = int(r.Uint())
 	wk.batch = decodePairs(r)
-	return wk
+	if r.Remaining() > 0 {
+		wk.adopt = r.Ints()
+	}
+	if r.Remaining() != 0 {
+		return work{}, fmt.Errorf("wire: %d trailing bytes after work", r.Remaining())
+	}
+	return wk, nil
+}
+
+// adopt is a master → worker fault-recovery message: the ranks whose
+// GST portions the receiver must rebuild and take over.
+type adopt struct {
+	deadRanks []int
+}
+
+func encodeAdopt(a adopt) []byte {
+	w := wire.NewBuffer(1 + 2*len(a.deadRanks))
+	w.PutInts(a.deadRanks)
+	return w.Bytes()
+}
+
+func decodeAdopt(b []byte) (a adopt, err error) {
+	defer wireRecover(&err)
+	r := wire.NewReader(b)
+	a.deadRanks = r.Ints()
+	if r.Remaining() != 0 {
+		return adopt{}, fmt.Errorf("wire: %d trailing bytes after adopt", r.Remaining())
+	}
+	return a, nil
 }

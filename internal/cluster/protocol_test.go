@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/pairgen"
+	"repro/internal/unionfind"
 )
 
 func TestReportRoundTrip(t *testing.T) {
@@ -18,7 +20,10 @@ func TestReportRoundTrip(t *testing.T) {
 		},
 		passive: true,
 	}
-	out := decodeReport(encodeReport(in))
+	out, err := decodeReport(encodeReport(in))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.passive != in.passive {
 		t.Error("passive flag lost")
 	}
@@ -41,7 +46,10 @@ func TestReportRoundTrip(t *testing.T) {
 }
 
 func TestReportRoundTripEmpty(t *testing.T) {
-	out := decodeReport(encodeReport(report{}))
+	out, err := decodeReport(encodeReport(report{}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.passive || len(out.pairs) != 0 || len(out.results) != 0 {
 		t.Errorf("empty report corrupted: %+v", out)
 	}
@@ -52,15 +60,166 @@ func TestWorkRoundTrip(t *testing.T) {
 		batch: []pairgen.Pair{{ASid: 7, BSid: 2, APos: 3, BPos: 4, MatchLen: 33}},
 		r:     128,
 	}
-	out := decodeWork(encodeWork(in))
+	out, err := decodeWork(encodeWork(in))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.r != in.r || len(out.batch) != 1 || out.batch[0] != in.batch[0] {
 		t.Errorf("work roundtrip: %+v", out)
 	}
 }
 
 func TestWorkRoundTripEmpty(t *testing.T) {
-	out := decodeWork(encodeWork(work{r: 0}))
+	out, err := decodeWork(encodeWork(work{r: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.r != 0 || len(out.batch) != 0 {
 		t.Errorf("empty work corrupted: %+v", out)
+	}
+}
+
+func TestWorkRoundTripAdopt(t *testing.T) {
+	in := work{
+		batch: []pairgen.Pair{{ASid: 1, BSid: 2, MatchLen: 20}},
+		r:     64,
+		adopt: []int{3, 7},
+	}
+	out, err := decodeWork(encodeWork(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.adopt) != 2 || out.adopt[0] != 3 || out.adopt[1] != 7 {
+		t.Errorf("adopt list corrupted: %+v", out.adopt)
+	}
+	// The adopt tail must cost nothing when absent: fault-free messages
+	// stay byte-identical to the fault-unaware protocol.
+	plain := work{batch: in.batch, r: in.r}
+	withEmpty := work{batch: in.batch, r: in.r, adopt: []int{}}
+	if !bytes.Equal(encodeWork(plain), encodeWork(withEmpty)) {
+		t.Error("empty adopt list changes the encoding")
+	}
+}
+
+func TestAdoptRoundTrip(t *testing.T) {
+	in := adopt{deadRanks: []int{2, 5, 9}}
+	out, err := decodeAdopt(encodeAdopt(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.deadRanks) != 3 || out.deadRanks[2] != 9 {
+		t.Errorf("adopt roundtrip: %+v", out)
+	}
+}
+
+// Truncated messages must produce errors, not panics or hangs: fault
+// injection can cut a message at any byte.
+func TestDecodeTruncated(t *testing.T) {
+	rep := encodeReport(report{
+		pairs:   []pairgen.Pair{{ASid: 1, BSid: 2, APos: 3, BPos: 4, MatchLen: 20}},
+		results: []alignResult{{fa: 1, fb: 2, accepted: true}},
+	})
+	for i := 0; i < len(rep); i++ {
+		if _, err := decodeReport(rep[:i]); err == nil {
+			t.Errorf("report prefix of %d/%d bytes decoded without error", i, len(rep))
+		}
+	}
+	wk := encodeWork(work{batch: []pairgen.Pair{{ASid: 1, BSid: 2, MatchLen: 20}}, r: 9})
+	for i := 0; i < len(wk); i++ {
+		if _, err := decodeWork(wk[:i]); err == nil {
+			t.Errorf("work prefix of %d/%d bytes decoded without error", i, len(wk))
+		}
+	}
+}
+
+// A malformed length prefix must not cause a huge allocation.
+func TestDecodeHugeCount(t *testing.T) {
+	// passive=0 then a varint pair count of ~2^62 with no payload.
+	b := []byte{0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x3f}
+	if _, err := decodeReport(b); err == nil {
+		t.Error("huge pair count decoded without error")
+	}
+	if _, err := decodeWork(append([]byte{5}, b[1:]...)); err == nil {
+		t.Error("huge batch count decoded without error")
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	rep := append(encodeReport(report{}), 0x00)
+	if _, err := decodeReport(rep); err == nil {
+		t.Error("trailing bytes accepted in report")
+	}
+}
+
+func FuzzDecodeReport(f *testing.F) {
+	f.Add(encodeReport(report{}))
+	f.Add(encodeReport(report{
+		pairs:   []pairgen.Pair{{ASid: 1, BSid: 2, APos: 3, BPos: 4, MatchLen: 20}},
+		results: []alignResult{{fa: 0, fb: 1, accepted: true}},
+		passive: true,
+	}))
+	f.Add([]byte{0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rep, err := decodeReport(b) // must never panic
+		if err == nil {
+			// Anything that decodes must re-encode to the same bytes
+			// (the format has a unique encoding).
+			if !bytes.Equal(encodeReport(rep), b) {
+				t.Errorf("decode/encode not idempotent for %x", b)
+			}
+		}
+	})
+}
+
+func FuzzDecodeWork(f *testing.F) {
+	f.Add(encodeWork(work{r: 64}))
+	f.Add(encodeWork(work{batch: []pairgen.Pair{{ASid: 1, BSid: 2, MatchLen: 20}}, r: 1, adopt: []int{4}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		wk, err := decodeWork(b) // must never panic
+		if err == nil && len(wk.adopt) != 0 {
+			if !bytes.Equal(encodeWork(wk), b) {
+				t.Errorf("decode/encode not idempotent for %x", b)
+			}
+		}
+	})
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	uf := unionfind.New(10)
+	uf.Union(0, 3)
+	uf.Union(3, 7)
+	uf.Union(4, 5)
+	st := Stats{Generated: 100, Aligned: 60, Accepted: 20, Skipped: 40,
+		Merges: 3, WorkersLost: 1, Requeued: 12, GSTSeconds: 1.5}
+	pend := []pairgen.Pair{{ASid: 1, BSid: 2, MatchLen: 25}}
+	cp := snapshotCheckpoint(uf, st, pend)
+
+	got, err := DecodeCheckpoint(cp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 10 || got.Stats != st || len(got.Pending) != 1 || got.Pending[0] != pend[0] {
+		t.Errorf("checkpoint corrupted: %+v", got)
+	}
+	ruf := got.restore()
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if ruf.Same(i, j) != uf.Same(i, j) {
+				t.Fatalf("restored partition differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCheckpoint([]byte("not a checkpoint")); err == nil {
+		t.Error("garbage accepted as checkpoint")
+	}
+	enc := snapshotCheckpoint(unionfind.New(4), Stats{}, nil).Encode()
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeCheckpoint(enc[:i]); err == nil {
+			t.Errorf("checkpoint prefix %d/%d accepted", i, len(enc))
+		}
 	}
 }

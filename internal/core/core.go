@@ -88,8 +88,10 @@ func (r *Result) TotalContigs() int {
 	return total
 }
 
-// Run executes the pipeline on the given fragments.
-func Run(frags []*seq.Fragment, cfg Config) *Result {
+// Run executes the pipeline on the given fragments. It returns an
+// error when the parallel machine is misconfigured or a fault run
+// loses so many workers the clustering cannot finish.
+func Run(frags []*seq.Fragment, cfg Config) (*Result, error) {
 	res := &Result{}
 	if cfg.PreprocessEnabled {
 		frags, res.PreprocessStats = preprocess.Run(frags, cfg.Preprocess)
@@ -97,7 +99,11 @@ func Run(frags []*seq.Fragment, cfg Config) *Result {
 	res.Store = seq.NewStore(frags)
 
 	if cfg.Parallel.Ranks >= 2 {
-		res.Clustering, res.Phases = cluster.Parallel(res.Store, cfg.Cluster, cfg.Parallel)
+		var err error
+		res.Clustering, res.Phases, err = cluster.Parallel(res.Store, cfg.Cluster, cfg.Parallel)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		res.Clustering = cluster.Serial(res.Store, cfg.Cluster)
 	}
@@ -111,5 +117,5 @@ func Run(frags []*seq.Fragment, cfg Config) *Result {
 		}
 		res.Contigs = assembly.AssembleAll(res.Store, res.Clusters, cfg.Assembly, workers)
 	}
-	return res
+	return res, nil
 }

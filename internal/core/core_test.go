@@ -31,7 +31,10 @@ func TestPipelineEndToEndSerial(t *testing.T) {
 	}
 	cfg.Preprocess.Repeats = preprocess.NewRepeatDBFromSeqs(reps, 16)
 
-	res := Run(m.All(), cfg)
+	res, err := Run(m.All(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.PreprocessStats.FragsBefore == 0 || res.PreprocessStats.FragsAfter == 0 {
 		t.Fatalf("preprocessing did not run: %+v", res.PreprocessStats)
 	}
@@ -62,10 +65,16 @@ func TestPipelineParallelMatchesSerial(t *testing.T) {
 	cfg.PreprocessEnabled = false // keep the fragment set identical
 	cfg.SkipAssembly = true
 
-	serial := Run(m.MF, cfg)
+	serial, err := Run(m.MF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	cfg.Parallel.Ranks = 4
-	parallel := Run(m.MF, cfg)
+	parallel, err := Run(m.MF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if len(serial.Clusters) != len(parallel.Clusters) {
 		t.Fatalf("serial %d clusters, parallel %d", len(serial.Clusters), len(parallel.Clusters))
@@ -82,7 +91,10 @@ func TestSkipAssembly(t *testing.T) {
 	m := smallWorkload(3)
 	cfg := smallConfig()
 	cfg.SkipAssembly = true
-	res := Run(m.HC, cfg)
+	res, err := Run(m.HC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Contigs != nil {
 		t.Error("assembly ran despite SkipAssembly")
 	}

@@ -69,7 +69,7 @@ func Masking(opt Options) MaskingResult {
 			frags = append(frags, cp)
 		}
 		store := seq.NewStore(frags)
-		res, ph := cluster.Parallel(store, cfg, cluster.DefaultParallelConfig(9))
+		res, ph := mustParallel(store, cfg, cluster.DefaultParallelConfig(9))
 		sum := res.Summarize()
 		return MaskingRun{
 			Aligned:        res.Stats.Aligned,
@@ -93,13 +93,13 @@ func Masking(opt Options) MaskingResult {
 // conventional w-mer lookup-table filter (Section 2 vs Section 5), and
 // the duplicate-elimination variant.
 type FilterResult struct {
-	TreePairs        int64 // maximal-match pairs (no dedup)
-	TreePairsDedup   int64 // with duplicate elimination
-	LookupPairs      int64 // fixed-length w-mer pairs
-	OrderedAligned   int64 // alignments with decreasing-length order
-	ShuffledAligned  int64 // alignments with arbitrary order
-	OrderedSavings   float64
-	ShuffledSavings  float64
+	TreePairs       int64 // maximal-match pairs (no dedup)
+	TreePairsDedup  int64 // with duplicate elimination
+	LookupPairs     int64 // fixed-length w-mer pairs
+	OrderedAligned  int64 // alignments with decreasing-length order
+	ShuffledAligned int64 // alignments with arbitrary order
+	OrderedSavings  float64
+	ShuffledSavings float64
 }
 
 // Filter runs the filter and ordering ablations on one maize-like
@@ -208,7 +208,7 @@ func Comm(opt Options) CommResult {
 	masterPeak := func(ssend bool) int {
 		pcfg := cluster.DefaultParallelConfig(p + 1)
 		pcfg.UseSsend = ssend
-		_, ph := cluster.Parallel(store, cfg, pcfg)
+		_, ph := mustParallel(store, cfg, pcfg)
 		return ph.MasterPeakBufBytes
 	}
 	out.EagerMasterPeak = masterPeak(false)
@@ -227,11 +227,11 @@ func Comm(opt Options) CommResult {
 // does growing the dispatch batch with the machine keep the master's
 // message frequency (and hence its availability) flat?
 type GranularityResult struct {
-	Ranks          []int
-	FixedMsgs      []int
-	ScaledMsgs     []int
-	FixedAvail     []float64
-	ScaledAvail    []float64
+	Ranks       []int
+	FixedMsgs   []int
+	ScaledMsgs  []int
+	FixedAvail  []float64
+	ScaledAvail []float64
 }
 
 // Granularity compares fixed dispatch granularity against the paper's
@@ -247,7 +247,7 @@ func Granularity(opt Options) GranularityResult {
 		for _, scaled := range []bool{false, true} {
 			pcfg := cluster.DefaultParallelConfig(p + 1)
 			pcfg.ScaleBatchWithWorkers = scaled
-			_, ph := cluster.Parallel(store, cfg, pcfg)
+			_, ph := mustParallel(store, cfg, pcfg)
 			if scaled {
 				out.ScaledMsgs = append(out.ScaledMsgs, ph.MasterMsgsRecv)
 				out.ScaledAvail = append(out.ScaledAvail, ph.MasterAvailability)

@@ -34,6 +34,8 @@ type Options struct {
 	Seed int64
 	// Out receives rendered tables; nil discards them.
 	Out io.Writer
+	// Quick shrinks sweeps to CI-sized runs (used by FaultSweep).
+	Quick bool
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +88,17 @@ func maizeReads(seed int64, targetBases int) []*seq.Fragment {
 // sample coverage.
 func maskStatistically(rng *rand.Rand, frags []*seq.Fragment, genomeLen int) []*seq.Fragment {
 	return maskAndFilter(rng, frags, genomeLen, 16, 4, 100)
+}
+
+// mustParallel runs the parallel clustering engine with a
+// configuration the experiment constructed itself; an error here is a
+// harness bug, not an input condition, so it panics.
+func mustParallel(store *seq.Store, cfg cluster.Config, pcfg cluster.ParallelConfig) (*cluster.Result, cluster.PhaseStats) {
+	res, ph, err := cluster.Parallel(store, cfg, pcfg)
+	if err != nil {
+		panic(err)
+	}
+	return res, ph
 }
 
 // clusterConfig returns the clustering parameters used throughout the

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/par"
+	"repro/internal/report"
+	"repro/internal/seq"
+)
+
+// FaultPoint is one arm of the fault sweep.
+type FaultPoint struct {
+	Label          string
+	Crashes        int
+	DropProb       float64
+	Completed      bool // false iff every worker was lost
+	PartitionMatch bool // final partition equals the serial reference
+	WorkersLost    int64
+	Requeued       int64
+	ClusterSeconds float64 // modeled clustering time (max over ranks)
+	OverheadFrac   float64 // (faulty − baseline) / baseline, modeled
+}
+
+// FaultSweepResult holds the fault-tolerance sweep.
+type FaultSweepResult struct {
+	Ranks           int
+	BaselineSeconds float64
+	Points          []FaultPoint
+}
+
+// FaultSweep measures what fail-stop worker crashes and a lossy
+// message layer cost the clustering phase. Every arm must reproduce
+// the serial partition exactly — fault tolerance that changes the
+// answer is not tolerance — so each row reports the partition check
+// alongside lost workers, requeued alignments, and the modeled-time
+// overhead versus a fault-free baseline on the same machine. The
+// whole sweep runs the eager (UseSsend=false) protocol so the crash
+// and drop arms share one baseline.
+func FaultSweep(opt Options) FaultSweepResult {
+	opt = opt.withDefaults()
+	p := 9 // master + 8 workers
+	scale := opt.Scale
+	crashArms := [][]par.Crash{
+		{cluster.CrashWorkerAtReport(2, 3)},
+		{cluster.CrashWorkerAtReport(2, 3), cluster.CrashWorkerAtReport(5, 6)},
+		{cluster.CrashWorkerAtReport(1, 2), cluster.CrashWorkerAtReport(3, 4),
+			cluster.CrashWorkerAtReport(5, 6), cluster.CrashWorkerAtReport(7, 8)},
+	}
+	drops := []float64{0.002, 0.01}
+	if opt.Quick {
+		p = 5 // master + 4 workers
+		scale = min(scale, 40000)
+		crashArms = [][]par.Crash{
+			{cluster.CrashWorkerAtReport(2, 3)},
+			{cluster.CrashWorkerAtReport(2, 3), cluster.CrashWorkerAtReport(4, 6)},
+		}
+		drops = []float64{0.005}
+	}
+
+	store := seq.NewStore(maizeReads(opt.Seed, scale))
+	cfg := clusterConfig()
+	want := partitionLabels(cluster.Serial(store, cfg))
+
+	pcfg := func() cluster.ParallelConfig {
+		c := cluster.DefaultParallelConfig(p)
+		c.UseSsend = false
+		c.LeaseTimeout = 250 * time.Millisecond
+		return c
+	}
+
+	base, basePh := mustParallel(store, cfg, pcfg())
+	res := FaultSweepResult{Ranks: p, BaselineSeconds: basePh.Cluster.MaxModeled}
+	if !matchLabels(partitionLabels(base), want) {
+		panic("experiments: fault-free baseline does not match serial clustering")
+	}
+
+	runArm := func(label string, crashes int, dropProb float64, c cluster.ParallelConfig) {
+		pt := FaultPoint{Label: label, Crashes: crashes, DropProb: dropProb}
+		cres, ph, err := cluster.Parallel(store, cfg, c)
+		if err == nil {
+			pt.Completed = true
+			pt.PartitionMatch = matchLabels(partitionLabels(cres), want)
+			pt.WorkersLost = cres.Stats.WorkersLost
+			pt.Requeued = cres.Stats.Requeued
+			pt.ClusterSeconds = ph.Cluster.MaxModeled
+			pt.OverheadFrac = (pt.ClusterSeconds - res.BaselineSeconds) / res.BaselineSeconds
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	for _, crashes := range crashArms {
+		c := pcfg()
+		c.Faults = &par.FaultPlan{Seed: opt.Seed, Crashes: crashes}
+		runArm(fmt.Sprintf("crash ×%d", len(crashes)), len(crashes), 0, c)
+	}
+	for _, q := range drops {
+		c := pcfg()
+		c.Faults = &par.FaultPlan{Seed: opt.Seed, DropProb: q}
+		runArm(fmt.Sprintf("drop %.1f%%", 100*q), 0, q, c)
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("Fault sweep — %d ranks, modeled baseline %s", p,
+			report.Seconds(res.BaselineSeconds)),
+		"faults", "done", "partition", "lost", "requeued", "cluster", "overhead")
+	for _, pt := range res.Points {
+		if !pt.Completed {
+			tb.AddRow(pt.Label, "no", "—", "—", "—", "—", "—")
+			continue
+		}
+		match := "exact"
+		if !pt.PartitionMatch {
+			match = "WRONG"
+		}
+		tb.AddRow(pt.Label, "yes", match, report.Int(pt.WorkersLost),
+			report.Int(pt.Requeued), report.Seconds(pt.ClusterSeconds),
+			report.Pct(pt.OverheadFrac))
+	}
+	tb.Fprint(opt.Out)
+	return res
+}
+
+// partitionLabels canonicalizes a clustering result: each fragment is
+// labeled with the smallest fragment index in its cluster.
+func partitionLabels(res *cluster.Result) []int {
+	labels := make([]int, res.N)
+	smallest := make(map[int]int)
+	for i := 0; i < res.N; i++ {
+		r := res.UF.Find(i)
+		if _, ok := smallest[r]; !ok {
+			smallest[r] = i
+		}
+		labels[i] = smallest[r]
+	}
+	return labels
+}
+
+func matchLabels(got, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -35,7 +35,7 @@ func Fig9(opt Options) Fig9Result {
 		store := seq.NewStore(frags)
 		for _, p := range opt.Ranks {
 			pcfg := cluster.DefaultParallelConfig(p + 1) // master + p workers
-			cres, ph := cluster.Parallel(store, cfg, pcfg)
+			cres, ph := mustParallel(store, cfg, pcfg)
 			// Worker idle: mean modeled idle over worker ranks only.
 			res.Points = append(res.Points, Fig9Point{
 				InputBases:         store.TotalBases(),

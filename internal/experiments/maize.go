@@ -46,7 +46,10 @@ func Maize(opt Options) MaizeResult {
 		Parallel:          cluster.DefaultParallelConfig(opt.Ranks[len(opt.Ranks)-1] + 1),
 		Assembly:          assembly.DefaultConfig(),
 	}
-	res := core.Run(all, cfg)
+	res, err := core.Run(all, cfg)
+	if err != nil {
+		panic(err) // experiment-constructed config; an error is a harness bug
+	}
 	sum := res.Clustering.Summarize()
 
 	var contigs []assembly.Contig

@@ -1,0 +1,175 @@
+package par
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// FaultPlan is a deterministic, seedable schedule of injected faults,
+// applied at the Send/Recv boundary of a machine. It models the
+// failure modes that dominate past a few hundred ranks on real
+// hardware — rank death, message loss, message delay — while staying
+// reproducible: every decision is drawn from a per-rank RNG in that
+// rank's own operation order, so a rank's fault behaviour does not
+// depend on goroutine scheduling.
+//
+// A nil plan costs nothing: the runtime takes a single nil check per
+// operation and a fault-free run's Stats are bit-identical to a run
+// on a machine without the fault layer.
+type FaultPlan struct {
+	// Seed drives the per-rank randomness for drops and delays. Rank
+	// r uses an independent RNG derived from Seed and r.
+	Seed int64
+	// Crashes schedules rank deaths; see Crash.
+	Crashes []Crash
+	// DropProb silently discards each eager user-tagged (tag ≥ 0)
+	// Send with this probability. Rendezvous sends (Ssend, SendRecv)
+	// and collective traffic (negative internal tags) are modeled as
+	// reliable: the paper's collectives run on acknowledged channels,
+	// and a dropped rendezvous would wedge the sender rather than
+	// model loss.
+	DropProb float64
+	// DelayProb holds back each user-tagged eager message with this
+	// probability; the message is delivered Delay later instead of
+	// immediately.
+	DelayProb float64
+	// Delay is the injected delivery latency for delayed messages.
+	Delay time.Duration
+}
+
+// Crash kills one rank at a deterministic point in its execution.
+type Crash struct {
+	// Rank is the rank to kill.
+	Rank int
+	// AfterSends, when positive, kills the rank immediately *before*
+	// it performs its n-th send whose tag matches Tag (so the n-th
+	// matching message is never transmitted). Tag = AnyTag matches
+	// every send, including collective traffic.
+	AfterSends int
+	// Tag selects which sends AfterSends counts.
+	Tag int
+	// After, when positive, kills the rank at its first runtime
+	// operation once this much wall time has elapsed since the rank
+	// started. Step-based triggers (AfterSends) are preferred for
+	// reproducibility; time-based triggers model wall-clock failures.
+	After time.Duration
+}
+
+// Exit describes how one rank of a Run finished.
+type Exit struct {
+	// OK is true when the rank's body returned normally.
+	OK bool
+	// FaultKilled is true when the rank was killed by the fault plan
+	// (as opposed to a genuine panic or a dead-rank cascade).
+	FaultKilled bool
+	// Reason describes why the rank died; empty when OK.
+	Reason string
+}
+
+// rankCrash is the panic sentinel that unwinds a dying rank's stack.
+// Run's recovery recognizes it and records an Exit instead of
+// propagating the panic.
+type rankCrash struct {
+	killed bool // true: fault-plan kill; false: dead-rank cascade
+	reason string
+}
+
+// faultState is one rank's private view of the plan.
+type faultState struct {
+	plan     *FaultPlan
+	rng      *rand.Rand
+	triggers []crashTrigger
+	deadAt   time.Duration // earliest time-based kill; 0 = none
+}
+
+type crashTrigger struct {
+	tag       int
+	remaining int
+}
+
+func newFaultState(plan *FaultPlan, rank int) *faultState {
+	if plan == nil {
+		return nil
+	}
+	fs := &faultState{
+		plan: plan,
+		rng:  rand.New(rand.NewSource(plan.Seed ^ int64(uint64(rank+1)*0x9e3779b97f4a7c15))),
+	}
+	for _, cr := range plan.Crashes {
+		if cr.Rank != rank {
+			continue
+		}
+		if cr.AfterSends > 0 {
+			fs.triggers = append(fs.triggers, crashTrigger{tag: cr.Tag, remaining: cr.AfterSends})
+		}
+		if cr.After > 0 && (fs.deadAt == 0 || cr.After < fs.deadAt) {
+			fs.deadAt = cr.After
+		}
+	}
+	return fs
+}
+
+// die kills the rank: its mailbox is torn down (pending rendezvous
+// senders are released, future deliveries discarded), every blocked
+// rank is woken so dead-rank detection can fire, and the rank's stack
+// unwinds via the crash sentinel.
+func (c *Comm) die(killed bool, reason string) {
+	c.m.markCrashed(c.rank)
+	panic(rankCrash{killed: killed, reason: reason})
+}
+
+// checkTime fires any due time-based crash. Called at every runtime
+// operation; a single nil check when no plan is set.
+func (c *Comm) checkTime() {
+	if c.fs == nil || c.fs.deadAt == 0 {
+		return
+	}
+	if time.Since(c.start) >= c.fs.deadAt {
+		c.die(true, fmt.Sprintf("fault plan: killed %v after rank start", c.fs.deadAt))
+	}
+}
+
+// checkSend fires any due send-count crash; it must run before the
+// message is delivered so the fatal send is lost with the rank.
+func (c *Comm) checkSend(tag int) {
+	c.checkTime()
+	if c.fs == nil {
+		return
+	}
+	for i := range c.fs.triggers {
+		t := &c.fs.triggers[i]
+		if t.remaining <= 0 || (t.tag != AnyTag && t.tag != tag) {
+			continue
+		}
+		t.remaining--
+		if t.remaining == 0 {
+			c.die(true, fmt.Sprintf("fault plan: killed before send (tag %d)", tag))
+		}
+	}
+}
+
+// deliver applies drop/delay faults to an eager user-tagged message
+// and reports whether the message was dropped. Rendezvous envelopes
+// and internal (negative) tags always deliver immediately.
+func (c *Comm) deliver(dst int, e envelope) bool {
+	if c.fs != nil && e.tag >= 0 && e.ack == nil {
+		p := c.fs.plan
+		if p.DropProb > 0 && c.fs.rng.Float64() < p.DropProb {
+			c.st.MsgsDropped++
+			return true
+		}
+		if p.Delay > 0 && p.DelayProb > 0 && c.fs.rng.Float64() < p.DelayProb {
+			box := c.m.boxes[dst]
+			c.m.delayed.Add(1)
+			time.AfterFunc(p.Delay, func() {
+				box.put(e)
+				c.m.delayed.Add(-1)
+				c.m.wakeAll()
+			})
+			return false
+		}
+	}
+	c.m.boxes[dst].put(e)
+	return false
+}

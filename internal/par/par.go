@@ -14,11 +14,19 @@
 // (wall time minus time spent blocked). This hybrid preserves the
 // communication/computation breakdown the paper reports (Fig. 5)
 // without pretending channel latency is network latency.
+//
+// The runtime can also inject faults — deterministic rank crashes,
+// probabilistic message drops and delays — through a FaultPlan in the
+// Config, and exposes the primitives fault-tolerant protocols need:
+// RecvTimeout, ProbeDeadline and RankDead. A rank that would block
+// forever on a crashed peer is itself crashed (dead-rank cascade), so
+// Run always returns with a per-rank exit status instead of hanging.
 package par
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -52,6 +60,9 @@ type Config struct {
 	// Cost model; zero values take BlueGene/L-like defaults.
 	Alpha time.Duration // per-message latency
 	Beta  float64       // bandwidth, bytes/second
+	// Faults, when non-nil, injects the plan's crashes, drops and
+	// delays. Nil runs fault-free with zero overhead.
+	Faults *FaultPlan
 }
 
 // DefaultConfig returns a machine with p ranks and BlueGene/L-like
@@ -77,13 +88,23 @@ type envelope struct {
 	ack  chan struct{} // non-nil for synchronous (rendezvous) sends
 }
 
+// takeOutcome reports how a blocking mailbox wait ended.
+type takeOutcome int
+
+const (
+	takeOK       takeOutcome = iota
+	takeTimeout              // deadline passed with no matching message
+	takeDeadRank             // the wait can never be satisfied: source(s) crashed
+)
+
 // mailbox is one rank's incoming message queue with (src, tag) matching.
 type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []envelope
-	bytes int // current buffered bytes
-	peak  int // high-water mark of buffered bytes
+	bytes int  // current buffered bytes
+	peak  int  // high-water mark of buffered bytes
+	dead  bool // owner rank crashed; discard deliveries
 }
 
 func newMailbox() *mailbox {
@@ -94,6 +115,15 @@ func newMailbox() *mailbox {
 
 func (mb *mailbox) put(e envelope) {
 	mb.mu.Lock()
+	if mb.dead {
+		mb.mu.Unlock()
+		// Delivery to a crashed rank: the bytes vanish, but a
+		// rendezvous sender must not wedge waiting for a match.
+		if e.ack != nil {
+			close(e.ack)
+		}
+		return
+	}
 	mb.queue = append(mb.queue, e)
 	// A rendezvous (ack != nil) message conceptually stays in the
 	// sender's memory until matched, as with MPI_Ssend; only eager
@@ -108,19 +138,87 @@ func (mb *mailbox) put(e envelope) {
 	mb.cond.Broadcast()
 }
 
-// take removes and returns the first queued message matching (src, tag),
-// blocking until one arrives. It reports how long it blocked.
-func (mb *mailbox) take(src, tag int) (envelope, time.Duration) {
+// kill tears the mailbox down when its owner crashes: queued
+// rendezvous senders are released and future deliveries discarded.
+func (mb *mailbox) kill() {
+	mb.mu.Lock()
+	mb.dead = true
+	for _, e := range mb.queue {
+		if e.ack != nil {
+			close(e.ack)
+		}
+	}
+	mb.queue = nil
+	mb.bytes = 0
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) wake() { mb.cond.Broadcast() }
+
+func (mb *mailbox) peakBytes() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.peak
+}
+
+// take removes and returns the first queued message matching
+// (src, tag). It blocks until one arrives, the deadline passes (zero
+// deadline: no limit), or the machine knows the wait can never be
+// satisfied because the source rank(s) crashed. It reports how long
+// it blocked.
+func (mb *mailbox) take(m *machine, self, src, tag int, deadline time.Time) (envelope, time.Duration, takeOutcome) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	var blocked time.Duration
+	var timer *time.Timer
+	if !deadline.IsZero() {
+		// sync.Cond has no timed wait; an AfterFunc broadcast wakes
+		// the loop to re-check the deadline.
+		timer = time.AfterFunc(time.Until(deadline), mb.cond.Broadcast)
+		defer timer.Stop()
+	}
 	for {
 		for i, e := range mb.queue {
 			if (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag) {
 				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
 				mb.consume(e)
-				return e, blocked
+				return e, blocked, takeOK
 			}
+		}
+		if m.blockedForever(self, src) {
+			return envelope{}, blocked, takeDeadRank
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return envelope{}, blocked, takeTimeout
+		}
+		start := time.Now()
+		mb.cond.Wait()
+		blocked += time.Since(start)
+	}
+}
+
+// peekWait blocks like take but leaves the matching message queued.
+func (mb *mailbox) peekWait(m *machine, self, src, tag int, deadline time.Time) (time.Duration, takeOutcome) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	var blocked time.Duration
+	var timer *time.Timer
+	if !deadline.IsZero() {
+		timer = time.AfterFunc(time.Until(deadline), mb.cond.Broadcast)
+		defer timer.Stop()
+	}
+	for {
+		for _, e := range mb.queue {
+			if (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag) {
+				return blocked, takeOK
+			}
+		}
+		if m.blockedForever(self, src) {
+			return blocked, takeDeadRank
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return blocked, takeTimeout
 		}
 		start := time.Now()
 		mb.cond.Wait()
@@ -157,8 +255,43 @@ func (mb *mailbox) consume(e envelope) {
 
 // machine is the shared state of one Run.
 type machine struct {
-	cfg   Config
-	boxes []*mailbox
+	cfg     Config
+	boxes   []*mailbox
+	crashed []atomic.Bool // rank died (fault kill, panic, or cascade)
+	delayed atomic.Int64  // fault-delayed messages still in flight
+}
+
+// markCrashed records a rank death and wakes every blocked rank so
+// dead-rank detection can fire.
+func (m *machine) markCrashed(rank int) {
+	m.crashed[rank].Store(true)
+	m.boxes[rank].kill()
+	m.wakeAll()
+}
+
+func (m *machine) wakeAll() {
+	for _, b := range m.boxes {
+		b.wake()
+	}
+}
+
+// blockedForever reports whether a receive posted by rank self with
+// source selector src can never be satisfied: the named source has
+// crashed, or (wildcard) every other rank has — and no fault-delayed
+// message is still in flight.
+func (m *machine) blockedForever(self, src int) bool {
+	if m.delayed.Load() > 0 {
+		return false
+	}
+	if src != AnySource {
+		return m.crashed[src].Load()
+	}
+	for r := range m.crashed {
+		if r != self && !m.crashed[r].Load() {
+			return false
+		}
+	}
+	return true
 }
 
 // Comm is one rank's handle to the machine, valid only inside the
@@ -168,6 +301,7 @@ type Comm struct {
 	rank  int
 	st    Stats
 	start time.Time
+	fs    *faultState // nil when no fault plan is set
 }
 
 // Rank returns this rank's index in [0, Size).
@@ -175,6 +309,11 @@ func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return c.m.cfg.Ranks }
+
+// RankDead reports whether rank r has crashed — killed by the fault
+// plan, panicked, or cascaded from blocking on a dead rank. It never
+// reports true for a rank that finished its body normally.
+func (c *Comm) RankDead(r int) bool { return c.m.crashed[r].Load() }
 
 // chargeComm adds one modeled message transfer to this rank's
 // communication time.
@@ -199,24 +338,29 @@ func (c *Comm) Snapshot() Stats {
 
 // Send delivers data to dst with tag. It is buffered (never blocks) —
 // the analogue of an eager MPI_Send. The data slice is owned by the
-// receiver after the call; do not reuse it.
+// receiver after the call; do not reuse it. Under a fault plan the
+// message may be dropped or delayed.
 func (c *Comm) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("par: send to invalid rank %d", dst))
 	}
+	c.checkSend(tag)
 	c.st.MsgsSent++
 	c.st.BytesSent += len(data)
 	c.chargeComm(len(data))
-	c.m.boxes[dst].put(envelope{src: c.rank, tag: tag, data: data})
+	c.deliver(dst, envelope{src: c.rank, tag: tag, data: data})
 }
 
 // Ssend is a synchronous (rendezvous) send: it returns only after the
 // receiver has matched the message, the analogue of MPI_Ssend the paper
 // adopts to avoid overflowing the master's receive buffers (Section 7).
+// If the receiver has crashed, Ssend completes immediately (the
+// message vanishes, as on a network whose peer reset the connection).
 func (c *Comm) Ssend(dst, tag int, data []byte) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("par: ssend to invalid rank %d", dst))
 	}
+	c.checkSend(tag)
 	ack := make(chan struct{})
 	c.st.MsgsSent++
 	c.st.BytesSent += len(data)
@@ -227,11 +371,9 @@ func (c *Comm) Ssend(dst, tag int, data []byte) {
 	c.st.Blocked += time.Since(start)
 }
 
-// Recv blocks until a message matching (src, tag) arrives; wildcards
-// AnySource and AnyTag match anything.
-func (c *Comm) Recv(src, tag int) Message {
-	e, blocked := c.m.boxes[c.rank].take(src, tag)
-	c.st.Blocked += blocked
+// accountRecv books a matched envelope into the rank's statistics and
+// releases a rendezvous sender.
+func (c *Comm) accountRecv(e envelope) Message {
 	c.st.MsgsRecv++
 	c.st.BytesRecv += len(e.data)
 	c.chargeComm(len(e.data))
@@ -241,20 +383,54 @@ func (c *Comm) Recv(src, tag int) Message {
 	return Message{Src: e.src, Tag: e.tag, Data: e.data}
 }
 
+// Recv blocks until a message matching (src, tag) arrives; wildcards
+// AnySource and AnyTag match anything. If the wait can never be
+// satisfied because the source rank(s) crashed, the receiving rank
+// itself crashes (dead-rank cascade) so the machine never hangs.
+func (c *Comm) Recv(src, tag int) Message {
+	c.checkTime()
+	e, blocked, out := c.m.boxes[c.rank].take(c.m, c.rank, src, tag, time.Time{})
+	c.st.Blocked += blocked
+	if out == takeDeadRank {
+		c.die(false, fmt.Sprintf("blocked in Recv(src=%d, tag=%d) on crashed rank(s)", src, tag))
+	}
+	return c.accountRecv(e)
+}
+
+// RecvTimeout is Recv with a deadline: ok is false if no matching
+// message arrived within d, or if the source rank(s) are known to
+// have crashed (so the caller can distinguish a dead peer from a slow
+// one with RankDead). It is the primitive lease-based protocols poll
+// on.
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, bool) {
+	c.checkTime()
+	e, blocked, out := c.m.boxes[c.rank].take(c.m, c.rank, src, tag, time.Now().Add(d))
+	c.st.Blocked += blocked
+	if out != takeOK {
+		return Message{}, false
+	}
+	return c.accountRecv(e), true
+}
+
+// ProbeDeadline blocks until a message matching (src, tag) is
+// available — without consuming it — or the deadline d expires.
+// It reports whether a matching message is queued.
+func (c *Comm) ProbeDeadline(src, tag int, d time.Duration) bool {
+	c.checkTime()
+	blocked, out := c.m.boxes[c.rank].peekWait(c.m, c.rank, src, tag, time.Now().Add(d))
+	c.st.Blocked += blocked
+	return out == takeOK
+}
+
 // Probe is a non-blocking receive; ok is false if no matching message
 // is queued.
 func (c *Comm) Probe(src, tag int) (Message, bool) {
+	c.checkTime()
 	e, ok := c.m.boxes[c.rank].tryTake(src, tag)
 	if !ok {
 		return Message{}, false
 	}
-	c.st.MsgsRecv++
-	c.st.BytesRecv += len(e.data)
-	c.chargeComm(len(e.data))
-	if e.ack != nil {
-		close(e.ack)
-	}
-	return Message{Src: e.src, Tag: e.tag, Data: e.data}, true
+	return c.accountRecv(e), true
 }
 
 // SendRecv concurrently performs a synchronous send to dst and a
@@ -263,6 +439,7 @@ func (c *Comm) Probe(src, tag int) (Message, bool) {
 // so the outgoing buffer never accumulates in the destination's
 // receive space (the property the paper's customized Alltoallv needs).
 func (c *Comm) SendRecv(dst int, data []byte, src, tag int) Message {
+	c.checkSend(tag)
 	ack := make(chan struct{})
 	c.m.boxes[dst].put(envelope{src: c.rank, tag: tag, data: data, ack: ack})
 	c.st.MsgsSent++
@@ -275,41 +452,77 @@ func (c *Comm) SendRecv(dst int, data []byte, src, tag int) Message {
 	return msg
 }
 
-// Run executes body on every rank of a machine with the given config
-// and returns per-rank statistics. It panics if any rank panics.
-func Run(cfg Config, body func(c *Comm)) []Stats {
+// RunStatus executes body on every rank of a machine with the given
+// config and returns per-rank statistics and exit statuses. Unlike
+// Run it never panics on a rank death and never hangs: a rank that
+// blocks forever on a crashed peer is crashed in turn, so every rank
+// terminates and its fate is reported in the Exit slice.
+func RunStatus(cfg Config, body func(c *Comm)) ([]Stats, []Exit) {
 	cfg = cfg.withDefaults()
 	if cfg.Ranks < 1 {
 		panic("par: need at least one rank")
 	}
-	m := &machine{cfg: cfg, boxes: make([]*mailbox, cfg.Ranks)}
+	m := &machine{
+		cfg:     cfg,
+		boxes:   make([]*mailbox, cfg.Ranks),
+		crashed: make([]atomic.Bool, cfg.Ranks),
+	}
 	for i := range m.boxes {
 		m.boxes[i] = newMailbox()
 	}
 	stats := make([]Stats, cfg.Ranks)
+	exits := make([]Exit, cfg.Ranks)
 	var wg sync.WaitGroup
-	panics := make(chan interface{}, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			c := &Comm{m: m, rank: rank, start: time.Now(), fs: newFaultState(cfg.Faults, rank)}
 			defer func() {
+				c.st.Wall = time.Since(c.start)
+				c.st.PeakBufBytes = m.boxes[rank].peakBytes()
+				stats[rank] = c.st
 				if p := recover(); p != nil {
-					panics <- fmt.Sprintf("rank %d: %v", rank, p)
+					// Mark genuine panics too, so ranks blocked on
+					// this one cascade instead of hanging.
+					m.markCrashed(rank)
+					if rc, ok := p.(rankCrash); ok {
+						exits[rank] = Exit{FaultKilled: rc.killed, Reason: rc.reason}
+					} else {
+						exits[rank] = Exit{Reason: fmt.Sprintf("panic: %v", p)}
+					}
+					return
 				}
+				exits[rank] = Exit{OK: true}
 			}()
-			c := &Comm{m: m, rank: rank, start: time.Now()}
 			body(c)
-			c.st.Wall = time.Since(c.start)
-			c.st.PeakBufBytes = m.boxes[rank].peak
-			stats[rank] = c.st
 		}(r)
 	}
 	wg.Wait()
-	select {
-	case p := <-panics:
-		panic(p)
-	default:
+	return stats, exits
+}
+
+// Run executes body on every rank of a machine with the given config
+// and returns per-rank statistics. It panics if any rank panics or
+// dies; fault-tolerant callers that expect rank deaths should use
+// RunStatus instead.
+func Run(cfg Config, body func(c *Comm)) []Stats {
+	stats, exits := RunStatus(cfg, body)
+	// Prefer reporting a genuine panic over its cascade victims.
+	firstBad := -1
+	for r, e := range exits {
+		if e.OK {
+			continue
+		}
+		if len(e.Reason) >= 6 && e.Reason[:6] == "panic:" {
+			panic(fmt.Sprintf("rank %d: %s", r, e.Reason))
+		}
+		if firstBad < 0 {
+			firstBad = r
+		}
+	}
+	if firstBad >= 0 {
+		panic(fmt.Sprintf("rank %d: %s", firstBad, exits[firstBad].Reason))
 	}
 	return stats
 }

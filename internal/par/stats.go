@@ -22,6 +22,8 @@ type Stats struct {
 	BytesSent int
 	BytesRecv int
 
+	MsgsDropped int // eager sends discarded by an injected fault plan
+
 	PeakBufBytes int // high-water mark of this rank's receive buffers
 }
 

@@ -72,6 +72,13 @@ type Local struct {
 	SuffixesOwned int
 	// FetchRounds is the number of batched fragment-fetch rounds.
 	FetchRounds int
+	// Splitters is the agreed bucket-to-rank partition of the key
+	// space; every rank holds the same copy, so any survivor can
+	// recompute which buckets a dead rank owned (fault recovery).
+	Splitters []seq.Kmer
+	// Cfg is the construction configuration after defaulting, kept so
+	// a portion can be rebuilt later with identical parameters.
+	Cfg Config
 }
 
 // ownerBounds partitions fragment IDs contiguously so each owner rank
@@ -205,7 +212,59 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 		Buckets:       len(buckets),
 		SuffixesOwned: nsuf,
 		FetchRounds:   rounds,
+		Splitters:     splitters,
+		Cfg:           cfg,
 	}
+}
+
+// RebuildPortion reconstructs, on the calling rank, the GST portion
+// that the bucket partition assigned to rank dead. It is the fault
+// recovery path: the splitters every rank retained determine exactly
+// which w-prefix buckets the dead rank owned, and since every rank can
+// read the full store, a survivor re-enumerates all suffixes, keeps
+// the dead rank's share, and builds those subtrees locally. The
+// result generates exactly the pairs the dead rank's tree would have
+// (pair generation is a per-bucket computation).
+//
+// This is a local (non-collective) operation; its computation is
+// charged to the calling rank, modeling the recovery cost.
+func RebuildPortion(c *par.Comm, st *seq.Store, local *Local, dead int) *suffixtree.Tree {
+	cfg := local.Cfg
+	var mine []keyedSuffix
+	var chars int64
+	for sid := 0; sid < st.NumSeqs(); sid++ {
+		s := st.Seq(sid)
+		chars += int64(len(s))
+		sufs := suffixtree.EnumerateSuffixes(
+			func(int32) []byte { return s }, []int32{int32(sid)}, cfg.MinLen)
+		for _, sf := range sufs {
+			key, ok := suffixtree.BucketKey(s, int(sf.Pos), cfg.W)
+			if !ok || destOf(local.Splitters, key, cfg.FirstOwner) != dead {
+				continue
+			}
+			mine = append(mine, keyedSuffix{key, sf})
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].key < mine[j].key })
+	c.ChargeCompute(float64(chars)*costChar +
+		float64(len(mine))*(costSuf+log2f(len(mine))*costSort))
+
+	access := func(sid int32) []byte { return st.Seq(int(sid)) }
+	ib := suffixtree.NewIncrementalBuilder(cfg.W)
+	for lo := 0; lo < len(mine); {
+		hi := lo
+		for hi < len(mine) && mine[hi].key == mine[lo].key {
+			hi++
+		}
+		b := make([]suffixtree.Suffix, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			b = append(b, mine[i].suf)
+		}
+		ib.AddBucket(access, b)
+		lo = hi
+	}
+	c.ChargeCompute(float64(ib.Work()) * costChar)
+	return ib.Tree()
 }
 
 func log2f(n int) float64 {

@@ -281,3 +281,55 @@ func TestEmptyStore(t *testing.T) {
 		}
 	}
 }
+
+// TestRebuildPortion: a survivor rebuilding a dead rank's GST portion
+// from the shared store must recover exactly the pairs the dead
+// rank's own tree would have generated.
+func TestRebuildPortion(t *testing.T) {
+	st := testStore(2, 6000, 3.0)
+	const w, psi = 6, 8
+	const p = 4
+
+	locals := make([]*Local, p)
+	par.Run(par.DefaultConfig(p), func(c *par.Comm) {
+		locals[c.Rank()] = Build(c, st, Config{
+			W: w, MinLen: psi, FirstOwner: 1, BatchBytes: 1 << 20, Seed: 7,
+		})
+	})
+
+	for _, dead := range []int{1, 3} {
+		want := collectPairs(locals[dead].Tree, psi, st.N())
+		sort.Strings(want)
+		if dead == 1 && len(want) == 0 {
+			t.Fatal("dead rank generates no pairs; weak test")
+		}
+
+		var rebuilt *suffixtree.Tree
+		par.Run(par.DefaultConfig(p), func(c *par.Comm) {
+			if c.Rank() == 2 { // an arbitrary survivor adopts
+				rebuilt = RebuildPortion(c, st, locals[2], dead)
+			}
+		})
+		got := collectPairs(rebuilt, psi, st.N())
+		sort.Strings(got)
+		if len(got) != len(want) {
+			t.Fatalf("dead=%d: rebuilt tree yields %d pairs, original %d", dead, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dead=%d: pair %d differs: %s != %s", dead, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Rank 0 owns no buckets under FirstOwner=1: rebuilding it must
+	// yield an empty tree, not a crash.
+	par.Run(par.DefaultConfig(p), func(c *par.Comm) {
+		if c.Rank() == 1 {
+			empty := RebuildPortion(c, st, locals[1], 0)
+			if n := len(collectPairs(empty, psi, st.N())); n != 0 {
+				t.Errorf("portion of bucketless rank 0 generated %d pairs", n)
+			}
+		}
+	})
+}

@@ -121,6 +121,9 @@ func (r *Reader) String() string { return string(r.Bytes()) }
 // Ints decodes a length-prefixed slice of signed varints.
 func (r *Reader) Ints() []int {
 	n := int(r.Uint())
+	if n < 0 || n > r.Remaining() { // every varint is ≥ 1 byte
+		panic("wire: truncated ints")
+	}
 	vs := make([]int, n)
 	for i := range vs {
 		vs[i] = r.Int()

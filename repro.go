@@ -60,8 +60,10 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // DefaultParallelConfig returns a p-rank master–worker configuration.
 func DefaultParallelConfig(p int) ParallelConfig { return cluster.DefaultParallelConfig(p) }
 
-// Run executes preprocess → cluster → assemble on the fragments.
-func Run(frags []*Fragment, cfg Config) *Result { return core.Run(frags, cfg) }
+// Run executes preprocess → cluster → assemble on the fragments. It
+// returns an error when the parallel machine is misconfigured or a
+// fault-injection run loses too many workers to finish.
+func Run(frags []*Fragment, cfg Config) (*Result, error) { return core.Run(frags, cfg) }
 
 // NewStore indexes fragments (and their reverse complements) for
 // direct use of the clustering and assembly engines.

@@ -44,7 +44,10 @@ func TestFacadeRunSmoke(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Cluster.Psi = 16
 	cfg.Cluster.W = 8
-	res := Run(reads, cfg)
+	res, err := Run(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Clusters) == 0 || res.TotalContigs() == 0 {
 		t.Fatalf("pipeline produced nothing: %d clusters, %d contigs",
 			len(res.Clusters), res.TotalContigs())
@@ -120,7 +123,10 @@ func TestScaffoldEndToEnd(t *testing.T) {
 	cfg.Cluster.Psi = 16
 	cfg.Cluster.W = 8
 	cfg.PreprocessEnabled = false
-	res := Run(frags, cfg)
+	res, err := Run(frags, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var contigs []Contig
 	for _, cs := range res.Contigs {
