@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race faults ci
+.PHONY: all build vet test race faults obs ci
 
 all: build
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par ./internal/cluster
+	$(GO) test -race ./internal/par ./internal/cluster ./internal/obs
 
 # Full-repo race run; the experiments package makes this slow.
 race-all:
@@ -25,4 +25,13 @@ race-all:
 faults:
 	$(GO) run ./cmd/experiments -run faults -quick
 
-ci: vet build test race faults
+# Instrumented quickstart: runs two quick experiments with tracing on
+# and validates that every emitted trace file parses as balanced
+# Chrome trace_event JSON (tracecheck is the Perfetto-load stand-in).
+OBS_TRACE_DIR := $(shell mktemp -d 2>/dev/null || echo /tmp/obs-traces)
+obs:
+	$(GO) run ./cmd/experiments -run fig5,faults -quick -ranks 2,4 -trace-out $(OBS_TRACE_DIR)
+	$(GO) run ./cmd/tracecheck $(OBS_TRACE_DIR)/*.trace.json
+	rm -rf $(OBS_TRACE_DIR)
+
+ci: vet build test race faults obs

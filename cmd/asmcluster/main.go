@@ -20,6 +20,7 @@ import (
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -33,10 +34,28 @@ func main() {
 	minIdentity := flag.Float64("minidentity", 0.90, "minimum overlap identity")
 	faults := flag.String("faults", "", "fault injection spec, e.g. crash=2@5,drop=0.01,seed=7 (see cluster.ParseFaults)")
 	lease := flag.Duration("lease", 250*time.Millisecond, "master lease timeout for fault runs")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this host:port while running")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace JSON of the run to this file (load in ui.perfetto.dev)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var tr *obs.Tracer
+	var reg *obs.Registry
+	if *obsAddr != "" || *traceOut != "" {
+		tr = obs.NewTracer(*ranks, obs.DefaultRingCap)
+		reg = obs.NewRegistry()
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s (/metrics /trace /timeline /debug/pprof)\n", srv.Addr)
 	}
 
 	f, err := os.Open(*in)
@@ -61,6 +80,8 @@ func main() {
 	var res *cluster.Result
 	if *ranks >= 2 {
 		pcfg := cluster.DefaultParallelConfig(*ranks)
+		pcfg.Trace = tr
+		pcfg.Metrics = reg
 		if *faults != "" {
 			plan, err := cluster.ParseFaults(*faults)
 			if err != nil {
@@ -117,4 +138,20 @@ func main() {
 		fmt.Fprintf(bw, "%s\t%d\n", store.Fragment(i).Name, labels[i])
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeTrace(tf); err == nil {
+			err = tf.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *traceOut)
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/preprocess"
 	"repro/internal/report"
 	"repro/internal/seq"
@@ -32,10 +33,25 @@ func main() {
 	w := flag.Int("w", 10, "GST bucket prefix length (≤ ψ)")
 	mask := flag.Bool("mask", false, "statistically detect and mask repeats first")
 	seed := flag.Int64("seed", 1, "seed for repeat-detection sampling")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this host:port while running")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var tr *obs.Tracer
+	var reg *obs.Registry
+	if *obsAddr != "" {
+		tr = obs.NewTracer(*ranks, obs.DefaultRingCap)
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*obsAddr, reg, tr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmpipeline:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("observability server on http://%s (/metrics /trace /timeline /debug/pprof)\n", srv.Addr)
 	}
 
 	f, err := os.Open(*in)
@@ -78,6 +94,8 @@ func main() {
 	}
 	if *ranks >= 2 {
 		cfg.Parallel = repro.DefaultParallelConfig(*ranks)
+		cfg.Parallel.Trace = tr
+		cfg.Parallel.Metrics = reg
 	}
 
 	res, err := repro.Run(frags, cfg)

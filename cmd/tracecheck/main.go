@@ -1,0 +1,105 @@
+// Command tracecheck validates Chrome trace_event JSON files written
+// by -trace-out: each file must parse, contain events, carry the
+// required keys, and keep begin/end events balanced per track. It is
+// the Makefile's cheap stand-in for loading the file in Perfetto.
+//
+// Usage:
+//
+//	tracecheck traces/fig5.trace.json traces/faults.trace.json
+//
+// Exits non-zero if any file fails validation.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+}
+
+type track struct{ pid, tid int }
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("not trace_event JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("no events")
+	}
+	// depth[track][name] counts open spans; "E" must never underflow.
+	depth := map[track]map[string]int{}
+	ranks := map[track]bool{}
+	spans, instants := 0, 0
+	for i, e := range tf.TraceEvents {
+		if e.Name == "" || e.Ph == "" {
+			return fmt.Errorf("event %d: missing name or ph", i)
+		}
+		if e.Ph == "M" {
+			continue // metadata carries no timestamp
+		}
+		if e.Ts == nil || e.Pid == nil || e.Tid == nil {
+			return fmt.Errorf("event %d (%s %q): missing ts, pid or tid", i, e.Ph, e.Name)
+		}
+		k := track{*e.Pid, *e.Tid}
+		ranks[k] = true
+		switch e.Ph {
+		case "B":
+			if depth[k] == nil {
+				depth[k] = map[string]int{}
+			}
+			depth[k][e.Name]++
+			spans++
+		case "E":
+			if depth[k][e.Name] == 0 {
+				return fmt.Errorf("event %d: unmatched E %q on pid=%d tid=%d", i, e.Name, k.pid, k.tid)
+			}
+			depth[k][e.Name]--
+		case "i":
+			instants++
+		default:
+			return fmt.Errorf("event %d: unexpected ph %q", i, e.Ph)
+		}
+	}
+	open := 0
+	for _, names := range depth {
+		for _, d := range names {
+			open += d
+		}
+	}
+	fmt.Printf("%s: ok — %d events, %d tracks, %d spans, %d instants, %d unclosed\n",
+		path, len(tf.TraceEvents), len(ranks), spans, instants, open)
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

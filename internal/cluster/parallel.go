@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pairgen"
 	"repro/internal/par"
 	"repro/internal/pgst"
@@ -63,6 +64,18 @@ type ParallelConfig struct {
 	// are restored, and workers regenerate pairs from scratch (the
 	// union–find makes re-delivered pairs harmless).
 	ResumeFrom []byte
+
+	// Trace, when non-nil, records phase spans (GST / cluster / align /
+	// recover) and protocol events (lease grant/expire/adopt, merges,
+	// pair generation, checkpoints) alongside the runtime's message
+	// events. It is installed into Machine unless Machine.Trace is
+	// already set.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives counters, gauges and histograms
+	// from the master and workers (merge rate, pending-queue depth,
+	// alignment-length and batch-latency distributions). Nil disables
+	// all metric updates.
+	Metrics *obs.Registry
 }
 
 // DefaultParallelConfig returns a p-rank configuration with paper-like
@@ -97,6 +110,9 @@ func (c ParallelConfig) withDefaults() ParallelConfig {
 	}
 	if c.Machine.Ranks == 0 {
 		c.Machine = par.DefaultConfig(c.Ranks)
+	}
+	if c.Machine.Trace == nil {
+		c.Machine.Trace = c.Trace
 	}
 	if c.Faults != nil {
 		c.Machine.Faults = c.Faults
@@ -195,10 +211,12 @@ func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, Phase
 	gstSnaps := make([]par.Stats, pcfg.Ranks)
 	masterWork := 0.0
 	var masterErr error
+	mx := newClusterMetrics(pcfg.Metrics)
 	start := time.Now()
 
 	stats, exits := par.RunStatus(pcfg.Machine, func(c *par.Comm) {
 		// Phase 1: distributed GST over workers (rank 0 owns no buckets).
+		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseGST, 0, 0)
 		local := pgst.Build(c, store, pgst.Config{
 			W:          cfg.W,
 			MinLen:     cfg.Psi,
@@ -208,19 +226,23 @@ func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, Phase
 			Seed:       12345,
 		})
 		c.Barrier()
+		c.TraceEvent(obs.EvPhaseExit, obs.PhaseGST, 0, 0)
 		gstSnaps[c.Rank()] = c.Snapshot()
 
 		// Phase 2: master–worker clustering.
+		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseCluster, 0, 0)
 		if c.Rank() == 0 {
-			uf, st, busy, err := runMaster(c, store, cfg, pcfg, resume)
+			uf, st, busy, err := runMaster(c, store, cfg, pcfg, resume, mx)
 			result.UF = uf
 			result.Stats = st
 			masterWork = busy
 			masterErr = err
 		} else {
-			runWorker(c, store, local, cfg, pcfg)
+			runWorker(c, store, local, cfg, pcfg, mx)
 		}
+		c.TraceEvent(obs.EvPhaseExit, obs.PhaseCluster, 0, 0)
 	})
+	mx.publishRankStats(stats)
 
 	if !exits[0].OK {
 		return nil, PhaseStats{Exits: exits}, fmt.Errorf("cluster: master rank died: %s", exits[0].Reason)
@@ -288,7 +310,7 @@ func subtractStats(a, b par.Stats) par.Stats {
 // which is why a worker that reported passive can die without losing
 // coverage, and any dropped message eventually expires the lease and
 // re-assigns both the leased batches and the coverage.
-func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, resume *Checkpoint) (*unionfind.UF, Stats, float64, error) {
+func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, resume *Checkpoint, mx clusterMetrics) (*unionfind.UF, Stats, float64, error) {
 	uf := unionfind.New(store.N())
 	var st Stats
 	busy := 0.0
@@ -407,6 +429,7 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 
 	sendWork := func(worker int, batch []pairgen.Pair) {
 		st.Aligned += int64(len(batch))
+		mx.pairsAligned.Add(int64(len(batch)))
 		if len(batch) > 0 {
 			owed[worker] = append(owed[worker], batch)
 		}
@@ -419,8 +442,10 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 			covers[worker] = append(covers[worker], orphans...)
 			delete(passive, worker)
 			orphans = nil
+			c.TraceEvent(obs.EvLeaseAdopt, int64(worker), int64(len(wk.adopt)), 0)
 		}
 		wk.r = requestSize(worker)
+		c.TraceEvent(obs.EvLeaseGrant, int64(worker), int64(len(batch)), int64(wk.r))
 		c.Send(worker, tagWork, encodeWork(wk))
 		expected[worker]++
 		if ft {
@@ -439,13 +464,17 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 		}
 		dead[w] = true
 		st.WorkersLost++
+		mx.workersLost.Inc()
 		inFlight -= expected[w]
 		expected[w] = 0
+		requeued := int64(0)
 		for _, b := range owed[w] {
 			st.Aligned -= int64(len(b))
 			st.Requeued += int64(len(b))
+			requeued += int64(len(b))
 			pending.pushAll(b)
 		}
+		c.TraceEvent(obs.EvLeaseExpire, int64(w), requeued, 0)
 		delete(owed, w)
 		for i, x := range parked {
 			if x == w {
@@ -494,7 +523,10 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 			return
 		}
 		charge(float64(uf.N()) * costUF) // the Find sweep over all labels
-		pcfg.CheckpointSink(snapshotCheckpoint(uf, st, pending.slice()).Encode())
+		cp := snapshotCheckpoint(uf, st, pending.slice()).Encode()
+		c.TraceEvent(obs.EvCheckpoint, int64(len(cp)), 0, 0)
+		mx.checkpoints.Inc()
+		pcfg.CheckpointSink(cp)
 	}
 
 	for {
@@ -506,6 +538,7 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 			parked = parked[1:]
 			covers[a] = append(covers[a], orphans...)
 			delete(passive, a)
+			c.TraceEvent(obs.EvLeaseAdopt, int64(a), int64(len(orphans)), 0)
 			c.Send(a, tagAdopt, encodeAdopt(adopt{deadRanks: orphans}))
 			lastHeard[a] = adoptDeadline(len(orphans))
 			orphans = nil
@@ -585,26 +618,42 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 			charge(costUF)
 			if ar.accepted {
 				st.Accepted++
+				mx.pairsAccepted.Inc()
 				fa, fb := int(ar.fa), int(ar.fb)
 				if cfg.MaxClusterSize > 0 && uf.Size(fa)+uf.Size(fb) > cfg.MaxClusterSize {
 					continue // bounded-cluster heuristic (Section 10)
 				}
 				if uf.Union(fa, fb) {
 					st.Merges++
+					mx.merges.Inc()
+					c.TraceEvent(obs.EvClusterMerge, int64(fa), int64(fb), 0)
 				}
 			}
 		}
 		// Scan new pairs; keep only those needing alignment.
 		n := int32(store.N())
+		skippedHere := int64(0)
 		for _, p := range rep.pairs {
 			st.Generated++
 			charge(costPair + costUF)
 			if uf.Same(int(p.ASid%n), int(p.BSid%n)) {
 				st.Skipped++
+				skippedHere++
 				continue
 			}
 			pending.push(p)
 		}
+		if len(rep.pairs) > 0 {
+			c.TraceEvent(obs.EvPairGenerated, int64(len(rep.pairs)), int64(msg.Src), 0)
+			mx.pairsGenerated.Add(int64(len(rep.pairs)))
+		}
+		if skippedHere > 0 {
+			c.TraceEvent(obs.EvPairDiscarded, skippedHere, int64(msg.Src), 0)
+			mx.pairsSkipped.Add(skippedHere)
+		}
+		mx.reports.Inc()
+		mx.pendingDepth.Set(int64(pending.Len()))
+		mx.pendingPeak.SetMax(int64(pending.Len()))
 		if rep.passive {
 			passive[msg.Src] = true
 		}
@@ -639,7 +688,7 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 // into the bounded buffer when otherwise idle. Under a fault plan it
 // can adopt dead ranks' GST portions (rebuilding them locally) and
 // gives up on a silent master instead of blocking forever.
-func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcfg ParallelConfig) {
+func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcfg ParallelConfig, mx clusterMetrics) {
 	ft := pcfg.Faults != nil
 	pgCfg := pairgen.Config{
 		Psi:                  cfg.Psi,
@@ -661,11 +710,13 @@ func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcf
 	// adoptPortions rebuilds the GST portions of dead ranks locally
 	// and queues them for generation.
 	adoptPortions := func(ranks []int) {
+		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseRecover, 0, 0)
 		for _, d := range ranks {
 			t := pgst.RebuildPortion(c, store, local, d)
 			streams = append(streams, pairgen.NewStream(t, pgCfg, 256))
 		}
 		exhausted = cur >= len(streams)
+		c.TraceEvent(obs.EvPhaseExit, obs.PhaseRecover, 0, 0)
 	}
 
 	// takeN draws from the buffer first, then the streams in order.
@@ -688,14 +739,20 @@ func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcf
 	}
 
 	alignBatch := func(batch []pairgen.Pair) []alignResult {
+		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseAlign, 0, 0)
+		batchStart := time.Now()
 		results := make([]alignResult, 0, len(batch))
 		var cells int64
 		for _, p := range batch {
 			accepted, cost := AlignPair(store, p, cfg)
 			cells += cost
+			mx.alignLen.Observe(float64(p.MatchLen))
 			results = append(results, alignResult{fa: p.ASid % n, fb: p.BSid % n, accepted: accepted})
 		}
 		c.ChargeCompute(float64(cells) * costCell)
+		mx.batchLatency.Observe(time.Since(batchStart).Seconds())
+		c.TraceEvent(obs.EvPhaseExit, obs.PhaseAlign, 0, 0)
+		c.TraceEvent(obs.EvPairAligned, int64(len(batch)), 0, 0)
 		return results
 	}
 

@@ -69,7 +69,7 @@ func Masking(opt Options) MaskingResult {
 			frags = append(frags, cp)
 		}
 		store := seq.NewStore(frags)
-		res, ph := mustParallel(store, cfg, cluster.DefaultParallelConfig(9))
+		res, ph := mustParallel(store, cfg, opt.parallelConfig(9))
 		sum := res.Summarize()
 		return MaskingRun{
 			Aligned:        res.Stats.Aligned,
@@ -193,7 +193,7 @@ func Comm(opt Options) CommResult {
 	var out CommResult
 
 	peak := func(staged bool) int {
-		stats := par.Run(par.DefaultConfig(p), func(c *par.Comm) {
+		stats := par.Run(opt.machineConfig(p), func(c *par.Comm) {
 			pgst.Build(c, store, pgst.Config{
 				W: cfg.W, MinLen: cfg.Psi, Staged: staged, Seed: opt.Seed,
 			})
@@ -206,7 +206,7 @@ func Comm(opt Options) CommResult {
 	// The master's mailbox high-water mark is what Ssend protects
 	// against overflowing (Section 7.2's MPI_Ssend discussion).
 	masterPeak := func(ssend bool) int {
-		pcfg := cluster.DefaultParallelConfig(p + 1)
+		pcfg := opt.parallelConfig(p + 1)
 		pcfg.UseSsend = ssend
 		_, ph := mustParallel(store, cfg, pcfg)
 		return ph.MasterPeakBufBytes
@@ -245,7 +245,7 @@ func Granularity(opt Options) GranularityResult {
 	for _, p := range opt.Ranks {
 		out.Ranks = append(out.Ranks, p)
 		for _, scaled := range []bool{false, true} {
-			pcfg := cluster.DefaultParallelConfig(p + 1)
+			pcfg := opt.parallelConfig(p + 1)
 			pcfg.ScaleBatchWithWorkers = scaled
 			_, ph := mustParallel(store, cfg, pcfg)
 			if scaled {

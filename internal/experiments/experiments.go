@@ -18,6 +18,8 @@ import (
 	"math/rand"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/preprocess"
 	"repro/internal/seq"
 	"repro/internal/simulate"
@@ -36,6 +38,13 @@ type Options struct {
 	Out io.Writer
 	// Quick shrinks sweeps to CI-sized runs (used by FaultSweep).
 	Quick bool
+	// Trace, when non-nil, records every machine run of the experiment
+	// into this tracer (cmd/experiments -trace-out wires it and writes
+	// one Chrome trace JSON per experiment).
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives the clustering metrics of every
+	// parallel run (served live by cmd/experiments -obs-addr).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +108,23 @@ func mustParallel(store *seq.Store, cfg cluster.Config, pcfg cluster.ParallelCon
 		panic(err)
 	}
 	return res, ph
+}
+
+// machineConfig returns a default p-rank machine with the experiment's
+// tracer installed.
+func (o Options) machineConfig(p int) par.Config {
+	cfg := par.DefaultConfig(p)
+	cfg.Trace = o.Trace
+	return cfg
+}
+
+// parallelConfig returns a default p-rank parallel clustering
+// configuration with the experiment's tracer and metrics installed.
+func (o Options) parallelConfig(p int) cluster.ParallelConfig {
+	pcfg := cluster.DefaultParallelConfig(p)
+	pcfg.Trace = o.Trace
+	pcfg.Metrics = o.Metrics
+	return pcfg
 }
 
 // clusterConfig returns the clustering parameters used throughout the

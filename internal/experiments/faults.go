@@ -19,6 +19,7 @@ type FaultPoint struct {
 	PartitionMatch bool // final partition equals the serial reference
 	WorkersLost    int64
 	Requeued       int64
+	MsgsDropped    int     // eager sends the fault plan discarded (all ranks)
 	ClusterSeconds float64 // modeled clustering time (max over ranks)
 	OverheadFrac   float64 // (faulty − baseline) / baseline, modeled
 }
@@ -64,7 +65,7 @@ func FaultSweep(opt Options) FaultSweepResult {
 	want := partitionLabels(cluster.Serial(store, cfg))
 
 	pcfg := func() cluster.ParallelConfig {
-		c := cluster.DefaultParallelConfig(p)
+		c := opt.parallelConfig(p)
 		c.UseSsend = false
 		c.LeaseTimeout = 250 * time.Millisecond
 		return c
@@ -84,6 +85,7 @@ func FaultSweep(opt Options) FaultSweepResult {
 			pt.PartitionMatch = matchLabels(partitionLabels(cres), want)
 			pt.WorkersLost = cres.Stats.WorkersLost
 			pt.Requeued = cres.Stats.Requeued
+			pt.MsgsDropped = ph.GST.TotalMsgsDropped + ph.Cluster.TotalMsgsDropped
 			pt.ClusterSeconds = ph.Cluster.MaxModeled
 			pt.OverheadFrac = (pt.ClusterSeconds - res.BaselineSeconds) / res.BaselineSeconds
 		}
@@ -104,10 +106,10 @@ func FaultSweep(opt Options) FaultSweepResult {
 	tb := report.NewTable(
 		fmt.Sprintf("Fault sweep — %d ranks, modeled baseline %s", p,
 			report.Seconds(res.BaselineSeconds)),
-		"faults", "done", "partition", "lost", "requeued", "cluster", "overhead")
+		"faults", "done", "partition", "lost", "requeued", "dropped", "cluster", "overhead")
 	for _, pt := range res.Points {
 		if !pt.Completed {
-			tb.AddRow(pt.Label, "no", "—", "—", "—", "—", "—")
+			tb.AddRow(pt.Label, "no", "—", "—", "—", "—", "—", "—")
 			continue
 		}
 		match := "exact"
@@ -115,8 +117,8 @@ func FaultSweep(opt Options) FaultSweepResult {
 			match = "WRONG"
 		}
 		tb.AddRow(pt.Label, "yes", match, report.Int(pt.WorkersLost),
-			report.Int(pt.Requeued), report.Seconds(pt.ClusterSeconds),
-			report.Pct(pt.OverheadFrac))
+			report.Int(pt.Requeued), report.Int(int64(pt.MsgsDropped)),
+			report.Seconds(pt.ClusterSeconds), report.Pct(pt.OverheadFrac))
 	}
 	tb.Fprint(opt.Out)
 	return res

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pgst"
 	"repro/internal/report"
@@ -27,29 +28,53 @@ type Fig5Result struct {
 // into communication and computation, for two input sizes across the
 // processor sweep. The paper's panels use 250 and 500 Mbp; here the
 // small input is Options.Scale bases and the large input twice that.
+//
+// The comm/comp decomposition is read off the trace: every run is
+// bracketed in a PhaseGST span per rank, and the bar heights are the
+// slowest rank's span values. The numbers are identical to what
+// par.Summarize reports (a rank's span starts at zero modeled time and
+// ends at its final clocks), so enabling an external tracer changes
+// nothing but retention.
 func Fig5(opt Options) Fig5Result {
 	opt = opt.withDefaults()
 	var res Fig5Result
 	cfg := clusterConfig()
+	tr := opt.Trace
+	if tr == nil {
+		tr = obs.NewTracer(opt.Ranks[len(opt.Ranks)-1], 0)
+	}
 	for i, size := range []int{opt.Scale, 2 * opt.Scale} {
 		frags := maizeReads(opt.Seed+int64(i), size)
 		store := seq.NewStore(frags)
 		for _, p := range opt.Ranks {
-			stats := par.Run(par.DefaultConfig(p), func(c *par.Comm) {
+			mark := tr.Mark()
+			mcfg := par.DefaultConfig(p)
+			mcfg.Trace = tr
+			par.Run(mcfg, func(c *par.Comm) {
+				c.TraceEvent(obs.EvPhaseEnter, obs.PhaseGST, 0, 0)
 				pgst.Build(c, store, pgst.Config{
 					W:      cfg.W,
 					MinLen: cfg.Psi,
 					Seed:   opt.Seed,
 				})
+				c.TraceEvent(obs.EvPhaseExit, obs.PhaseGST, 0, 0)
 			})
-			agg := par.Summarize(stats)
-			res.Points = append(res.Points, Fig5Point{
-				InputBases:  store.TotalBases(),
-				Ranks:       p,
-				CompSeconds: agg.MaxComp,
-				CommSeconds: agg.MaxComm,
-				Total:       agg.MaxModeled,
-			})
+			pt := Fig5Point{InputBases: store.TotalBases(), Ranks: p}
+			for _, s := range tr.SpansSince(mark) {
+				if s.Phase != obs.PhaseGST {
+					continue
+				}
+				if s.CompSeconds > pt.CompSeconds {
+					pt.CompSeconds = s.CompSeconds
+				}
+				if s.CommSeconds > pt.CommSeconds {
+					pt.CommSeconds = s.CommSeconds
+				}
+				if m := s.Modeled(); m > pt.Total {
+					pt.Total = m
+				}
+			}
+			res.Points = append(res.Points, pt)
 		}
 	}
 

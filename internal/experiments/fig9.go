@@ -34,7 +34,7 @@ func Fig9(opt Options) Fig9Result {
 		frags := maizeReads(opt.Seed+int64(i), size)
 		store := seq.NewStore(frags)
 		for _, p := range opt.Ranks {
-			pcfg := cluster.DefaultParallelConfig(p + 1) // master + p workers
+			pcfg := opt.parallelConfig(p + 1) // master + p workers
 			cres, ph := mustParallel(store, cfg, pcfg)
 			// Worker idle: mean modeled idle over worker ranks only.
 			res.Points = append(res.Points, Fig9Point{

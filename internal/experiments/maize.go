@@ -43,7 +43,7 @@ func Maize(opt Options) MaizeResult {
 		Preprocess:        preprocess.Config{Trim: trim, Repeats: knownRepeatDB(m.Genome, 16)},
 		PreprocessEnabled: true,
 		Cluster:           clusterConfig(),
-		Parallel:          cluster.DefaultParallelConfig(opt.Ranks[len(opt.Ranks)-1] + 1),
+		Parallel:          opt.parallelConfig(opt.Ranks[len(opt.Ranks)-1] + 1),
 		Assembly:          assembly.DefaultConfig(),
 	}
 	res, err := core.Run(all, cfg)

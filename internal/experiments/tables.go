@@ -148,7 +148,7 @@ func Table3(opt Options) Table3Result {
 	var res Table3Result
 	run := func(name string, frags []*seq.Fragment) {
 		store := seq.NewStore(frags)
-		r, ph := mustParallel(store, cfg, cluster.DefaultParallelConfig(ranks))
+		r, ph := mustParallel(store, cfg, opt.parallelConfig(ranks))
 		res.Rows = append(res.Rows, Table3Row{
 			Name:         name,
 			NumFragments: store.N(),

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing and https://ui.perfetto.dev both load it).
+// Timestamps are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Process IDs of the two clock domains: the same per-rank tracks are
+// rendered once against the host wall clock and once against the
+// machine's modeled clock.
+const (
+	pidWall    = 1
+	pidModeled = 2
+)
+
+// chromeName returns the track label for an event: spans are named by
+// family (plus the phase name for phase spans); instants keep their
+// kind name.
+func chromeName(e Event) string {
+	switch e.Kind {
+	case EvPhaseEnter, EvPhaseExit:
+		return PhaseName(e.A)
+	case EvFault:
+		return "fault:" + FaultName(e.A)
+	}
+	return e.Kind.String()
+}
+
+// chromeArgs renders the kind-specific arguments.
+func chromeArgs(e Event) map[string]any {
+	switch e.Kind {
+	case EvSendBegin, EvSendEnd, EvSsendBegin, EvSsendEnd:
+		return map[string]any{"dst": e.A, "tag": e.B, "bytes": e.C}
+	case EvRecvBegin:
+		return map[string]any{"src": e.A, "tag": e.B}
+	case EvRecvEnd:
+		return map[string]any{"src": e.A, "tag": e.B, "bytes": e.C}
+	case EvPairGenerated, EvPairAligned, EvPairDiscarded:
+		return map[string]any{"count": e.A, "peer": e.B}
+	case EvClusterMerge:
+		return map[string]any{"fa": e.A, "fb": e.B}
+	case EvLeaseGrant:
+		return map[string]any{"worker": e.A, "batch": e.B, "request": e.C}
+	case EvLeaseExpire:
+		return map[string]any{"worker": e.A, "requeued": e.B}
+	case EvLeaseAdopt:
+		return map[string]any{"adopter": e.A, "portions": e.B}
+	case EvFault:
+		return map[string]any{"code": FaultName(e.A), "b": e.B, "c": e.C}
+	case EvCheckpoint:
+		return map[string]any{"bytes": e.A}
+	case EvPhaseEnter, EvPhaseExit:
+		return nil
+	}
+	return nil
+}
+
+// WriteChromeTrace exports the retained events of every rank as
+// Chrome trace_event JSON. Each rank is a thread; the wall-clock and
+// modeled-clock renderings are two processes. Unmatched begin events
+// (a rank that died mid-operation) appear as unfinished spans, which
+// is exactly what they are.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var evs []chromeEvent
+	ranks := t.Ranks()
+	for pid, name := range map[int]string{pidWall: "wall clock", pidModeled: "modeled clock"} {
+		evs = append(evs, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	// Deterministic metadata order (the map above is only 2 entries but
+	// map iteration order would still flip them run to run).
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Pid < evs[j].Pid })
+	for r := 0; r < ranks; r++ {
+		events := t.Events(r)
+		if len(events) == 0 {
+			continue
+		}
+		for _, pid := range [2]int{pidWall, pidModeled} {
+			evs = append(evs, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: r,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+			})
+		}
+		// An end whose begin was evicted by wraparound would corrupt
+		// B/E nesting; track per-family depth and drop orphan ends.
+		depth := map[string]int{}
+		for _, e := range events {
+			name := chromeName(e)
+			var ph string
+			switch {
+			case e.Kind.isBegin():
+				ph = "B"
+				depth[name]++
+			case e.Kind.isEnd():
+				if depth[name] == 0 {
+					continue
+				}
+				depth[name]--
+				ph = "E"
+			default:
+				ph = "i"
+			}
+			wall := chromeEvent{
+				Name: name, Ph: ph, Ts: float64(e.Wall) / 1e3,
+				Pid: pidWall, Tid: r, Args: chromeArgs(e),
+			}
+			model := wall
+			model.Pid = pidModeled
+			model.Ts = (e.Comm + e.Comp) * 1e6
+			if ph == "i" {
+				wall.S = "t"
+				model.S = "t"
+			}
+			evs = append(evs, wall, model)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// WriteTimeline exports a merged plain-text timeline: every rank's
+// retained events interleaved by wall time, one line per event, with
+// both clock domains shown.
+func (t *Tracer) WriteTimeline(w io.Writer) error {
+	var all []Event
+	for r := 0; r < t.Ranks(); r++ {
+		all = append(all, t.Events(r)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Wall != all[j].Wall {
+			return all[i].Wall < all[j].Wall
+		}
+		return all[i].Rank < all[j].Rank
+	})
+	bw := bufio.NewWriter(w)
+	for _, e := range all {
+		fmt.Fprintf(bw, "%12.6fms rank %-3d %-16s %s  [model %.6fs comm %.6fs comp]\n",
+			float64(e.Wall)/1e6, e.Rank, timelineLabel(e), timelineArgs(e),
+			e.Comm+e.Comp, e.Comm)
+	}
+	return bw.Flush()
+}
+
+func timelineLabel(e Event) string {
+	switch {
+	case e.Kind.isBegin():
+		return chromeName(e) + ".begin"
+	case e.Kind.isEnd():
+		return chromeName(e) + ".end"
+	}
+	return chromeName(e)
+}
+
+func timelineArgs(e Event) string {
+	switch e.Kind {
+	case EvSendBegin, EvSendEnd, EvSsendBegin, EvSsendEnd:
+		return fmt.Sprintf("dst=%d tag=%d bytes=%d", e.A, e.B, e.C)
+	case EvRecvBegin:
+		return fmt.Sprintf("src=%d tag=%d", e.A, e.B)
+	case EvRecvEnd:
+		return fmt.Sprintf("src=%d tag=%d bytes=%d", e.A, e.B, e.C)
+	case EvPhaseEnter, EvPhaseExit:
+		return ""
+	case EvPairGenerated, EvPairAligned, EvPairDiscarded:
+		return fmt.Sprintf("count=%d peer=%d", e.A, e.B)
+	case EvClusterMerge:
+		return fmt.Sprintf("fa=%d fb=%d", e.A, e.B)
+	case EvLeaseGrant:
+		return fmt.Sprintf("worker=%d batch=%d request=%d", e.A, e.B, e.C)
+	case EvLeaseExpire:
+		return fmt.Sprintf("worker=%d requeued=%d", e.A, e.B)
+	case EvLeaseAdopt:
+		return fmt.Sprintf("adopter=%d portions=%d", e.A, e.B)
+	case EvFault:
+		return fmt.Sprintf("b=%d c=%d", e.B, e.C)
+	case EvCheckpoint:
+		return fmt.Sprintf("bytes=%d", e.A)
+	}
+	return ""
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestNilHandles: nil registry yields nil handles whose methods no-op
+// — the one-nil-check disabled path instrumented code relies on.
+func TestNilHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []float64{1, 2})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned non-nil handles")
+	}
+	c.Add(5)
+	c.Inc()
+	g.Set(9)
+	g.SetMax(10)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles accumulated values")
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("ops") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.SetMax(5) // lower: no change
+	if g.Value() != 7 {
+		t.Fatalf("SetMax lowered the gauge to %d", g.Value())
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Fatalf("SetMax failed to raise: %d", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 5556.5 {
+		t.Fatalf("sum = %v, want 5556.5", h.Sum())
+	}
+	snap := h.snapshot()
+	buckets := snap["buckets"].([]histBucket)
+	wantCounts := []int64{2, 1, 1, 2} // ≤1: {0.5, 1}; ≤10: {5}; ≤100: {50}; +Inf: {500, 5000}
+	for i, want := range wantCounts {
+		if buckets[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, buckets[i].Count, want)
+		}
+	}
+	if buckets[3].Le != "+Inf" {
+		t.Errorf("overflow bucket label = %v, want +Inf", buckets[3].Le)
+	}
+}
+
+// TestConcurrentMetrics exercises all metric types from many
+// goroutines under -race and checks the totals.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("peak").SetMax(int64(i*1000 + j))
+				r.Histogram("h", []float64{500}).Observe(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if v := r.Counter("n").Value(); v != 8000 {
+		t.Errorf("counter = %d, want 8000", v)
+	}
+	if v := r.Gauge("peak").Value(); v != 7999 {
+		t.Errorf("peak = %d, want 7999", v)
+	}
+	h := r.Histogram("h", nil)
+	if h.Count() != 8000 || h.Sum() != 8000 {
+		t.Errorf("hist count=%d sum=%v, want 8000/8000", h.Count(), h.Sum())
+	}
+}
+
+// TestWriteJSON: the endpoint payload is valid JSON including the
+// +Inf overflow bucket (which float64 marshaling cannot express).
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("msgs").Add(42)
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat", []float64{1}).Observe(2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if out["msgs"] != float64(42) || out["depth"] != float64(3) {
+		t.Errorf("snapshot values wrong: %v", out)
+	}
+	if _, ok := out["uptime_seconds"]; !ok {
+		t.Error("missing uptime_seconds")
+	}
+	lat := out["lat"].(map[string]any)
+	buckets := lat["buckets"].([]any)
+	last := buckets[len(buckets)-1].(map[string]any)
+	if last["le"] != "+Inf" {
+		t.Errorf("overflow bucket le = %v", last["le"])
+	}
+}

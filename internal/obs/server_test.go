@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Add(3)
+	tr := newTestTracer(1, 16)
+	tr.Emit(0, EvClusterMerge, 0, 0, 1, 2, 0)
+
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/metrics")
+	var m map[string]any
+	if code != 200 || json.Unmarshal(body, &m) != nil || m["hits"] != float64(3) {
+		t.Fatalf("/metrics: code %d body %s", code, body)
+	}
+
+	code, body = get(t, base+"/trace")
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if code != 200 || json.Unmarshal(body, &tf) != nil || len(tf.TraceEvents) == 0 {
+		t.Fatalf("/trace: code %d body %.120s", code, body)
+	}
+
+	code, body = get(t, base+"/timeline")
+	if code != 200 || !strings.Contains(string(body), "cluster-merge") {
+		t.Fatalf("/timeline: code %d body %.120s", code, body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/: code %d", code)
+	}
+
+	code, _ = get(t, base+"/nope")
+	if code != 404 {
+		t.Fatalf("/nope: code %d, want 404", code)
+	}
+}
+
+// TestServerNilSources: a server with no registry or tracer still
+// serves pprof and empty payloads.
+func TestServerNilSources(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+	code, body := get(t, base+"/trace")
+	if code != 200 || !strings.Contains(string(body), "traceEvents") {
+		t.Fatalf("/trace nil tracer: code %d body %s", code, body)
+	}
+	code, _ = get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics nil registry: code %d", code)
+	}
+}

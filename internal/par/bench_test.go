@@ -1,0 +1,88 @@
+package par
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// commPair drives a 2-rank machine whose rank 1 echoes whatever it
+// receives, handing rank 0's Comm to fn for the duration of the run.
+func commPair(t testing.TB, cfg Config, fn func(c *Comm)) {
+	t.Helper()
+	cfg.Ranks = 2
+	_, exits := RunStatus(cfg, func(c *Comm) {
+		if c.Rank() == 0 {
+			fn(c)
+			c.Send(1, 1, nil) // stop
+			return
+		}
+		for {
+			m := c.Recv(AnySource, AnyTag)
+			if m.Tag == 1 {
+				return
+			}
+			c.Send(0, m.Tag, m.Data)
+		}
+	})
+	for r, e := range exits {
+		if !e.OK {
+			t.Fatalf("rank %d died: %s", r, e.Reason)
+		}
+	}
+}
+
+// TestSendRecvDisabledTracerZeroAlloc pins the observability overhead
+// guarantee: with no tracer configured, the Send/Recv hot path must
+// not allocate. A regression here means the disabled path grew a
+// per-event cost.
+func TestSendRecvDisabledTracerZeroAlloc(t *testing.T) {
+	data := make([]byte, 64)
+	commPair(t, Config{}, func(c *Comm) {
+		// Warm the mailbox queues so steady state reuses capacity.
+		for i := 0; i < 32; i++ {
+			c.Send(1, 7, data)
+			c.Recv(1, 7)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			c.Send(1, 7, data)
+			c.Recv(1, 7)
+		})
+		if allocs != 0 {
+			t.Fatalf("Send+Recv with tracing disabled allocated %.1f times per op; want 0", allocs)
+		}
+	})
+}
+
+func benchSendRecv(b *testing.B, cfg Config) {
+	data := make([]byte, 256)
+	commPair(b, cfg, func(c *Comm) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Send(1, 7, data)
+			c.Recv(1, 7)
+		}
+		b.StopTimer()
+	})
+}
+
+func BenchmarkSendRecvNoTrace(b *testing.B) {
+	benchSendRecv(b, Config{})
+}
+
+func BenchmarkSendRecvTraced(b *testing.B) {
+	benchSendRecv(b, Config{Trace: obs.NewTracer(2, 1<<12)})
+}
+
+// Sanity check that the traced benchmark configuration actually
+// records events (so BenchmarkSendRecvTraced measures real emission).
+func TestTracedRunEmitsEvents(t *testing.T) {
+	tr := obs.NewTracer(2, 1<<12)
+	commPair(t, Config{Trace: tr}, func(c *Comm) {
+		c.Send(1, 7, []byte("x"))
+		c.Recv(1, 7)
+	})
+	if tr.TotalEvents() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+}

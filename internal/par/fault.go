@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FaultPlan is a deterministic, seedable schedule of injected faults,
@@ -115,6 +117,11 @@ func newFaultState(plan *FaultPlan, rank int) *faultState {
 // rank is woken so dead-rank detection can fire, and the rank's stack
 // unwinds via the crash sentinel.
 func (c *Comm) die(killed bool, reason string) {
+	code := obs.FaultCascade
+	if killed {
+		code = obs.FaultCrash
+	}
+	c.trace(obs.EvFault, code, 0, 0)
 	c.m.markCrashed(c.rank)
 	panic(rankCrash{killed: killed, reason: reason})
 }
@@ -157,9 +164,11 @@ func (c *Comm) deliver(dst int, e envelope) bool {
 		p := c.fs.plan
 		if p.DropProb > 0 && c.fs.rng.Float64() < p.DropProb {
 			c.st.MsgsDropped++
+			c.trace(obs.EvFault, obs.FaultDrop, int64(dst), int64(e.tag))
 			return true
 		}
 		if p.Delay > 0 && p.DelayProb > 0 && c.fs.rng.Float64() < p.DelayProb {
+			c.trace(obs.EvFault, obs.FaultDelay, int64(dst), int64(e.tag))
 			box := c.m.boxes[dst]
 			c.m.delayed.Add(1)
 			time.AfterFunc(p.Delay, func() {

@@ -141,6 +141,16 @@ func TestDropDeterminism(t *testing.T) {
 				t.Fatalf("exit: %+v", e)
 			}
 		}
+		agg := Summarize(stats)
+		if agg.TotalMsgsDropped != stats[0].MsgsDropped+stats[1].MsgsDropped {
+			t.Errorf("Summarize dropped %d, want %d", agg.TotalMsgsDropped, stats[0].MsgsDropped+stats[1].MsgsDropped)
+		}
+		if agg.TotalMsgsRecv != stats[0].MsgsRecv+stats[1].MsgsRecv {
+			t.Errorf("Summarize msgs recv %d, want %d", agg.TotalMsgsRecv, stats[0].MsgsRecv+stats[1].MsgsRecv)
+		}
+		if agg.TotalBytesRecv != stats[0].BytesRecv+stats[1].BytesRecv {
+			t.Errorf("Summarize bytes recv %d, want %d", agg.TotalBytesRecv, stats[0].BytesRecv+stats[1].BytesRecv)
+		}
 		return stats[0].MsgsDropped, received
 	}
 	d1, r1 := run()

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Wildcards for Recv and Probe.
@@ -63,6 +65,12 @@ type Config struct {
 	// Faults, when non-nil, injects the plan's crashes, drops and
 	// delays. Nil runs fault-free with zero overhead.
 	Faults *FaultPlan
+	// Trace, when non-nil, records runtime events — send/recv/ssend
+	// begin+end, injected faults, and any user events emitted through
+	// TraceEvent — into per-rank ring buffers with both wall and
+	// modeled timestamps. Nil disables tracing: the hot path then
+	// costs one nil check per operation and allocates nothing.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns a machine with p ranks and BlueGene/L-like
@@ -302,6 +310,7 @@ type Comm struct {
 	st    Stats
 	start time.Time
 	fs    *faultState // nil when no fault plan is set
+	tr    *obs.Tracer // nil when tracing is disabled
 }
 
 // Rank returns this rank's index in [0, Size).
@@ -314,6 +323,24 @@ func (c *Comm) Size() int { return c.m.cfg.Ranks }
 // plan, panicked, or cascaded from blocking on a dead rank. It never
 // reports true for a rank that finished its body normally.
 func (c *Comm) RankDead(r int) bool { return c.m.crashed[r].Load() }
+
+// trace records one event on this rank's track, stamping both modeled
+// clocks. A nil tracer makes this a single branch with no allocation,
+// the guarantee internal/par's zero-alloc benchmark enforces.
+func (c *Comm) trace(k obs.Kind, a, b, n int64) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.Emit(c.rank, k, c.st.CommModel, c.st.CompModel, a, b, n)
+}
+
+// TraceEvent records a user-level event (phase enter/exit, protocol
+// milestones) on this rank's trace track; a no-op without a tracer.
+// Arguments are kind-specific — see obs.Event.
+func (c *Comm) TraceEvent(k obs.Kind, a, b, n int64) { c.trace(k, a, b, n) }
+
+// Tracer returns the machine's tracer, or nil when tracing is off.
+func (c *Comm) Tracer() *obs.Tracer { return c.tr }
 
 // chargeComm adds one modeled message transfer to this rank's
 // communication time.
@@ -348,7 +375,9 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	c.st.MsgsSent++
 	c.st.BytesSent += len(data)
 	c.chargeComm(len(data))
+	c.trace(obs.EvSendBegin, int64(dst), int64(tag), int64(len(data)))
 	c.deliver(dst, envelope{src: c.rank, tag: tag, data: data})
+	c.trace(obs.EvSendEnd, int64(dst), int64(tag), int64(len(data)))
 }
 
 // Ssend is a synchronous (rendezvous) send: it returns only after the
@@ -365,10 +394,12 @@ func (c *Comm) Ssend(dst, tag int, data []byte) {
 	c.st.MsgsSent++
 	c.st.BytesSent += len(data)
 	c.chargeComm(len(data))
+	c.trace(obs.EvSsendBegin, int64(dst), int64(tag), int64(len(data)))
 	c.m.boxes[dst].put(envelope{src: c.rank, tag: tag, data: data, ack: ack})
 	start := time.Now()
 	<-ack
 	c.st.Blocked += time.Since(start)
+	c.trace(obs.EvSsendEnd, int64(dst), int64(tag), int64(len(data)))
 }
 
 // accountRecv books a matched envelope into the rank's statistics and
@@ -389,12 +420,15 @@ func (c *Comm) accountRecv(e envelope) Message {
 // itself crashes (dead-rank cascade) so the machine never hangs.
 func (c *Comm) Recv(src, tag int) Message {
 	c.checkTime()
+	c.trace(obs.EvRecvBegin, int64(src), int64(tag), 0)
 	e, blocked, out := c.m.boxes[c.rank].take(c.m, c.rank, src, tag, time.Time{})
 	c.st.Blocked += blocked
 	if out == takeDeadRank {
 		c.die(false, fmt.Sprintf("blocked in Recv(src=%d, tag=%d) on crashed rank(s)", src, tag))
 	}
-	return c.accountRecv(e)
+	msg := c.accountRecv(e)
+	c.trace(obs.EvRecvEnd, int64(msg.Src), int64(msg.Tag), int64(len(msg.Data)))
+	return msg
 }
 
 // RecvTimeout is Recv with a deadline: ok is false if no matching
@@ -404,12 +438,16 @@ func (c *Comm) Recv(src, tag int) Message {
 // on.
 func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, bool) {
 	c.checkTime()
+	c.trace(obs.EvRecvBegin, int64(src), int64(tag), 0)
 	e, blocked, out := c.m.boxes[c.rank].take(c.m, c.rank, src, tag, time.Now().Add(d))
 	c.st.Blocked += blocked
 	if out != takeOK {
+		c.trace(obs.EvRecvEnd, int64(src), int64(tag), -1)
 		return Message{}, false
 	}
-	return c.accountRecv(e), true
+	msg := c.accountRecv(e)
+	c.trace(obs.EvRecvEnd, int64(msg.Src), int64(msg.Tag), int64(len(msg.Data)))
+	return msg, true
 }
 
 // ProbeDeadline blocks until a message matching (src, tag) is
@@ -441,6 +479,7 @@ func (c *Comm) Probe(src, tag int) (Message, bool) {
 func (c *Comm) SendRecv(dst int, data []byte, src, tag int) Message {
 	c.checkSend(tag)
 	ack := make(chan struct{})
+	c.trace(obs.EvSsendBegin, int64(dst), int64(tag), int64(len(data)))
 	c.m.boxes[dst].put(envelope{src: c.rank, tag: tag, data: data, ack: ack})
 	c.st.MsgsSent++
 	c.st.BytesSent += len(data)
@@ -449,6 +488,7 @@ func (c *Comm) SendRecv(dst int, data []byte, src, tag int) Message {
 	start := time.Now()
 	<-ack
 	c.st.Blocked += time.Since(start)
+	c.trace(obs.EvSsendEnd, int64(dst), int64(tag), int64(len(data)))
 	return msg
 }
 
@@ -477,7 +517,7 @@ func RunStatus(cfg Config, body func(c *Comm)) ([]Stats, []Exit) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			c := &Comm{m: m, rank: rank, start: time.Now(), fs: newFaultState(cfg.Faults, rank)}
+			c := &Comm{m: m, rank: rank, start: time.Now(), fs: newFaultState(cfg.Faults, rank), tr: cfg.Trace}
 			defer func() {
 				c.st.Wall = time.Since(c.start)
 				c.st.PeakBufBytes = m.boxes[rank].peakBytes()

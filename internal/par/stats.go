@@ -59,6 +59,10 @@ type Aggregate struct {
 	TotalBytes   int
 	TotalMsgs    int
 	PeakBufBytes int // max over ranks
+
+	TotalBytesRecv   int
+	TotalMsgsRecv    int
+	TotalMsgsDropped int // eager sends discarded by an injected fault plan
 }
 
 // Summarize aggregates per-rank stats.
@@ -79,6 +83,9 @@ func Summarize(stats []Stats) Aggregate {
 		a.SumComm += s.CommModel
 		a.TotalBytes += s.BytesSent
 		a.TotalMsgs += s.MsgsSent
+		a.TotalBytesRecv += s.BytesRecv
+		a.TotalMsgsRecv += s.MsgsRecv
+		a.TotalMsgsDropped += s.MsgsDropped
 		if s.PeakBufBytes > a.PeakBufBytes {
 			a.PeakBufBytes = s.PeakBufBytes
 		}
