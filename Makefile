@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race faults obs ci
+.PHONY: all build vet test race faults pipeline-faults fuzz-smoke obs ci
 
 all: build
 
@@ -25,13 +25,29 @@ race-all:
 faults:
 	$(GO) run ./cmd/experiments -run faults -quick
 
+# End-to-end fault model: GST-phase crash + clustering crash +
+# corrupting wire in one run (partition must stay exactly serial),
+# kill-and-resume at every pipeline phase boundary (contigs must stay
+# byte-identical), and quarantined assembly (must complete, not abort).
+pipeline-faults:
+	$(GO) run ./cmd/experiments -run pipelinefaults -quick
+
+# Short fuzz passes over every parser the pipeline feeds untrusted
+# bytes to: FASTA and qual readers plus the wire-format decoders.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReadFASTA -fuzztime=10s .
+	$(GO) test -run=NONE -fuzz=FuzzReadFASTA -fuzztime=10s ./internal/seq
+	$(GO) test -run=NONE -fuzz=FuzzReadQual -fuzztime=10s ./internal/seq
+	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=10s ./internal/wire
+	$(GO) test -run=NONE -fuzz=FuzzDecodeReport -fuzztime=10s ./internal/cluster
+
 # Instrumented quickstart: runs two quick experiments with tracing on
 # and validates that every emitted trace file parses as balanced
 # Chrome trace_event JSON (tracecheck is the Perfetto-load stand-in).
 OBS_TRACE_DIR := $(shell mktemp -d 2>/dev/null || echo /tmp/obs-traces)
 obs:
-	$(GO) run ./cmd/experiments -run fig5,faults -quick -ranks 2,4 -trace-out $(OBS_TRACE_DIR)
+	$(GO) run ./cmd/experiments -run fig5,faults,pipelinefaults -quick -ranks 2,4 -trace-out $(OBS_TRACE_DIR)
 	$(GO) run ./cmd/tracecheck $(OBS_TRACE_DIR)/*.trace.json
 	rm -rf $(OBS_TRACE_DIR)
 
-ci: vet build test race faults obs
+ci: vet build test race faults pipeline-faults fuzz-smoke obs

@@ -9,6 +9,15 @@
 // followed by masking (the Section 9.1 procedure); trimming and vector
 // screening run only when the reads carry qualities / a known vector,
 // so plain FASTA input passes through unmodified.
+//
+// With -workdir the run journals a manifest and checkpoints each phase
+// boundary (preprocessed fragments, clustering partition, contigs);
+// adding -resume skips phases the manifest records as complete and
+// produces byte-identical output. -faults injects a fault plan into
+// the parallel clustering engine (see -faults syntax in the error
+// message for an empty spec); assembly always runs under a
+// retry/quarantine guard, so a pathological cluster degrades to
+// single-read contigs instead of aborting the pipeline.
 package main
 
 import (
@@ -16,13 +25,22 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro"
+	"repro/internal/assembly"
+	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/preprocess"
 	"repro/internal/report"
 	"repro/internal/seq"
 )
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "asmpipeline:", err)
+	os.Exit(1)
+}
 
 func main() {
 	in := flag.String("in", "", "input FASTA file (required)")
@@ -33,11 +51,19 @@ func main() {
 	w := flag.Int("w", 10, "GST bucket prefix length (≤ ψ)")
 	mask := flag.Bool("mask", false, "statistically detect and mask repeats first")
 	seed := flag.Int64("seed", 1, "seed for repeat-detection sampling")
+	workdir := flag.String("workdir", "", "directory for the job manifest and phase checkpoints")
+	resume := flag.Bool("resume", false, "resume from the workdir's manifest, skipping completed phases")
+	faults := flag.String("faults", "", "fault plan for the parallel engine, e.g. crash=2@5,gstcrash=3@1,corrupt=0.01")
+	retries := flag.Int("assembly-retries", 1, "per-cluster assembly retries before quarantine")
+	deadline := flag.Duration("assembly-deadline", 0, "per-attempt assembly wall budget (0 = none)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this host:port while running")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *resume && *workdir == "" {
+		fail(fmt.Errorf("-resume requires -workdir"))
 	}
 
 	var tr *obs.Tracer
@@ -47,8 +73,7 @@ func main() {
 		reg = obs.NewRegistry()
 		srv, err := obs.Serve(*obsAddr, reg, tr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "asmpipeline:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer srv.Close()
 		fmt.Printf("observability server on http://%s (/metrics /trace /timeline /debug/pprof)\n", srv.Addr)
@@ -56,21 +81,18 @@ func main() {
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asmpipeline:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	frags, err := repro.ReadFASTA(f)
 	f.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asmpipeline:", err)
-		os.Exit(1)
+		fail(fmt.Errorf("malformed input %s: %w", *in, err))
 	}
 
 	if *qual != "" {
 		qf, err := os.Open(*qual)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "asmpipeline:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		quals, err := seq.ReadQual(qf)
 		qf.Close()
@@ -78,8 +100,7 @@ func main() {
 			err = repro.AttachQuals(frags, quals)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "asmpipeline:", err)
-			os.Exit(1)
+			fail(fmt.Errorf("malformed qualities %s: %w", *qual, err))
 		}
 	}
 
@@ -96,12 +117,33 @@ func main() {
 		cfg.Parallel = repro.DefaultParallelConfig(*ranks)
 		cfg.Parallel.Trace = tr
 		cfg.Parallel.Metrics = reg
+		if *faults != "" {
+			plan, err := cluster.ParseFaults(*faults)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Parallel.Faults = plan
+		}
+	} else if *faults != "" {
+		fail(fmt.Errorf("-faults requires -ranks ≥ 2"))
+	}
+	cfg.AssemblyGuard = &assembly.Guard{
+		Retries:  *retries,
+		Backoff:  10 * time.Millisecond,
+		Deadline: *deadline,
+		Trace:    tr,
+		Metrics:  reg,
 	}
 
-	res, err := repro.Run(frags, cfg)
+	res, err := pipeline.Run(frags, pipeline.Config{
+		Core:    cfg,
+		Workdir: *workdir,
+		Resume:  *resume,
+		Flags: fmt.Sprintf("psi=%d w=%d ranks=%d mask=%v qual=%v seed=%d",
+			*psi, *w, *ranks, *mask, *qual != "", *seed),
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asmpipeline:", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	tb := report.NewTable("Pipeline summary", "metric", "value")
@@ -112,12 +154,14 @@ func main() {
 	tb.AddRow("contigs", report.Int(int64(res.TotalContigs())))
 	tb.AddRow("contigs per cluster", report.F2(res.ContigsPerCluster()))
 	tb.AddRow("alignment savings", report.Pct(res.Clustering.Stats.SavingsFraction()))
+	if q := res.Quarantined(); len(q) > 0 {
+		tb.AddRow("quarantined clusters", report.Int(int64(len(q))))
+	}
 	tb.Fprint(os.Stdout)
 
 	of, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asmpipeline:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	defer of.Close()
 	var contigFrags []*repro.Fragment
@@ -130,8 +174,7 @@ func main() {
 		}
 	}
 	if err := repro.WriteFASTA(of, contigFrags); err != nil {
-		fmt.Fprintln(os.Stderr, "asmpipeline:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("wrote %d contigs to %s\n", len(contigFrags), *out)
 }

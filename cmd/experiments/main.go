@@ -7,7 +7,7 @@
 //	experiments -run fig5,table1 -scale 500000 -ranks 4,8,16,32,64
 //
 // Experiments: fig5, fig9, table1, table2, table3, maize, validate,
-// masking, filter, comm, all.
+// masking, filter, comm, granularity, faults, pipelinefaults, all.
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiments (fig5,fig9,table1,table2,table3,maize,validate,masking,filter,comm,granularity,faults,all)")
+	runList := flag.String("run", "all", "comma-separated experiments (fig5,fig9,table1,table2,table3,maize,validate,masking,filter,comm,granularity,faults,pipelinefaults,all)")
 	scale := flag.Int("scale", 250000, "base read volume in bases (the paper's 250 Mbp point)")
 	ranks := flag.String("ranks", "4,8,16,32", "comma-separated simulated rank sweep")
 	seed := flag.Int64("seed", 20060425, "random seed")
@@ -78,20 +78,21 @@ func main() {
 	}
 
 	known := map[string]func(experiments.Options){
-		"fig5":        func(o experiments.Options) { experiments.Fig5(o) },
-		"fig9":        func(o experiments.Options) { experiments.Fig9(o) },
-		"table1":      func(o experiments.Options) { experiments.Table1(o) },
-		"table2":      func(o experiments.Options) { experiments.Table2(o) },
-		"table3":      func(o experiments.Options) { experiments.Table3(o) },
-		"maize":       func(o experiments.Options) { experiments.Maize(o) },
-		"validate":    func(o experiments.Options) { experiments.Validation(o) },
-		"masking":     func(o experiments.Options) { experiments.Masking(o) },
-		"filter":      func(o experiments.Options) { experiments.Filter(o) },
-		"comm":        func(o experiments.Options) { experiments.Comm(o) },
-		"granularity": func(o experiments.Options) { experiments.Granularity(o) },
-		"faults":      func(o experiments.Options) { experiments.FaultSweep(o) },
+		"fig5":           func(o experiments.Options) { experiments.Fig5(o) },
+		"fig9":           func(o experiments.Options) { experiments.Fig9(o) },
+		"table1":         func(o experiments.Options) { experiments.Table1(o) },
+		"table2":         func(o experiments.Options) { experiments.Table2(o) },
+		"table3":         func(o experiments.Options) { experiments.Table3(o) },
+		"maize":          func(o experiments.Options) { experiments.Maize(o) },
+		"validate":       func(o experiments.Options) { experiments.Validation(o) },
+		"masking":        func(o experiments.Options) { experiments.Masking(o) },
+		"filter":         func(o experiments.Options) { experiments.Filter(o) },
+		"comm":           func(o experiments.Options) { experiments.Comm(o) },
+		"granularity":    func(o experiments.Options) { experiments.Granularity(o) },
+		"faults":         func(o experiments.Options) { experiments.FaultSweep(o) },
+		"pipelinefaults": func(o experiments.Options) { experiments.PipelineFaults(o) },
 	}
-	order := []string{"fig5", "fig9", "table1", "table2", "table3", "maize", "validate", "masking", "filter", "comm", "granularity", "faults"}
+	order := []string{"fig5", "fig9", "table1", "table2", "table3", "maize", "validate", "masking", "filter", "comm", "granularity", "faults", "pipelinefaults"}
 
 	var selected []string
 	if *runList == "all" {

@@ -30,6 +30,31 @@ type traceEvent struct {
 
 type track struct{ pid, tid int }
 
+// knownNames is the closed set of event names the obs exporter can
+// produce (EvFault renders as "fault:<code>", matched by prefix). A
+// name outside this set means the exporter and checker have drifted.
+var knownNames = map[string]bool{
+	// spans
+	"send": true, "ssend": true, "recv": true,
+	"gst": true, "cluster": true, "align-batch": true, "recover": true, "phase": true,
+	// instants
+	"pair-generated": true, "pair-aligned": true, "pair-discarded": true,
+	"cluster-merge": true, "lease-grant": true, "lease-expire": true,
+	"lease-adopt": true, "checkpoint": true,
+	// fault-model instants
+	"retransmit": true, "corrupt_frame": true, "retry": true, "quarantined": true,
+}
+
+func nameKnown(name string) bool {
+	return knownNames[name] || len(name) > 6 && name[:6] == "fault:"
+}
+
+// faultKinds are the reliability events; the summary counts them so a
+// fault-injection run that traced nothing is visible at a glance.
+var faultKinds = map[string]bool{
+	"retransmit": true, "corrupt_frame": true, "retry": true, "quarantined": true,
+}
+
 func check(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -45,13 +70,19 @@ func check(path string) error {
 	// depth[track][name] counts open spans; "E" must never underflow.
 	depth := map[track]map[string]int{}
 	ranks := map[track]bool{}
-	spans, instants := 0, 0
+	spans, instants, faults := 0, 0, 0
 	for i, e := range tf.TraceEvents {
 		if e.Name == "" || e.Ph == "" {
 			return fmt.Errorf("event %d: missing name or ph", i)
 		}
 		if e.Ph == "M" {
 			continue // metadata carries no timestamp
+		}
+		if !nameKnown(e.Name) {
+			return fmt.Errorf("event %d: unknown event kind %q", i, e.Name)
+		}
+		if faultKinds[e.Name] {
+			faults++
 		}
 		if e.Ts == nil || e.Pid == nil || e.Tid == nil {
 			return fmt.Errorf("event %d (%s %q): missing ts, pid or tid", i, e.Ph, e.Name)
@@ -82,8 +113,8 @@ func check(path string) error {
 			open += d
 		}
 	}
-	fmt.Printf("%s: ok — %d events, %d tracks, %d spans, %d instants, %d unclosed\n",
-		path, len(tf.TraceEvents), len(ranks), spans, instants, open)
+	fmt.Printf("%s: ok — %d events, %d tracks, %d spans, %d instants (%d fault-model), %d unclosed\n",
+		path, len(tf.TraceEvents), len(ranks), spans, instants, faults, open)
 	return nil
 }
 

@@ -1,0 +1,33 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadFASTA: the facade parser must never panic on arbitrary
+// input, and every fragment it returns must be usable — canonical
+// bases only, so downstream k-mer code cannot choke on it.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add(">r1\nACGT\n>r2\nacgtn\n")
+	f.Add("no header\nACGT\n")
+	f.Add(">trunc")
+	f.Add(">bin\n\x00\x01\xfe\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		frags, err := ReadFASTA(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for i, fr := range frags {
+			for _, b := range fr.Bases {
+				switch b {
+				case 'A', 'C', 'G', 'T', 'N':
+				default:
+					t.Fatalf("fragment %d holds non-canonical base %q", i, b)
+				}
+			}
+		}
+		// Accepted fragments must index without panicking.
+		NewStore(frags)
+	})
+}

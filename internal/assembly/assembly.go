@@ -187,7 +187,16 @@ func findOverlaps(seqs, rcs [][]byte, cfg Config) []overlap {
 	best := make(map[pairKey]overlap)
 	tried := make(map[[5]int32]bool) // anchor dedup: (a,b,apos,bpos,orient)
 
-	for _, occs := range index {
+	// Iterate seeds in sorted order: map order would let equal-score
+	// overlaps with different anchors win the best-map race differently
+	// across runs, and contigs must be bit-reproducible.
+	kms := make([]seq.Kmer, 0, len(index))
+	for km := range index {
+		kms = append(kms, km)
+	}
+	sort.Slice(kms, func(i, j int) bool { return kms[i] < kms[j] })
+	for _, km := range kms {
+		occs := index[km]
 		if cfg.MaxSeedBucket > 0 && len(occs) > cfg.MaxSeedBucket {
 			continue // repeat-saturated seed
 		}

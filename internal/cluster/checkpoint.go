@@ -42,6 +42,20 @@ func snapshotCheckpoint(uf *unionfind.UF, st Stats, pending []pairgen.Pair) *Che
 	return cp
 }
 
+// CheckpointOf snapshots a completed clustering as a phase-boundary
+// checkpoint (no pending pairs), the artifact the resumable pipeline
+// stores after the clustering phase.
+func CheckpointOf(res *Result) *Checkpoint {
+	return snapshotCheckpoint(res.UF, res.Stats, nil)
+}
+
+// Result converts a checkpoint back into a completed clustering;
+// pending pairs, if any, are discarded (a phase-boundary checkpoint
+// has none).
+func (cp *Checkpoint) Result() *Result {
+	return &Result{N: cp.N, UF: cp.restore(), Stats: cp.Stats}
+}
+
 // restore rebuilds a union–find from the checkpoint's labels.
 func (cp *Checkpoint) restore() *unionfind.UF {
 	uf := unionfind.New(cp.N)
@@ -74,9 +88,11 @@ func (cp *Checkpoint) Encode() []byte {
 // DecodeCheckpoint parses an encoded checkpoint, returning an error —
 // never panicking — on malformed input.
 func DecodeCheckpoint(b []byte) (cp *Checkpoint, err error) {
-	defer wireRecover(&err)
 	r := wire.NewReader(b)
 	if r.Uint() != checkpointMagic {
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
 		return nil, errors.New("cluster: not a checkpoint (bad magic)")
 	}
 	if v := r.Uint(); v != checkpointVersion {
@@ -104,7 +120,12 @@ func DecodeCheckpoint(b []byte) (cp *Checkpoint, err error) {
 	cp.Stats.GSTSeconds = math.Float64frombits(r.Uint())
 	cp.Stats.ClusterSeconds = math.Float64frombits(r.Uint())
 	cp.Stats.WallSeconds = math.Float64frombits(r.Uint())
-	cp.Pending = decodePairs(r)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if cp.Pending, err = decodePairs(r); err != nil {
+		return nil, err
+	}
 	if r.Remaining() != 0 {
 		return nil, fmt.Errorf("cluster: %d trailing bytes after checkpoint", r.Remaining())
 	}

@@ -193,12 +193,83 @@ func TestParseFaults(t *testing.T) {
 	if plan.DropProb != 0.01 || plan.DelayProb != 0.5 || plan.Delay != 20*time.Millisecond || plan.Seed != 7 {
 		t.Errorf("plan parsed wrong: %+v", plan)
 	}
+	plan, err = ParseFaults("gstcrash=3@2,corrupt=0.05,retransmit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Crashes) != 1 || plan.Crashes[0].Rank != 3 || plan.Crashes[0].AfterSends != 2 {
+		t.Errorf("gstcrash parsed wrong: %+v", plan.Crashes)
+	}
+	if !plan.Retransmit || plan.CorruptProb != 0.05 {
+		t.Errorf("reliable-link options parsed wrong: %+v", plan)
+	}
+	if plan, err = ParseFaults("corrupt=0.1"); err != nil || !plan.Retransmit {
+		t.Errorf("corrupt should imply retransmit: %+v, %v", plan, err)
+	}
 	for _, bad := range []string{
 		"", "crash=0@1", "crash=2@0", "crash=2", "drop=1.5", "drop=x",
 		"delayp=-1", "delay=fast", "seed=abc", "nonsense=1", "crash",
+		"gstcrash=0@1", "gstcrash=2", "corrupt=2", "retransmit=maybe",
 	} {
 		if _, err := ParseFaults(bad); err == nil {
 			t.Errorf("spec %q accepted", bad)
 		}
+	}
+}
+
+// TestFaultEndToEndCombined is the acceptance scenario for the
+// end-to-end fault model: one run with a rank crash during GST
+// construction, frame corruption on every eager message, and a worker
+// crash during clustering — and the partition must still be exactly
+// the serial one.
+func TestFaultEndToEndCombined(t *testing.T) {
+	st, _ := islandStore(3, 3, 2200, 120)
+	cfg := testConfig()
+	serial := Serial(st, cfg)
+	want := clusterLabels(serial)
+
+	plan, err := ParseFaults("gstcrash=2@2,crash=4@3,corrupt=0.02,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ph, err := Parallel(st, cfg, faultPcfg(6, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := clusterLabels(res)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fragment %d in cluster %d, serial says %d", i, got[i], want[i])
+		}
+	}
+	if res.Stats.Merges != serial.Stats.Merges {
+		t.Errorf("merges %d != serial %d", res.Stats.Merges, serial.Stats.Merges)
+	}
+	// The GST-phase death is detected by the clustering master, so both
+	// crashes count as lost workers.
+	if res.Stats.WorkersLost != 2 {
+		t.Errorf("WorkersLost = %d, want 2", res.Stats.WorkersLost)
+	}
+	// The corrupting wire must have been exercised and healed.
+	if n := ph.GST.TotalFramesCorrupted + ph.Cluster.TotalFramesCorrupted; n == 0 {
+		t.Error("2% corruption injured no frames")
+	}
+	if n := ph.GST.TotalRetransmits + ph.Cluster.TotalRetransmits; n == 0 {
+		t.Error("corrupted frames caused no retransmissions")
+	}
+}
+
+// TestWorkerFailReportAborts: a worker that cannot decode a master
+// message reports the failure instead of panicking, and in non-fault
+// mode the master aborts the run with an error (satellite: no decode
+// panics anywhere in the protocol).
+func TestWorkerFailReportAborts(t *testing.T) {
+	rep := encodeReport(report{fail: "boom"})
+	dec, err := decodeReport(rep)
+	if err != nil {
+		t.Fatalf("fail report round-trip: %v", err)
+	}
+	if dec.fail != "boom" {
+		t.Fatalf("fail = %q, want boom", dec.fail)
 	}
 }

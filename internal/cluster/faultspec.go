@@ -20,13 +20,19 @@ func CrashWorkerAtReport(w, n int) par.Crash {
 // ParseFaults builds a FaultPlan from a compact comma-separated spec,
 // the format of asmcluster's -faults flag:
 //
-//	crash=RANK@N   kill rank RANK before its N-th report (repeatable)
-//	drop=P         drop each eager message with probability P
-//	delay=DUR      delivery delay for delayed messages (e.g. 20ms)
-//	delayp=P       probability a message is delayed
-//	seed=S         RNG seed for drops/delays (default 1)
+//	crash=RANK@N      kill rank RANK before its N-th report (repeatable)
+//	gstcrash=RANK@N   kill rank RANK before its N-th all-to-all send,
+//	                  i.e. during GST construction (repeatable)
+//	drop=P            drop each eager message with probability P
+//	delay=DUR         delivery delay for delayed messages (e.g. 20ms)
+//	delayp=P          probability a message is delayed
+//	retransmit        frame every eager send with a length+CRC32C
+//	                  envelope and retransmit dropped/corrupted frames
+//	corrupt=P         corrupt each framed send with probability P
+//	                  (implies retransmit)
+//	seed=S            RNG seed for drops/delays/corruption (default 1)
 //
-// Example: "crash=2@5,crash=3@9,drop=0.01,seed=7".
+// Example: "crash=2@5,gstcrash=3@1,corrupt=0.01,seed=7".
 func ParseFaults(spec string) (*par.FaultPlan, error) {
 	plan := &par.FaultPlan{Seed: 1}
 	if strings.TrimSpace(spec) == "" {
@@ -35,6 +41,10 @@ func ParseFaults(spec string) (*par.FaultPlan, error) {
 	for _, field := range strings.Split(spec, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
 		if !ok {
+			if key == "retransmit" { // valueless form: "retransmit"
+				plan.Retransmit = true
+				continue
+			}
 			return nil, fmt.Errorf("cluster: fault spec field %q is not key=value", field)
 		}
 		switch key {
@@ -55,6 +65,23 @@ func ParseFaults(spec string) (*par.FaultPlan, error) {
 				return nil, fmt.Errorf("cluster: crash %q must name a worker rank ≥ 1 and step ≥ 1", val)
 			}
 			plan.Crashes = append(plan.Crashes, CrashWorkerAtReport(rank, n))
+		case "gstcrash":
+			rs, ns, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("cluster: gstcrash spec %q is not RANK@N", val)
+			}
+			rank, err := strconv.Atoi(rs)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: bad gstcrash rank %q: %v", rs, err)
+			}
+			n, err := strconv.Atoi(ns)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: bad gstcrash step %q: %v", ns, err)
+			}
+			if rank < 1 || n < 1 {
+				return nil, fmt.Errorf("cluster: gstcrash %q must name a worker rank ≥ 1 and step ≥ 1", val)
+			}
+			plan.Crashes = append(plan.Crashes, par.CrashAtAlltoallSend(rank, n))
 		case "drop":
 			p, err := strconv.ParseFloat(val, 64)
 			if err != nil || p < 0 || p > 1 {
@@ -67,6 +94,18 @@ func ParseFaults(spec string) (*par.FaultPlan, error) {
 				return nil, fmt.Errorf("cluster: bad delay probability %q", val)
 			}
 			plan.DelayProb = p
+		case "retransmit":
+			if val != "" && val != "1" && val != "true" {
+				return nil, fmt.Errorf("cluster: bad retransmit value %q", val)
+			}
+			plan.Retransmit = true
+		case "corrupt":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("cluster: bad corrupt probability %q", val)
+			}
+			plan.CorruptProb = p
+			plan.Retransmit = true
 		case "delay":
 			d, err := time.ParseDuration(val)
 			if err != nil {

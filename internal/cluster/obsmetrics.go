@@ -65,5 +65,11 @@ func (m clusterMetrics) publishRankStats(stats []par.Stats) {
 		if s.MsgsDropped > 0 {
 			m.reg.Gauge(p + "msgs_dropped").Set(int64(s.MsgsDropped))
 		}
+		if s.Retransmits > 0 {
+			m.reg.Gauge(p + "retransmits").Set(int64(s.Retransmits))
+		}
+		if s.FramesCorrupted > 0 {
+			m.reg.Gauge(p + "frames_corrupted").Set(int64(s.FramesCorrupted))
+		}
 	}
 }

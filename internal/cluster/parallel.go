@@ -216,6 +216,9 @@ func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, Phase
 
 	stats, exits := par.RunStatus(pcfg.Machine, func(c *par.Comm) {
 		// Phase 1: distributed GST over workers (rank 0 owns no buckets).
+		// Under a fault plan the build itself is survivable: a rank that
+		// dies mid-construction has its exchanges re-enumerated and its
+		// bucket range rebuilt by survivors (see pgst.Config.FT).
 		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseGST, 0, 0)
 		local := pgst.Build(c, store, pgst.Config{
 			W:          cfg.W,
@@ -224,8 +227,13 @@ func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, Phase
 			BatchBytes: pcfg.BatchBytes,
 			Staged:     pcfg.Staged,
 			Seed:       12345,
+			FT:         pcfg.Faults != nil,
 		})
-		c.Barrier()
+		if pcfg.Faults != nil {
+			c.FTBarrier(10 * time.Millisecond)
+		} else {
+			c.Barrier()
+		}
 		c.TraceEvent(obs.EvPhaseExit, obs.PhaseGST, 0, 0)
 		gstSnaps[c.Rank()] = c.Snapshot()
 
@@ -294,6 +302,8 @@ func subtractStats(a, b par.Stats) par.Stats {
 	a.BytesSent -= b.BytesSent
 	a.BytesRecv -= b.BytesRecv
 	a.MsgsDropped -= b.MsgsDropped
+	a.Retransmits -= b.Retransmits
+	a.FramesCorrupted -= b.FramesCorrupted
 	return a
 }
 
@@ -513,6 +523,29 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 		return any
 	}
 
+	// abort tears the protocol down after an unrecoverable error:
+	// every live worker is fenced with a done message, outstanding
+	// reports are drained (releasing rendezvous senders that would
+	// otherwise wedge the run), and the error propagates to the caller
+	// instead of panicking.
+	abort := func(cause error) (*unionfind.UF, Stats, float64, error) {
+		for w := 1; w < c.Size(); w++ {
+			if !dead[w] && !c.RankDead(w) {
+				c.Send(w, tagDone, nil)
+			}
+		}
+		quiet := 0
+		for inFlight > 0 && quiet < 8 {
+			if _, ok := c.RecvTimeout(par.AnySource, tagReport, 250*time.Millisecond); ok {
+				inFlight--
+				quiet = 0
+			} else {
+				quiet++
+			}
+		}
+		return uf, st, busy, cause
+	}
+
 	reports := 0
 	maybeCheckpoint := func() {
 		if pcfg.CheckpointEvery <= 0 || pcfg.CheckpointSink == nil {
@@ -599,11 +632,21 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 		rep, derr := decodeReport(msg.Data)
 		if derr != nil {
 			if !ft {
-				panic(derr)
+				return abort(fmt.Errorf("cluster: malformed report from worker %d: %w", msg.Src, derr))
 			}
 			// A corrupted report means the channel to this worker is
 			// unreliable; fire it and recover its state.
 			c.Send(msg.Src, tagDone, nil)
+			reap(msg.Src)
+			continue
+		}
+		if rep.fail != "" {
+			// The worker hit a protocol error and exited after sending
+			// this report.
+			werr := fmt.Errorf("cluster: worker %d failed: %s", msg.Src, rep.fail)
+			if !ft {
+				return abort(werr)
+			}
 			reap(msg.Src)
 			continue
 		}
@@ -756,6 +799,13 @@ func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcf
 		return results
 	}
 
+	// sendFail reports a protocol error to the master (eagerly — the
+	// worker is about to exit and must not wedge on a rendezvous) so
+	// the master aborts or recovers instead of waiting out a lease.
+	sendFail := func(err error) {
+		c.Send(0, tagReport, encodeReport(report{fail: err.Error()}))
+	}
+
 	r := pcfg.BatchSize // initial request size before the master says otherwise
 	var curBatch []pairgen.Pair
 	var results []alignResult
@@ -815,9 +865,7 @@ func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcf
 		case tagAdopt:
 			ad, err := decodeAdopt(msg.Data)
 			if err != nil {
-				if !ft {
-					panic(err)
-				}
+				sendFail(err)
 				return
 			}
 			adoptPortions(ad.deadRanks)
@@ -825,9 +873,7 @@ func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcf
 		default:
 			wk, err := decodeWork(msg.Data)
 			if err != nil {
-				if !ft {
-					panic(err)
-				}
+				sendFail(err)
 				return
 			}
 			if len(wk.adopt) > 0 {

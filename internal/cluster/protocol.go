@@ -3,7 +3,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"repro/internal/pairgen"
 	"repro/internal/wire"
@@ -33,6 +32,11 @@ type report struct {
 	pairs   []pairgen.Pair // NP: newly generated promising pairs
 	results []alignResult  // AR: outcomes for the last allocated batch
 	passive bool           // no more pairs to generate
+	// fail carries a worker-side protocol error (e.g. an undecodable
+	// work message) so the master can abort the run cleanly instead of
+	// deadlocking on a silently departed worker. Encoded only when
+	// non-empty so fault-free runs keep byte-identical messages.
+	fail string
 }
 
 // work is a master → worker message.
@@ -46,22 +50,6 @@ type work struct {
 	adopt []int
 }
 
-// wireRecover converts a wire decoding panic into an error, leaving
-// any other panic untouched. Once fault injection can truncate or
-// corrupt a message in flight, malformed input is an expected runtime
-// condition for the protocol decoders, not a programming error.
-func wireRecover(err *error) {
-	p := recover()
-	if p == nil {
-		return
-	}
-	if s, ok := p.(string); ok && strings.HasPrefix(s, "wire:") {
-		*err = errors.New(s)
-		return
-	}
-	panic(p)
-}
-
 func encodePairs(w *wire.Buffer, ps []pairgen.Pair) {
 	w.PutUint(uint64(len(ps)))
 	for _, p := range ps {
@@ -73,10 +61,13 @@ func encodePairs(w *wire.Buffer, ps []pairgen.Pair) {
 	}
 }
 
-func decodePairs(r *wire.Reader) []pairgen.Pair {
+func decodePairs(r *wire.Reader) ([]pairgen.Pair, error) {
 	n := int(r.Uint())
-	if n < 0 || n*5 > r.Remaining() { // 5 varints of ≥ 1 byte per pair
-		panic("wire: truncated pair list")
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if n < 0 || n > r.Remaining()/5 { // 5 varints of ≥ 1 byte per pair
+		return nil, errors.New("wire: truncated pair list")
 	}
 	ps := make([]pairgen.Pair, n)
 	for i := range ps {
@@ -88,7 +79,7 @@ func decodePairs(r *wire.Reader) []pairgen.Pair {
 			MatchLen: int32(r.Int()),
 		}
 	}
-	return ps
+	return ps, r.Err()
 }
 
 func encodeReport(rep report) []byte {
@@ -101,16 +92,23 @@ func encodeReport(rep report) []byte {
 		w.PutInt(int(ar.fb))
 		w.PutBool(ar.accepted)
 	}
+	if rep.fail != "" {
+		w.PutString(rep.fail)
+	}
 	return w.Bytes()
 }
 
 func decodeReport(b []byte) (rep report, err error) {
-	defer wireRecover(&err)
 	r := wire.NewReader(b)
 	rep.passive = r.Bool()
-	rep.pairs = decodePairs(r)
+	if rep.pairs, err = decodePairs(r); err != nil {
+		return report{}, err
+	}
 	n := int(r.Uint())
-	if n < 0 || n*3 > r.Remaining() { // 2 varints + 1 bool per result
+	if r.Err() != nil {
+		return report{}, r.Err()
+	}
+	if n < 0 || n > r.Remaining()/3 { // 2 varints + 1 bool per result
 		return report{}, errors.New("wire: truncated result list")
 	}
 	rep.results = make([]alignResult, n)
@@ -120,6 +118,16 @@ func decodeReport(b []byte) (rep report, err error) {
 			fb:       int32(r.Int()),
 			accepted: r.Bool(),
 		}
+	}
+	if r.Remaining() > 0 {
+		// Optional trailing fail string; encoded only when non-empty,
+		// so an empty one here is not a valid encoding.
+		if rep.fail = r.String(); rep.fail == "" && r.Err() == nil {
+			return report{}, fmt.Errorf("wire: empty fail string in report")
+		}
+	}
+	if err := r.Err(); err != nil {
+		return report{}, err
 	}
 	if r.Remaining() != 0 {
 		return report{}, fmt.Errorf("wire: %d trailing bytes after report", r.Remaining())
@@ -138,12 +146,16 @@ func encodeWork(wk work) []byte {
 }
 
 func decodeWork(b []byte) (wk work, err error) {
-	defer wireRecover(&err)
 	r := wire.NewReader(b)
 	wk.r = int(r.Uint())
-	wk.batch = decodePairs(r)
+	if wk.batch, err = decodePairs(r); err != nil {
+		return work{}, err
+	}
 	if r.Remaining() > 0 {
 		wk.adopt = r.Ints()
+	}
+	if err := r.Err(); err != nil {
+		return work{}, err
 	}
 	if r.Remaining() != 0 {
 		return work{}, fmt.Errorf("wire: %d trailing bytes after work", r.Remaining())
@@ -164,9 +176,11 @@ func encodeAdopt(a adopt) []byte {
 }
 
 func decodeAdopt(b []byte) (a adopt, err error) {
-	defer wireRecover(&err)
 	r := wire.NewReader(b)
 	a.deadRanks = r.Ints()
+	if err := r.Err(); err != nil {
+		return adopt{}, err
+	}
 	if r.Remaining() != 0 {
 		return adopt{}, fmt.Errorf("wire: %d trailing bytes after adopt", r.Remaining())
 	}

@@ -29,6 +29,11 @@ type Config struct {
 
 	// Assembly holds the per-cluster assembler parameters.
 	Assembly assembly.Config
+	// AssemblyGuard, when non-nil, assembles each cluster under a
+	// retry/quarantine budget: a panicking or deadline-blowing
+	// cluster is retried with backoff, then emitted as singleton
+	// contigs instead of aborting the pipeline.
+	AssemblyGuard *assembly.Guard
 	// AssemblyWorkers farms clusters over this many goroutines
 	// (default: GOMAXPROCS).
 	AssemblyWorkers int
@@ -63,6 +68,21 @@ type Result struct {
 	// Contigs per cluster (same order as Clusters); nil when assembly
 	// was skipped.
 	Contigs [][]assembly.Contig
+	// AssemblyOutcomes has one entry per cluster when a guard ran;
+	// nil otherwise.
+	AssemblyOutcomes []assembly.Outcome
+}
+
+// Quarantined lists the cluster indices whose assembly was
+// quarantined (empty without a guard).
+func (r *Result) Quarantined() []int {
+	var out []int
+	for i, o := range r.AssemblyOutcomes {
+		if o.Quarantined {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // ContigsPerCluster returns the mean number of contigs per
@@ -115,7 +135,12 @@ func Run(frags []*seq.Fragment, cfg Config) (*Result, error) {
 		if workers == 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		res.Contigs = assembly.AssembleAll(res.Store, res.Clusters, cfg.Assembly, workers)
+		if cfg.AssemblyGuard != nil {
+			res.Contigs, res.AssemblyOutcomes = assembly.AssembleAllGuarded(
+				res.Store, res.Clusters, cfg.Assembly, workers, *cfg.AssemblyGuard)
+		} else {
+			res.Contigs = assembly.AssembleAll(res.Store, res.Clusters, cfg.Assembly, workers)
+		}
 	}
 	return res, nil
 }

@@ -203,3 +203,31 @@ func TestGranularityAblation(t *testing.T) {
 			res.ScaledMsgs[last], res.FixedMsgs[last], res.Ranks[last])
 	}
 }
+
+func TestPipelineFaults(t *testing.T) {
+	var sb strings.Builder
+	opt := quickOpts()
+	opt.Out = &sb
+	opt.Quick = true
+	res := PipelineFaults(opt)
+	for _, a := range res.Arms {
+		if !a.Completed || !a.PartitionMatch {
+			t.Errorf("arm %q: completed=%v match=%v", a.Label, a.Completed, a.PartitionMatch)
+		}
+	}
+	if res.Arms[len(res.Arms)-1].WorkersLost != 2 {
+		t.Errorf("combined arm lost %d workers, want 2", res.Arms[len(res.Arms)-1].WorkersLost)
+	}
+	if res.Arms[len(res.Arms)-1].FramesCorrupted == 0 {
+		t.Error("combined arm: corrupting wire injured no frames")
+	}
+	if res.ResumeBoundaries == 0 || !res.ResumeIdentical {
+		t.Errorf("resume demo: %d boundaries, identical=%v", res.ResumeBoundaries, res.ResumeIdentical)
+	}
+	if !res.DegradedCompleted {
+		t.Error("degraded-assembly run aborted instead of quarantining")
+	}
+	if !strings.Contains(sb.String(), "End-to-end fault model") {
+		t.Error("table not rendered")
+	}
+}

@@ -70,6 +70,14 @@ func chromeArgs(e Event) map[string]any {
 		return map[string]any{"code": FaultName(e.A), "b": e.B, "c": e.C}
 	case EvCheckpoint:
 		return map[string]any{"bytes": e.A}
+	case EvRetransmit:
+		return map[string]any{"dst": e.A, "tag": e.B, "attempt": e.C}
+	case EvCorruptFrame:
+		return map[string]any{"dst": e.A, "tag": e.B, "bytes": e.C}
+	case EvRetry:
+		return map[string]any{"cluster": e.A, "attempt": e.B}
+	case EvQuarantine:
+		return map[string]any{"cluster": e.A, "reads": e.B}
 	case EvPhaseEnter, EvPhaseExit:
 		return nil
 	}
@@ -198,6 +206,14 @@ func timelineArgs(e Event) string {
 		return fmt.Sprintf("b=%d c=%d", e.B, e.C)
 	case EvCheckpoint:
 		return fmt.Sprintf("bytes=%d", e.A)
+	case EvRetransmit:
+		return fmt.Sprintf("dst=%d tag=%d attempt=%d", e.A, e.B, e.C)
+	case EvCorruptFrame:
+		return fmt.Sprintf("dst=%d tag=%d bytes=%d", e.A, e.B, e.C)
+	case EvRetry:
+		return fmt.Sprintf("cluster=%d attempt=%d", e.A, e.B)
+	case EvQuarantine:
+		return fmt.Sprintf("cluster=%d reads=%d", e.A, e.B)
 	}
 	return ""
 }

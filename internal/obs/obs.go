@@ -47,6 +47,10 @@ const (
 	EvLeaseAdopt
 	EvFault
 	EvCheckpoint
+	EvRetransmit
+	EvCorruptFrame
+	EvRetry
+	EvQuarantine
 )
 
 var kindNames = [...]string{
@@ -68,6 +72,10 @@ var kindNames = [...]string{
 	EvLeaseAdopt:    "lease-adopt",
 	EvFault:         "fault",
 	EvCheckpoint:    "checkpoint",
+	EvRetransmit:    "retransmit",
+	EvCorruptFrame:  "corrupt_frame",
+	EvRetry:         "retry",
+	EvQuarantine:    "quarantined",
 }
 
 // String returns the event family name ("send" for both SendBegin and
@@ -151,6 +159,10 @@ func FaultName(code int64) string {
 //	lease-adopt:           A = adopter, B = adopted portions
 //	fault:                 A = fault code, B/C = code-specific
 //	checkpoint:            A = encoded bytes
+//	retransmit:            A = dst,   B = tag,   C = attempt number
+//	corrupt_frame:         A = dst,   B = tag,   C = frame bytes
+//	retry:                 A = cluster id, B = attempt number
+//	quarantined:           A = cluster id, B = reads emitted as singletons
 type Event struct {
 	Kind Kind
 	Rank int32

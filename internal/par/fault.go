@@ -1,7 +1,9 @@
 package par
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"time"
 
@@ -38,6 +40,22 @@ type FaultPlan struct {
 	DelayProb float64
 	// Delay is the injected delivery latency for delayed messages.
 	Delay time.Duration
+	// Retransmit enables the reliable-link protocol: every eager send
+	// (including collective traffic on internal tags) is framed with a
+	// length + CRC32C envelope, the receiving NIC verifies it, and a
+	// dropped or corrupted frame is retransmitted with capped
+	// exponential backoff charged to the sender's modeled clock. With
+	// Retransmit set, DropProb and CorruptProb apply to all eager
+	// sends, and every message is eventually delivered intact (or the
+	// sender fail-stops after MaxRetries attempts).
+	Retransmit bool
+	// CorruptProb corrupts each framed send with this probability —
+	// either flipping a payload byte or truncating the frame — so the
+	// checksum layer must catch it. Only meaningful with Retransmit.
+	CorruptProb float64
+	// MaxRetries caps retransmission attempts per message (default 64);
+	// exceeding it fail-stops the sender.
+	MaxRetries int
 }
 
 // Crash kills one rank at a deterministic point in its execution.
@@ -156,10 +174,127 @@ func (c *Comm) checkSend(tag int) {
 	}
 }
 
+// Frame layout of the reliable-link envelope: a 4-byte little-endian
+// payload length followed by a 4-byte little-endian CRC32C
+// (Castagnoli) of the payload, then the payload itself.
+const frameHeader = 8
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeFrame wraps payload in a length + CRC32C envelope.
+func encodeFrame(payload []byte) []byte {
+	f := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(f[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(f[4:8], crc32.Checksum(payload, crcTable))
+	copy(f[frameHeader:], payload)
+	return f
+}
+
+// decodeFrame verifies the envelope and returns the payload. ok is
+// false when the frame is truncated or fails its checksum.
+func decodeFrame(f []byte) (payload []byte, ok bool) {
+	if len(f) < frameHeader {
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(f[0:4]))
+	if n != len(f)-frameHeader {
+		return nil, false
+	}
+	payload = f[frameHeader:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(f[4:8]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// corruptFrame injures a frame in place (bit flip) or by truncation,
+// drawing from the rank's deterministic RNG.
+func corruptFrame(f []byte, rng *rand.Rand) []byte {
+	if len(f) == 0 || rng.Intn(4) == 0 {
+		// Truncation: cut the frame short (possibly to nothing).
+		return f[:rng.Intn(len(f)+1)]
+	}
+	f[rng.Intn(len(f))] ^= byte(1 << rng.Intn(8))
+	return f
+}
+
+// backoff schedule for retransmission: capped exponential starting at
+// one link latency. Charged to the modeled clock only — the in-process
+// link needs no real waiting, and sleeping here could deadlock eager
+// collectives that post every send before receiving.
+const maxBackoffDoublings = 6 // cap at 64 α
+
+// deliverReliable is the reliable-link send path used when the plan
+// sets Retransmit: the frame may be dropped or corrupted in flight,
+// the "receiving NIC" verifies the checksum envelope synchronously,
+// and the sender retransmits with capped exponential backoff until the
+// frame survives. Faults apply to every eager send, collective tags
+// included; delivery is exactly-once with the original payload, so a
+// fault-tolerant protocol above sees a lossy link yet a reliable
+// channel.
+func (c *Comm) deliverReliable(dst int, e envelope) {
+	p := c.fs.plan
+	maxRetries := p.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 64
+	}
+	alpha := c.m.cfg.Alpha.Seconds()
+	for attempt := 0; ; attempt++ {
+		frame := encodeFrame(e.data)
+		// The first transmission's α + n/β was charged by Send; each
+		// retransmission charges the frame again.
+		if attempt > 0 {
+			c.st.Retransmits++
+			c.chargeComm(len(frame))
+			// Backoff before the retry, modeled-clock only.
+			d := attempt - 1
+			if d > maxBackoffDoublings {
+				d = maxBackoffDoublings
+			}
+			c.st.CommModel += alpha * float64(int(1)<<d)
+			c.trace(obs.EvRetransmit, int64(dst), int64(e.tag), int64(attempt))
+		}
+		if p.DropProb > 0 && c.fs.rng.Float64() < p.DropProb {
+			c.st.MsgsDropped++
+			c.trace(obs.EvFault, obs.FaultDrop, int64(dst), int64(e.tag))
+		} else if p.CorruptProb > 0 && c.fs.rng.Float64() < p.CorruptProb {
+			frame = corruptFrame(frame, c.fs.rng)
+			c.st.FramesCorrupted++
+			c.trace(obs.EvCorruptFrame, int64(dst), int64(e.tag), int64(len(frame)))
+			if payload, ok := decodeFrame(frame); ok {
+				// Corruption missed anything vital (e.g. flipped a bit
+				// that truncation removed) — extraordinarily unlikely
+				// to pass CRC32C with a real payload, but if the frame
+				// still verifies, it delivers.
+				e.data = payload
+				c.m.boxes[dst].put(e)
+				return
+			}
+		} else {
+			payload, ok := decodeFrame(frame)
+			if !ok {
+				panic("par: clean frame failed verification")
+			}
+			e.data = payload
+			c.m.boxes[dst].put(e)
+			return
+		}
+		if attempt+1 >= maxRetries {
+			c.die(true, fmt.Sprintf("retransmit budget exhausted after %d attempts (dst=%d tag=%d)", maxRetries, dst, e.tag))
+		}
+	}
+}
+
 // deliver applies drop/delay faults to an eager user-tagged message
 // and reports whether the message was dropped. Rendezvous envelopes
-// and internal (negative) tags always deliver immediately.
+// and internal (negative) tags always deliver immediately — unless the
+// plan enables Retransmit, in which case every eager send goes through
+// the framed reliable-link path.
 func (c *Comm) deliver(dst int, e envelope) bool {
+	if c.fs != nil && e.ack == nil && c.fs.plan.Retransmit {
+		c.deliverReliable(dst, e)
+		return false
+	}
 	if c.fs != nil && e.tag >= 0 && e.ack == nil {
 		p := c.fs.plan
 		if p.DropProb > 0 && c.fs.rng.Float64() < p.DropProb {

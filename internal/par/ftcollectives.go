@@ -1,0 +1,158 @@
+package par
+
+import "time"
+
+// Fault-tolerant collectives. The plain collectives cascade-crash any
+// rank that blocks on a dead peer — correct for fault-free protocols,
+// fatal for survivable ones. These variants poll with RecvTimeout and
+// consult RankDead, so survivors detect a dead participant through the
+// same probe-deadline machinery the lease-based clustering uses and
+// carry on without it. They assume rank 0 (the root used by the
+// agreement steps) survives; the clustering master plays that role.
+//
+// All of them are collective over the *surviving* ranks: every live
+// rank must call them in the same order.
+
+// CrashAtAlltoallSend returns a Crash trigger that kills rank
+// immediately before its n-th send inside an Alltoallv exchange (the
+// redistribution and fragment-fetch steps of GST construction use
+// these internal tags), so fault plans can target GST construction
+// deterministically.
+func CrashAtAlltoallSend(rank, n int) Crash {
+	return Crash{Rank: rank, AfterSends: n, Tag: tagAlltoall}
+}
+
+// recvLive receives (src, tag), polling every poll interval, until a
+// message arrives or src is known dead. ok is false only when src died
+// without the message having been delivered.
+func (c *Comm) recvLive(src, tag int, poll time.Duration) (Message, bool) {
+	for {
+		if m, ok := c.RecvTimeout(src, tag, poll); ok {
+			return m, true
+		}
+		if c.RankDead(src) {
+			// One last non-blocking look: the message may have landed
+			// between the timeout and the death check.
+			if m, ok := c.Probe(src, tag); ok {
+				return m, true
+			}
+			return Message{}, false
+		}
+	}
+}
+
+// FTBarrier is Barrier over the surviving ranks: dead ranks are
+// skipped instead of cascading the waiter.
+func (c *Comm) FTBarrier(poll time.Duration) {
+	p := c.Size()
+	if p == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for i := 1; i < p; i++ {
+			c.recvLive(i, tagBarrier, poll)
+		}
+		for i := 1; i < p; i++ {
+			c.Send(i, tagBarrier, nil)
+		}
+		return
+	}
+	c.Send(0, tagBarrier, nil)
+	if _, ok := c.recvLive(0, tagBarrier, poll); !ok {
+		c.die(false, "FTBarrier: root rank 0 died")
+	}
+}
+
+// FTGather collects each rank's data at root, tolerating dead ranks.
+// At the root, got[i] reports whether rank i's contribution arrived;
+// non-root ranks get nil slices.
+func (c *Comm) FTGather(root int, data []byte, poll time.Duration) (out [][]byte, got []bool) {
+	p := c.Size()
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil, nil
+	}
+	out = make([][]byte, p)
+	got = make([]bool, p)
+	out[root], got[root] = data, true
+	for i := 0; i < p; i++ {
+		if i == root {
+			continue
+		}
+		if m, ok := c.recvLive(i, tagGather, poll); ok {
+			out[i], got[i] = m.Data, true
+		}
+	}
+	return out, got
+}
+
+// FTBcast distributes root's data to every surviving rank with linear
+// sends from the root (no intermediate hops a dead rank could sever).
+// A non-root caller dies only if the root itself died.
+func (c *Comm) FTBcast(root int, data []byte, poll time.Duration) []byte {
+	p := c.Size()
+	if p == 1 {
+		return data
+	}
+	if c.rank == root {
+		for i := 0; i < p; i++ {
+			if i != root {
+				c.Send(i, tagBcast, data)
+			}
+		}
+		return data
+	}
+	m, ok := c.recvLive(root, tagBcast, poll)
+	if !ok {
+		c.die(false, "FTBcast: root died")
+	}
+	return m.Data
+}
+
+// FTAllreduce combines every surviving rank's v with op and returns
+// the result on all survivors; dead ranks simply do not contribute.
+func (c *Comm) FTAllreduce(v int64, op ReduceOp, poll time.Duration) int64 {
+	vals, got := c.FTGather(0, encodeInt64(v), poll)
+	var out []byte
+	if c.rank == 0 {
+		acc := v
+		for i, raw := range vals {
+			if i == 0 || !got[i] {
+				continue
+			}
+			acc = op(acc, decodeInt64(raw))
+		}
+		out = encodeInt64(acc)
+	}
+	return decodeInt64(c.FTBcast(0, out, poll))
+}
+
+// FTAlltoallv is Alltoallv over the surviving ranks: all sends are
+// posted eagerly (a send to a dead rank vanishes harmlessly), then
+// each incoming buffer is awaited with a poll deadline. got[src]
+// reports whether src's buffer arrived; a false entry means src died
+// before its send reached this rank, and the caller must recover that
+// exchange from redundant data.
+func (c *Comm) FTAlltoallv(bufs [][]byte, poll time.Duration) (out [][]byte, got []bool) {
+	p := c.Size()
+	if len(bufs) != p {
+		panic("par: alltoallv needs one buffer per rank")
+	}
+	out = make([][]byte, p)
+	got = make([]bool, p)
+	out[c.rank], got[c.rank] = bufs[c.rank], true
+	for d := 0; d < p; d++ {
+		if d != c.rank {
+			c.Send(d, tagAlltoall, bufs[d])
+		}
+	}
+	for s := 0; s < p; s++ {
+		if s == c.rank {
+			continue
+		}
+		if m, ok := c.recvLive(s, tagAlltoall, poll); ok {
+			out[s], got[s] = m.Data, true
+		}
+	}
+	return out, got
+}

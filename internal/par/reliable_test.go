@@ -1,0 +1,183 @@
+package par
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRetransmitDelivers: with the reliable link enabled, a lossy
+// channel still delivers every eager message intact and in order —
+// drops become retransmissions, not losses.
+func TestRetransmitDelivers(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Faults = &FaultPlan{Seed: 3, Retransmit: true, DropProb: 0.4}
+	const msgs = 64
+	var stats []Stats
+	stats = Run(cfg, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				c.Send(1, 5, []byte(fmt.Sprintf("m%04d", i)))
+			}
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			m := c.Recv(0, 5)
+			if want := fmt.Sprintf("m%04d", i); string(m.Data) != want {
+				t.Fatalf("message %d = %q, want %q", i, m.Data, want)
+			}
+		}
+	})
+	if stats[0].Retransmits == 0 {
+		t.Error("40% drop rate caused no retransmissions")
+	}
+	if stats[0].MsgsDropped == 0 {
+		t.Error("40% drop rate dropped no frames")
+	}
+}
+
+// TestCorruptionRecovered: corrupted frames are caught by the CRC32C
+// envelope and retransmitted; payloads arrive unmodified.
+func TestCorruptionRecovered(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Faults = &FaultPlan{Seed: 9, Retransmit: true, CorruptProb: 0.5}
+	const msgs = 64
+	stats := Run(cfg, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				c.Send(1, 7, []byte(fmt.Sprintf("payload-%04d", i)))
+			}
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			m := c.Recv(0, 7)
+			if want := fmt.Sprintf("payload-%04d", i); string(m.Data) != want {
+				t.Fatalf("message %d corrupted through the checksum layer: %q", i, m.Data)
+			}
+		}
+	})
+	if stats[0].FramesCorrupted == 0 {
+		t.Error("50% corruption rate injured no frames")
+	}
+	if stats[0].Retransmits == 0 {
+		t.Error("corrupted frames caused no retransmissions")
+	}
+}
+
+// TestRetransmitDeterminism: the same seed must produce the same fault
+// decisions and modeled charges, run to run.
+func TestRetransmitDeterminism(t *testing.T) {
+	run := func() []Stats {
+		cfg := DefaultConfig(3)
+		cfg.Faults = &FaultPlan{Seed: 11, Retransmit: true, DropProb: 0.2, CorruptProb: 0.2}
+		return Run(cfg, func(c *Comm) {
+			for i := 0; i < 20; i++ {
+				dst := (c.Rank() + 1) % c.Size()
+				c.Send(dst, 1, []byte{byte(i)})
+				c.Recv((c.Rank()+c.Size()-1)%c.Size(), 1)
+			}
+		})
+	}
+	a, b := run(), run()
+	for r := range a {
+		if a[r].Retransmits != b[r].Retransmits || a[r].FramesCorrupted != b[r].FramesCorrupted {
+			t.Errorf("rank %d fault counts differ across runs: %+v vs %+v", r, a[r], b[r])
+		}
+		if a[r].CommModel != b[r].CommModel {
+			t.Errorf("rank %d modeled comm differs across runs: %v vs %v", r, a[r].CommModel, b[r].CommModel)
+		}
+	}
+}
+
+// TestRetransmitBudgetExhausted: a link that never delivers fail-stops
+// the sender after MaxRetries instead of spinning forever.
+func TestRetransmitBudgetExhausted(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Faults = &FaultPlan{Seed: 1, Retransmit: true, DropProb: 1.0, MaxRetries: 5}
+	_, exits := RunStatus(cfg, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []byte("doomed"))
+			return
+		}
+		c.RecvTimeout(0, 3, 0)
+	})
+	if !exits[0].FaultKilled {
+		t.Errorf("sender on a dead link should fail-stop, got %+v", exits[0])
+	}
+}
+
+// TestCollectivesOverLossyLink: the plain (non-FT) collectives run on
+// internal tags, which the reliable link also protects — so a
+// corrupting, dropping link must not change any collective's result.
+func TestCollectivesOverLossyLink(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Faults = &FaultPlan{Seed: 21, Retransmit: true, DropProb: 0.15, CorruptProb: 0.15}
+	sums := make([]int64, 4)
+	stats := Run(cfg, func(c *Comm) {
+		v := int64(c.Rank() + 1)
+		sums[c.Rank()] = c.Allreduce(v, Sum)
+		c.Barrier()
+		b := c.Bcast(0, []byte("settings"))
+		if string(b) != "settings" {
+			t.Errorf("rank %d bcast got %q", c.Rank(), b)
+		}
+	})
+	for r, s := range sums {
+		if s != 10 {
+			t.Errorf("rank %d allreduce = %d, want 10", r, s)
+		}
+	}
+	total := 0
+	for _, s := range stats {
+		total += s.Retransmits
+	}
+	if total == 0 {
+		t.Error("lossy link caused no retransmissions across collectives")
+	}
+}
+
+// TestFTCollectivesSurviveDeath: a rank killed mid-alltoall must not
+// wedge or cascade the surviving ranks' FT collectives.
+func TestFTCollectivesSurviveDeath(t *testing.T) {
+	const poll = 2 * time.Millisecond
+	cfg := DefaultConfig(4)
+	cfg.Faults = &FaultPlan{Seed: 1, Crashes: []Crash{CrashAtAlltoallSend(2, 1)}}
+	gots := make([][]bool, 4)
+	sums := make([]int64, 4)
+	_, exits := RunStatus(cfg, func(c *Comm) {
+		bufs := make([][]byte, c.Size())
+		for d := range bufs {
+			bufs[d] = []byte{byte(c.Rank()), byte(d)}
+		}
+		out, got := c.FTAlltoallv(bufs, poll)
+		gots[c.Rank()] = got
+		for s, b := range out {
+			if !got[s] {
+				continue
+			}
+			if len(b) != 2 || int(b[0]) != s || int(b[1]) != c.Rank() {
+				t.Errorf("rank %d got bad buffer from %d: %v", c.Rank(), s, b)
+			}
+		}
+		c.FTBarrier(poll)
+		sums[c.Rank()] = c.FTAllreduce(int64(c.Rank()+1), Sum, poll)
+		if b := c.FTBcast(0, []byte("go"), poll); string(b) != "go" {
+			t.Errorf("rank %d FTBcast got %q", c.Rank(), b)
+		}
+	})
+	if !exits[2].FaultKilled {
+		t.Fatalf("rank 2 should have been fault-killed, got %+v", exits[2])
+	}
+	for _, r := range []int{0, 1, 3} {
+		if !exits[r].OK {
+			t.Fatalf("survivor %d did not finish: %+v", r, exits[r])
+		}
+		if gots[r][2] {
+			t.Errorf("survivor %d claims to have rank 2's buffer", r)
+		}
+		// 1 + 2 + 4: the dead rank contributes nothing.
+		if sums[r] != 7 {
+			t.Errorf("survivor %d FTAllreduce = %d, want 7", r, sums[r])
+		}
+	}
+}

@@ -24,6 +24,9 @@ type Stats struct {
 
 	MsgsDropped int // eager sends discarded by an injected fault plan
 
+	Retransmits     int // frames resent by the reliable-link protocol
+	FramesCorrupted int // frames injured by an injected corruption fault
+
 	PeakBufBytes int // high-water mark of this rank's receive buffers
 }
 
@@ -60,9 +63,11 @@ type Aggregate struct {
 	TotalMsgs    int
 	PeakBufBytes int // max over ranks
 
-	TotalBytesRecv   int
-	TotalMsgsRecv    int
-	TotalMsgsDropped int // eager sends discarded by an injected fault plan
+	TotalBytesRecv       int
+	TotalMsgsRecv        int
+	TotalMsgsDropped     int // eager sends discarded by an injected fault plan
+	TotalRetransmits     int // frames resent by the reliable-link protocol
+	TotalFramesCorrupted int // frames injured by an injected corruption fault
 }
 
 // Summarize aggregates per-rank stats.
@@ -86,6 +91,8 @@ func Summarize(stats []Stats) Aggregate {
 		a.TotalBytesRecv += s.BytesRecv
 		a.TotalMsgsRecv += s.MsgsRecv
 		a.TotalMsgsDropped += s.MsgsDropped
+		a.TotalRetransmits += s.Retransmits
+		a.TotalFramesCorrupted += s.FramesCorrupted
 		if s.PeakBufBytes > a.PeakBufBytes {
 			a.PeakBufBytes = s.PeakBufBytes
 		}

@@ -1,0 +1,149 @@
+package pgst
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// unionSignature computes the tree signature of the union of the
+// given locals' forests (nil entries — dead ranks — are skipped).
+func unionSignature(locals []*Local) (map[string]int, []string) {
+	nodes := make(map[string]int)
+	var sufs []string
+	for _, l := range locals {
+		if l == nil {
+			continue
+		}
+		n, s := treeSignature(l.Tree)
+		for k, v := range n {
+			nodes[k] += v
+		}
+		sufs = append(sufs, s...)
+	}
+	sort.Strings(sufs)
+	return nodes, sufs
+}
+
+// checkUnion verifies that the union of the locals' trees carries the
+// reference signature.
+func checkUnion(t *testing.T, name string, locals []*Local, wantNodes map[string]int, wantSufs []string) {
+	t.Helper()
+	gotNodes, gotSufs := unionSignature(locals)
+	if len(gotSufs) != len(wantSufs) {
+		t.Fatalf("%s: %d leaf suffixes, want %d", name, len(gotSufs), len(wantSufs))
+	}
+	for i := range wantSufs {
+		if gotSufs[i] != wantSufs[i] {
+			t.Fatalf("%s: leaf suffix %d = %s, want %s", name, i, gotSufs[i], wantSufs[i])
+		}
+	}
+	for k, v := range wantNodes {
+		if gotNodes[k] != v {
+			t.Fatalf("%s: node sig %q count %d, want %d", name, k, gotNodes[k], v)
+		}
+	}
+}
+
+// TestFTBuildMatchesSerial: the fault-tolerant build with no faults
+// injected must produce exactly the serial GST (the FT collectives
+// change the message pattern, never the content).
+func TestFTBuildMatchesSerial(t *testing.T) {
+	st := testStore(1, 6000, 3.0)
+	const w, psi = 6, 8
+	wantNodes, wantSufs := treeSignature(serialTree(st, w, psi))
+
+	const p = 5
+	locals := make([]*Local, p)
+	par.Run(par.DefaultConfig(p), func(c *par.Comm) {
+		locals[c.Rank()] = Build(c, st, Config{
+			W: w, MinLen: psi, BatchBytes: 1 << 20, Seed: 7, FT: true,
+		})
+	})
+	checkUnion(t, "ft fault-free", locals, wantNodes, wantSufs)
+}
+
+// TestFTBuildSurvivesCrash is the tentpole contract: a rank killed
+// mid-construction (during redistribution or fragment fetch, with or
+// without frame corruption on the wire) must leave the survivors
+// holding, in union, exactly the fault-free GST — the dead rank's
+// exchanges re-enumerated and its bucket range rebuilt from data the
+// survivors already hold.
+func TestFTBuildSurvivesCrash(t *testing.T) {
+	st := testStore(1, 6000, 3.0)
+	const w, psi = 6, 8
+	wantNodes, wantSufs := treeSignature(serialTree(st, w, psi))
+
+	const p = 5
+	cases := []struct {
+		name string
+		plan *par.FaultPlan
+	}{
+		{"redistribution crash", &par.FaultPlan{
+			Seed: 5, Crashes: []par.Crash{par.CrashAtAlltoallSend(2, 2)}}},
+		{"fetch crash", &par.FaultPlan{
+			Seed: 5, Crashes: []par.Crash{par.CrashAtAlltoallSend(3, 5)}}},
+		{"crash with corrupting wire", &par.FaultPlan{
+			Seed: 5, Crashes: []par.Crash{par.CrashAtAlltoallSend(2, 3)},
+			Retransmit: true, CorruptProb: 0.05}},
+	}
+	for _, tc := range cases {
+		locals := make([]*Local, p)
+		cfg := par.DefaultConfig(p)
+		cfg.Faults = tc.plan
+		_, exits := par.RunStatus(cfg, func(c *par.Comm) {
+			locals[c.Rank()] = Build(c, st, Config{
+				W: w, MinLen: psi, BatchBytes: 1 << 20, Seed: 7, FT: true,
+			})
+		})
+		crashed := tc.plan.Crashes[0].Rank
+		if !exits[crashed].FaultKilled {
+			t.Fatalf("%s: rank %d was not fault-killed: %+v", tc.name, crashed, exits[crashed])
+		}
+		for r, e := range exits {
+			if r != crashed && !e.OK {
+				t.Fatalf("%s: survivor %d died: %+v", tc.name, r, e)
+			}
+		}
+		alive := 0
+		for _, l := range locals {
+			if l != nil {
+				alive++
+			}
+		}
+		if alive != p-1 {
+			t.Fatalf("%s: %d survivors, want %d", tc.name, alive, p-1)
+		}
+		checkUnion(t, tc.name, locals, wantNodes, wantSufs)
+	}
+}
+
+// TestFTBuildDeterminism: two FT builds under the same crashing,
+// corrupting plan must produce identical survivor forests.
+func TestFTBuildDeterminism(t *testing.T) {
+	st := testStore(2, 4000, 2.5)
+	const w, psi = 6, 8
+	const p = 4
+	run := func() (map[string]int, []string) {
+		locals := make([]*Local, p)
+		cfg := par.DefaultConfig(p)
+		cfg.Faults = &par.FaultPlan{
+			Seed:       13,
+			Crashes:    []par.Crash{par.CrashAtAlltoallSend(2, 1)},
+			Retransmit: true, CorruptProb: 0.1,
+		}
+		par.RunStatus(cfg, func(c *par.Comm) {
+			locals[c.Rank()] = Build(c, st, Config{
+				W: w, MinLen: psi, BatchBytes: 1 << 20, Seed: 7, FT: true,
+			})
+		})
+		return unionSignature(locals)
+	}
+	n1, s1 := run()
+	n2, s2 := run()
+	if fmt.Sprint(n1) != fmt.Sprint(n2) || fmt.Sprint(s1) != fmt.Sprint(s2) {
+		t.Error("FT build not deterministic under a fixed fault plan")
+	}
+}

@@ -16,6 +16,7 @@ package pgst
 import (
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/par"
 	"repro/internal/seq"
@@ -51,6 +52,18 @@ type Config struct {
 	Staged bool
 	// Seed for splitter sampling.
 	Seed int64
+	// FT selects the fault-tolerant build: collectives poll with
+	// deadlines and skip dead ranks, exchanges lost to a mid-build rank
+	// death are re-enumerated by survivors from the fragments they
+	// already hold, and dead ranks' bucket ranges are rebuilt whole by
+	// designated survivors — so the union of the surviving per-bucket
+	// tries is identical to a fault-free build. FT assumes rank 0
+	// survives (the clustering master's role). Staged exchanges are
+	// not fault-tolerant; FT forces the eager Alltoallv.
+	FT bool
+	// FTPoll is the poll interval of the fault-tolerant collectives
+	// (default 10ms).
+	FTPoll time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +72,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinLen < c.W {
 		c.MinLen = c.W
+	}
+	if c.FTPoll == 0 {
+		c.FTPoll = 10 * time.Millisecond
+	}
+	if c.FT {
+		c.Staged = false
 	}
 	return c
 }
@@ -122,6 +141,34 @@ type keyedSuffix struct {
 	suf suffixtree.Suffix
 }
 
+// enumerateOwner enumerates and keys the suffixes of owner rank me's
+// fragment range (both orientations), keeping only keys for which keep
+// returns true (nil: keep everything). Returns the kept suffixes and
+// the character count examined, so callers can charge the work. Every
+// rank holds the full store, so any survivor can re-run a dead rank's
+// enumeration — the redundancy the fault-tolerant build recovers from.
+func enumerateOwner(st *seq.Store, bounds []int, me int, cfg Config, keep func(seq.Kmer) bool) ([]keyedSuffix, int64) {
+	n := st.N()
+	var out []keyedSuffix
+	var chars int64
+	for fid := bounds[me]; fid < bounds[me+1]; fid++ {
+		for _, sid := range [2]int32{int32(fid), int32(fid + n)} {
+			s := st.Seq(int(sid))
+			chars += int64(len(s))
+			sufs := suffixtree.EnumerateSuffixes(
+				func(int32) []byte { return s }, []int32{sid}, cfg.MinLen)
+			for _, sf := range sufs {
+				if key, ok := suffixtree.BucketKey(s, int(sf.Pos), cfg.W); ok {
+					if keep == nil || keep(key) {
+						out = append(out, keyedSuffix{key, sf})
+					}
+				}
+			}
+		}
+	}
+	return out, chars
+}
+
 // Build constructs this rank's portion of the distributed GST. All
 // ranks of the communicator must call it collectively.
 func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
@@ -131,7 +178,6 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 	if owners < 1 {
 		panic("pgst: no owner ranks")
 	}
-	n := st.N()
 	bounds := ownerBounds(st, owners)
 
 	// Phase 1: enumerate and key the suffixes of this rank's fragments
@@ -139,30 +185,19 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 	var local []keyedSuffix
 	if me := c.Rank() - cfg.FirstOwner; me >= 0 {
 		var chars int64
-		for fid := bounds[me]; fid < bounds[me+1]; fid++ {
-			for _, sid := range [2]int32{int32(fid), int32(fid + n)} {
-				s := st.Seq(int(sid))
-				chars += int64(len(s))
-				sufs := suffixtree.EnumerateSuffixes(
-					func(int32) []byte { return s }, []int32{sid}, cfg.MinLen)
-				for _, sf := range sufs {
-					if key, ok := suffixtree.BucketKey(s, int(sf.Pos), cfg.W); ok {
-						local = append(local, keyedSuffix{key, sf})
-					}
-				}
-			}
-		}
+		local, chars = enumerateOwner(st, bounds, me, cfg, nil)
 		c.ChargeCompute(float64(chars)*costChar + float64(len(local))*costSuf)
 	}
 
 	// Phase 2: sort local suffixes by key and agree on splitters.
 	sort.Slice(local, func(i, j int) bool { return local[i].key < local[j].key })
 	c.ChargeCompute(float64(len(local)) * log2f(len(local)) * costSort)
-	splitters := chooseSplitters(c, local, owners, cfg.Seed)
+	splitters := chooseSplitters(c, local, owners, cfg)
 
 	// Phase 3: redistribute suffixes so each bucket lands whole on its
-	// owner rank.
-	mine := redistribute(c, local, splitters, cfg)
+	// owner rank. Under FT, exchanges severed by a rank death are
+	// re-enumerated locally from the full store.
+	mine := redistribute(c, st, local, splitters, bounds, cfg)
 	sort.Slice(mine, func(i, j int) bool { return mine[i].key < mine[j].key })
 	c.ChargeCompute(float64(len(mine)) * log2f(len(mine)) * costSort)
 
@@ -183,7 +218,12 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 		lo = hi
 	}
 	batches := planBatches(st, buckets, cfg.BatchBytes)
-	rounds := int(c.Allreduce(int64(len(batches)), par.Max))
+	var rounds int
+	if cfg.FT {
+		rounds = int(c.FTAllreduce(int64(len(batches)), par.Max, cfg.FTPoll))
+	} else {
+		rounds = int(c.Allreduce(int64(len(batches)), par.Max))
+	}
 
 	// Phase 5: per batch, fetch the needed fragments with two
 	// collective steps (request, serve), then build the subtrees.
@@ -195,7 +235,7 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 			batch = batches[round]
 		}
 		cache := fetchFragments(c, st, buckets, batch, bounds, cfg)
-		access := cacheAccess(st, cache)
+		access := cacheAccess(st, cache, cfg.FT)
 		for _, bi := range batch {
 			ib.AddBucket(access, buckets[bi])
 		}
@@ -207,9 +247,24 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 	for _, b := range buckets {
 		nsuf += len(b)
 	}
+	nbuckets := len(buckets)
+
+	// FT epilogue: agree on which owner ranks died at any point during
+	// construction and rebuild their whole bucket ranges on designated
+	// survivors, so the union of surviving tries matches a fault-free
+	// build exactly.
+	if cfg.FT {
+		for _, dead := range recoverAssignments(c, cfg.FirstOwner, cfg.FTPoll) {
+			nb, ns, cost := rebuildInto(ib, st, splitters, cfg, dead)
+			nbuckets += nb
+			nsuf += ns
+			c.ChargeCompute(cost)
+		}
+	}
+
 	return &Local{
 		Tree:          ib.Tree(),
-		Buckets:       len(buckets),
+		Buckets:       nbuckets,
 		SuffixesOwned: nsuf,
 		FetchRounds:   rounds,
 		Splitters:     splitters,
@@ -229,41 +284,9 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 // This is a local (non-collective) operation; its computation is
 // charged to the calling rank, modeling the recovery cost.
 func RebuildPortion(c *par.Comm, st *seq.Store, local *Local, dead int) *suffixtree.Tree {
-	cfg := local.Cfg
-	var mine []keyedSuffix
-	var chars int64
-	for sid := 0; sid < st.NumSeqs(); sid++ {
-		s := st.Seq(sid)
-		chars += int64(len(s))
-		sufs := suffixtree.EnumerateSuffixes(
-			func(int32) []byte { return s }, []int32{int32(sid)}, cfg.MinLen)
-		for _, sf := range sufs {
-			key, ok := suffixtree.BucketKey(s, int(sf.Pos), cfg.W)
-			if !ok || destOf(local.Splitters, key, cfg.FirstOwner) != dead {
-				continue
-			}
-			mine = append(mine, keyedSuffix{key, sf})
-		}
-	}
-	sort.Slice(mine, func(i, j int) bool { return mine[i].key < mine[j].key })
-	c.ChargeCompute(float64(chars)*costChar +
-		float64(len(mine))*(costSuf+log2f(len(mine))*costSort))
-
-	access := func(sid int32) []byte { return st.Seq(int(sid)) }
-	ib := suffixtree.NewIncrementalBuilder(cfg.W)
-	for lo := 0; lo < len(mine); {
-		hi := lo
-		for hi < len(mine) && mine[hi].key == mine[lo].key {
-			hi++
-		}
-		b := make([]suffixtree.Suffix, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			b = append(b, mine[i].suf)
-		}
-		ib.AddBucket(access, b)
-		lo = hi
-	}
-	c.ChargeCompute(float64(ib.Work()) * costChar)
+	ib := suffixtree.NewIncrementalBuilder(local.Cfg.W)
+	_, _, cost := rebuildInto(ib, st, local.Splitters, local.Cfg, dead)
+	c.ChargeCompute(cost)
 	return ib.Tree()
 }
 
@@ -279,10 +302,13 @@ func log2f(n int) float64 {
 }
 
 // chooseSplitters gathers evenly spaced key samples at rank 0, sorts
-// them, and broadcasts owners−1 splitters.
-func chooseSplitters(c *par.Comm, local []keyedSuffix, owners int, seed int64) []seq.Kmer {
+// them, and broadcasts owners−1 splitters. Under FT a dead rank simply
+// contributes no samples — the splitters steer only the bucket→rank
+// partition, never the union of bucket contents, so equivalence with a
+// fault-free build is unaffected.
+func chooseSplitters(c *par.Comm, local []keyedSuffix, owners int, cfg Config) []seq.Kmer {
 	const perRank = 64
-	rng := rand.New(rand.NewSource(seed + int64(c.Rank())))
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(c.Rank())))
 	w := wire.NewBuffer(perRank * 9)
 	if len(local) > 0 {
 		for i := 0; i < perRank; i++ {
@@ -295,7 +321,12 @@ func chooseSplitters(c *par.Comm, local []keyedSuffix, owners int, seed int64) [
 			w.PutUint(uint64(local[idx].key))
 		}
 	}
-	gathered := c.Gather(0, w.Bytes())
+	var gathered [][]byte
+	if cfg.FT {
+		gathered, _ = c.FTGather(0, w.Bytes(), cfg.FTPoll)
+	} else {
+		gathered = c.Gather(0, w.Bytes())
+	}
 	var enc []byte
 	if c.Rank() == 0 {
 		var samples []seq.Kmer
@@ -319,7 +350,11 @@ func chooseSplitters(c *par.Comm, local []keyedSuffix, owners int, seed int64) [
 		}
 		enc = out.Bytes()
 	}
-	enc = c.Bcast(0, enc)
+	if cfg.FT {
+		enc = c.FTBcast(0, enc, cfg.FTPoll)
+	} else {
+		enc = c.Bcast(0, enc)
+	}
 	var splitters []seq.Kmer
 	r := wire.NewReader(enc)
 	for r.Remaining() > 0 {
@@ -344,8 +379,12 @@ func destOf(splitters []seq.Kmer, key seq.Kmer, firstOwner int) int {
 }
 
 // redistribute exchanges keyed suffixes so each lands on its bucket's
-// owner rank.
-func redistribute(c *par.Comm, local []keyedSuffix, splitters []seq.Kmer, cfg Config) []keyedSuffix {
+// owner rank. Under FT a rank death mid-exchange is detected through
+// the poll deadlines; the survivors agree on the set of severed
+// sources and each re-enumerates those ranks' fragment ranges from its
+// own full copy of the store, keeping the keys it owns — so its bucket
+// contents end up identical to a fault-free exchange.
+func redistribute(c *par.Comm, st *seq.Store, local []keyedSuffix, splitters []seq.Kmer, bounds []int, cfg Config) []keyedSuffix {
 	p := c.Size()
 	bufs := make([]*wire.Buffer, p)
 	for i := range bufs {
@@ -365,9 +404,22 @@ func redistribute(c *par.Comm, local []keyedSuffix, splitters []seq.Kmer, cfg Co
 		raw[i] = bufs[i].Bytes()
 	}
 	var recv [][]byte
-	if cfg.Staged {
+	var severed []int
+	switch {
+	case cfg.FT:
+		var got []bool
+		recv, got = c.FTAlltoallv(raw, cfg.FTPoll)
+		severed = agreeSevered(c, got, cfg)
+		// Discard partial data from severed sources: a rank that died
+		// mid-exchange reached some destinations and not others, and
+		// only a uniform re-enumeration keeps every survivor's view
+		// consistent (no lost and no duplicated suffixes).
+		for _, s := range severed {
+			recv[s] = nil
+		}
+	case cfg.Staged:
 		recv = c.AlltoallvStaged(raw)
-	} else {
+	default:
 		recv = c.Alltoallv(raw)
 	}
 	var mine []keyedSuffix
@@ -381,8 +433,67 @@ func redistribute(c *par.Comm, local []keyedSuffix, splitters []seq.Kmer, cfg Co
 			mine = append(mine, keyedSuffix{key, suffixtree.Suffix{Sid: sid, Pos: pos, Prev: prev}})
 		}
 	}
+	// Recover the severed exchanges: replay each dead source's
+	// enumeration locally, keeping only the keys this rank owns.
+	for _, s := range severed {
+		me := s - cfg.FirstOwner
+		if me < 0 || s == c.Rank() {
+			continue // non-owner ranks contribute no suffixes
+		}
+		rec, chars := enumerateOwner(st, bounds, me, cfg, func(k seq.Kmer) bool {
+			return destOf(splitters, k, cfg.FirstOwner) == c.Rank()
+		})
+		mine = append(mine, rec...)
+		c.ChargeCompute(float64(chars)*costChar + float64(len(rec))*costSuf)
+	}
 	c.ChargeCompute(float64(len(mine)) * costSuf)
 	return mine
+}
+
+// agreeSevered merges every survivor's view of which alltoall sources
+// went missing (rank 0 unions the reports and broadcasts the result),
+// so all survivors recover the same set of exchanges.
+func agreeSevered(c *par.Comm, got []bool, cfg Config) []int {
+	w := wire.NewBuffer(8)
+	for s, ok := range got {
+		if !ok {
+			w.PutInt(s)
+		}
+	}
+	reports, reported := c.FTGather(0, w.Bytes(), cfg.FTPoll)
+	var enc []byte
+	if c.Rank() == 0 {
+		miss := make(map[int]bool)
+		for i, buf := range reports {
+			if !reported[i] {
+				// A rank that died after the exchange but before
+				// reporting: its own buckets are handled by the
+				// end-of-build rebuild, not here.
+				continue
+			}
+			r := wire.NewReader(buf)
+			for r.Remaining() > 0 {
+				miss[r.Int()] = true
+			}
+		}
+		out := wire.NewBuffer(2 * len(miss))
+		var sorted []int
+		for s := range miss {
+			sorted = append(sorted, s)
+		}
+		sort.Ints(sorted)
+		for _, s := range sorted {
+			out.PutInt(s)
+		}
+		enc = out.Bytes()
+	}
+	enc = c.FTBcast(0, enc, cfg.FTPoll)
+	r := wire.NewReader(enc)
+	var severed []int
+	for r.Remaining() > 0 {
+		severed = append(severed, r.Int())
+	}
+	return severed
 }
 
 // planBatches groups bucket indices into batches whose distinct
@@ -459,9 +570,12 @@ func fetchFragments(c *par.Comm, st *seq.Store, buckets [][]suffixtree.Suffix, b
 		raw[i] = reqBufs[i].Bytes()
 	}
 	var reqs [][]byte
-	if cfg.Staged {
+	switch {
+	case cfg.FT:
+		reqs, _ = c.FTAlltoallv(raw, cfg.FTPoll)
+	case cfg.Staged:
 		reqs = c.AlltoallvStaged(raw)
-	} else {
+	default:
 		reqs = c.Alltoallv(raw)
 	}
 	// Step 2: serve the requests.
@@ -484,9 +598,14 @@ func fetchFragments(c *par.Comm, st *seq.Store, buckets [][]suffixtree.Suffix, b
 		raw[i] = respBufs[i].Bytes()
 	}
 	var resps [][]byte
-	if cfg.Staged {
+	switch {
+	case cfg.FT:
+		// A dead owner serves nothing; its fragments are read from the
+		// local copy of the store via the cache-miss fallback.
+		resps, _ = c.FTAlltoallv(raw, cfg.FTPoll)
+	case cfg.Staged:
 		resps = c.AlltoallvStaged(raw)
-	} else {
+	default:
 		resps = c.Alltoallv(raw)
 	}
 	cache := make(map[int32][]byte, len(need))
@@ -502,27 +621,111 @@ func fetchFragments(c *par.Comm, st *seq.Store, buckets [][]suffixtree.Suffix, b
 
 // cacheAccess builds the Access function for one batch: forward bases
 // come from the fetched cache; reverse complements are derived on
-// demand and memoized.
-func cacheAccess(st *seq.Store, cache map[int32][]byte) suffixtree.Access {
+// demand and memoized. With fallback (FT mode) a fragment a dead owner
+// never served is read from the local copy of the store instead of
+// panicking.
+func cacheAccess(st *seq.Store, cache map[int32][]byte, fallback bool) suffixtree.Access {
 	n := int32(st.N())
 	rcCache := make(map[int32][]byte)
-	return func(sid int32) []byte {
-		if sid < n {
-			b, ok := cache[sid]
-			if !ok {
+	fetch := func(fid int32) []byte {
+		b, ok := cache[fid]
+		if !ok {
+			if !fallback {
 				panic("pgst: access to unfetched fragment")
 			}
-			return b
+			b = st.Fragment(int(fid)).Bases
+		}
+		return b
+	}
+	return func(sid int32) []byte {
+		if sid < n {
+			return fetch(sid)
 		}
 		if rc, ok := rcCache[sid]; ok {
 			return rc
 		}
-		b, ok := cache[sid-n]
-		if !ok {
-			panic("pgst: access to unfetched fragment")
-		}
-		rc := seq.ReverseComplement(b)
+		rc := seq.ReverseComplement(fetch(sid - n))
 		rcCache[sid] = rc
 		return rc
 	}
+}
+
+// recoverAssignments is the FT epilogue's agreement step: rank 0
+// gathers a liveness ping, pairs each dead owner rank with a surviving
+// owner round-robin, and broadcasts the assignment. Returns the dead
+// ranks assigned to the calling rank for rebuilding.
+func recoverAssignments(c *par.Comm, firstOwner int, poll time.Duration) []int {
+	_, alive := c.FTGather(0, nil, poll)
+	var enc []byte
+	if c.Rank() == 0 {
+		var deadOwners, liveOwners []int
+		for r := firstOwner; r < c.Size(); r++ {
+			if alive[r] {
+				liveOwners = append(liveOwners, r)
+			} else {
+				deadOwners = append(deadOwners, r)
+			}
+		}
+		w := wire.NewBuffer(4 * len(deadOwners))
+		if len(liveOwners) > 0 {
+			for k, d := range deadOwners {
+				w.PutInt(d)
+				w.PutInt(liveOwners[k%len(liveOwners)])
+			}
+		}
+		enc = w.Bytes()
+	}
+	enc = c.FTBcast(0, enc, poll)
+	r := wire.NewReader(enc)
+	var mine []int
+	for r.Remaining() > 0 {
+		dead, assigned := r.Int(), r.Int()
+		if assigned == c.Rank() {
+			mine = append(mine, dead)
+		}
+	}
+	return mine
+}
+
+// rebuildInto re-enumerates every fragment's suffixes, keeps the
+// buckets the partition assigned to rank dead, and builds them into
+// ib. Returns the bucket and suffix counts added plus the modeled
+// compute cost of the rebuild.
+func rebuildInto(ib *suffixtree.IncrementalBuilder, st *seq.Store, splitters []seq.Kmer, cfg Config, dead int) (nbuckets, nsuf int, cost float64) {
+	var mine []keyedSuffix
+	var chars int64
+	for sid := 0; sid < st.NumSeqs(); sid++ {
+		s := st.Seq(sid)
+		chars += int64(len(s))
+		sufs := suffixtree.EnumerateSuffixes(
+			func(int32) []byte { return s }, []int32{int32(sid)}, cfg.MinLen)
+		for _, sf := range sufs {
+			key, ok := suffixtree.BucketKey(s, int(sf.Pos), cfg.W)
+			if !ok || destOf(splitters, key, cfg.FirstOwner) != dead {
+				continue
+			}
+			mine = append(mine, keyedSuffix{key, sf})
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].key < mine[j].key })
+	cost = float64(chars)*costChar +
+		float64(len(mine))*(costSuf+log2f(len(mine))*costSort)
+
+	access := func(sid int32) []byte { return st.Seq(int(sid)) }
+	before := ib.Work()
+	for lo := 0; lo < len(mine); {
+		hi := lo
+		for hi < len(mine) && mine[hi].key == mine[lo].key {
+			hi++
+		}
+		b := make([]suffixtree.Suffix, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			b = append(b, mine[i].suf)
+		}
+		ib.AddBucket(access, b)
+		nbuckets++
+		lo = hi
+	}
+	cost += float64(ib.Work()-before) * costChar
+	return nbuckets, len(mine), cost
 }

@@ -1,0 +1,73 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadQual: the qual parser must never panic, and any input it
+// accepts must survive a write→reparse round trip unchanged (scores
+// are already clamped, names already trimmed).
+func FuzzReadQual(f *testing.F) {
+	f.Add(">r1\n10 20 30\n>r2\n0 93 94 -3\n")
+	f.Add(">r1")
+	f.Add("5 5 5\n")
+	f.Add(">a\n1e9\n")
+	f.Add(">a\n+7 007\n")
+	f.Add("\n\n>x\n\n\n1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadQual(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteQual(&buf, recs, 7); err != nil {
+			t.Fatalf("write of parsed records failed: %v", err)
+		}
+		back, err := ReadQual(&buf)
+		if err != nil {
+			t.Fatalf("reparse of written records failed: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip: %d records, want %d", len(back), len(recs))
+		}
+		for i := range recs {
+			if back[i].Name != recs[i].Name || !bytes.Equal(back[i].Quals, recs[i].Quals) {
+				t.Fatalf("record %d changed in round trip: %+v vs %+v", i, back[i], recs[i])
+			}
+		}
+	})
+}
+
+// FuzzReadFASTA: same contract for the FASTA parser. Clean is
+// idempotent, so accepted input must round-trip exactly.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add(">r1\nACGT\nacgt\n>r2 desc\nNNNN\n")
+	f.Add("ACGT\n")
+	f.Add(">")
+	f.Add(">x\n\x00\xff@!\n")
+	f.Add("> name with spaces \nA C G T\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadFASTA(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, recs, 11); err != nil {
+			t.Fatalf("write of parsed records failed: %v", err)
+		}
+		back, err := ReadFASTA(&buf)
+		if err != nil {
+			t.Fatalf("reparse of written records failed: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip: %d records, want %d", len(back), len(recs))
+		}
+		for i := range recs {
+			if back[i].Name != recs[i].Name || !bytes.Equal(back[i].Bases, recs[i].Bases) {
+				t.Fatalf("record %d changed in round trip: %+v vs %+v", i, back[i], recs[i])
+			}
+		}
+	})
+}

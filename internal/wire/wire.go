@@ -1,11 +1,17 @@
 // Package wire provides a compact binary encoding for the fixed
 // message formats the parallel protocols exchange (suffix
 // redistribution, promising-pair batches, alignment results). Values
-// are varint-encoded; readers panic on malformed input, which for an
-// internal protocol indicates a programming error, not bad user data.
+// are varint-encoded. Readers never panic on malformed input: once
+// fault injection can truncate or corrupt a message in flight, a bad
+// byte stream is an expected runtime condition, so decoding errors
+// are sticky — the first malformed field latches Err() and every
+// subsequent accessor returns a zero value with Remaining() == 0.
 package wire
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Buffer accumulates an encoded message.
 type Buffer struct {
@@ -61,54 +67,93 @@ func (w *Buffer) PutInts(vs []int) {
 	}
 }
 
-// Reader decodes a message produced by Buffer.
+// Reader decodes a message produced by Buffer. Decoding errors are
+// sticky: after the first malformed field, Err() is non-nil, every
+// accessor returns the zero value, and Remaining() reports 0 so that
+// "while Remaining() > 0" decode loops terminate.
 type Reader struct {
 	b   []byte
 	off int
+	err error
 }
 
 // NewReader wraps an encoded message.
 func NewReader(b []byte) *Reader { return &Reader{b: b} }
 
-// Remaining reports how many undecoded bytes are left.
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// fail latches the first error and exhausts the reader so that
+// length-driven decode loops cannot spin.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: "+format, args...)
+	}
+	r.off = len(r.b)
+}
+
+// Remaining reports how many undecoded bytes are left (0 after any
+// decoding error).
 func (r *Reader) Remaining() int { return len(r.b) - r.off }
 
-// Uint decodes an unsigned varint.
+// Uint decodes an unsigned varint. Overlong (non-minimal) encodings
+// are rejected: the format has exactly one encoding per message, so a
+// successful decode re-encodes to the original bytes — the property
+// the fuzz harnesses and corruption detection both lean on.
 func (r *Reader) Uint() uint64 {
 	v, n := binary.Uvarint(r.b[r.off:])
 	if n <= 0 {
-		panic("wire: truncated uvarint")
+		r.fail("truncated uvarint")
+		return 0
+	}
+	if n > 1 && r.b[r.off+n-1] == 0 {
+		r.fail("non-minimal uvarint")
+		return 0
 	}
 	r.off += n
 	return v
 }
 
-// Int decodes a signed varint.
+// Int decodes a signed varint (same canonical-form rule as Uint).
 func (r *Reader) Int() int {
 	v, n := binary.Varint(r.b[r.off:])
 	if n <= 0 {
-		panic("wire: truncated varint")
+		r.fail("truncated varint")
+		return 0
+	}
+	if n > 1 && r.b[r.off+n-1] == 0 {
+		r.fail("non-minimal varint")
+		return 0
 	}
 	r.off += n
 	return int(v)
 }
 
-// Bool decodes a boolean.
+// Bool decodes a boolean. Only 0 and 1 are valid encodings.
 func (r *Reader) Bool() bool {
 	if r.off >= len(r.b) {
-		panic("wire: truncated bool")
+		r.fail("truncated bool")
+		return false
 	}
-	v := r.b[r.off] != 0
+	v := r.b[r.off]
+	if v > 1 {
+		r.fail("invalid bool byte 0x%02x", v)
+		return false
+	}
 	r.off++
-	return v
+	return v == 1
 }
 
 // Bytes decodes a length-prefixed byte slice; the result aliases the
-// underlying message buffer.
+// underlying message buffer. Returns nil after any decoding error.
 func (r *Reader) Bytes() []byte {
 	n := int(r.Uint())
-	if r.off+n > len(r.b) {
-		panic("wire: truncated bytes")
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail("truncated bytes (want %d, have %d)", n, len(r.b)-r.off)
+		return nil
 	}
 	p := r.b[r.off : r.off+n]
 	r.off += n
@@ -121,12 +166,19 @@ func (r *Reader) String() string { return string(r.Bytes()) }
 // Ints decodes a length-prefixed slice of signed varints.
 func (r *Reader) Ints() []int {
 	n := int(r.Uint())
+	if r.err != nil {
+		return nil
+	}
 	if n < 0 || n > r.Remaining() { // every varint is ≥ 1 byte
-		panic("wire: truncated ints")
+		r.fail("truncated ints (want %d, have %d bytes)", n, r.Remaining())
+		return nil
 	}
 	vs := make([]int, n)
 	for i := range vs {
 		vs[i] = r.Int()
+	}
+	if r.err != nil {
+		return nil
 	}
 	return vs
 }

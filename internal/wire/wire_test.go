@@ -83,16 +83,100 @@ func TestIntsRandom(t *testing.T) {
 	}
 }
 
-func TestTruncatedPanics(t *testing.T) {
+// TestTruncatedErrors: malformed input latches a sticky error, the
+// accessors return zero values, and Remaining() reports 0 so decode
+// loops terminate. No reader method may panic.
+func TestTruncatedErrors(t *testing.T) {
 	w := NewBuffer(0)
 	w.PutBytes([]byte("abcdef"))
 	enc := w.Bytes()
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on truncated input")
+
+	r := NewReader(enc[:2])
+	if p := r.Bytes(); p != nil {
+		t.Errorf("truncated Bytes() = %q, want nil", p)
+	}
+	if r.Err() == nil {
+		t.Fatal("expected error on truncated input")
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining after error = %d, want 0", r.Remaining())
+	}
+	// Sticky: further reads stay zero-valued and keep the first error.
+	first := r.Err()
+	if r.Uint() != 0 || r.Int() != 0 || r.Bool() || r.Bytes() != nil || r.Ints() != nil {
+		t.Error("accessors after error must return zero values")
+	}
+	if r.Err() != first {
+		t.Error("error was overwritten")
+	}
+}
+
+// TestTruncatedTable drives each decoder over malformed prefixes of a
+// valid message and requires an error with no panic.
+func TestTruncatedTable(t *testing.T) {
+	w := NewBuffer(0)
+	w.PutUint(1 << 40) // multi-byte uvarint
+	w.PutInt(-1 << 40) // multi-byte varint
+	w.PutBool(true)
+	w.PutBytes([]byte("payload"))
+	w.PutInts([]int{5, 6, 7})
+	enc := w.Bytes()
+
+	decode := func(r *Reader) {
+		r.Uint()
+		r.Int()
+		r.Bool()
+		r.Bytes()
+		r.Ints()
+	}
+	// The full message decodes cleanly.
+	full := NewReader(enc)
+	decode(full)
+	if full.Err() != nil || full.Remaining() != 0 {
+		t.Fatalf("full decode: err=%v remaining=%d", full.Err(), full.Remaining())
+	}
+	// Every proper prefix fails cleanly.
+	for cut := 0; cut < len(enc); cut++ {
+		r := NewReader(enc[:cut])
+		decode(r)
+		if r.Err() == nil {
+			t.Errorf("cut=%d: expected error", cut)
 		}
-	}()
-	NewReader(enc[:2]).Bytes()
+		if r.Remaining() != 0 {
+			t.Errorf("cut=%d: remaining=%d after error", cut, r.Remaining())
+		}
+	}
+}
+
+// FuzzReader feeds arbitrary bytes through every decoder; the reader
+// must never panic and must terminate.
+func FuzzReader(f *testing.F) {
+	w := NewBuffer(0)
+	w.PutUint(7)
+	w.PutBytes([]byte("abc"))
+	w.PutInts([]int{1, 2, 3})
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		for r.Remaining() > 0 && r.Err() == nil {
+			switch data[0] % 6 {
+			case 0:
+				r.Uint()
+			case 1:
+				r.Int()
+			case 2:
+				r.Bool()
+			case 3:
+				r.Bytes()
+			case 4:
+				_ = r.String()
+			default:
+				r.Ints()
+			}
+		}
+	})
 }
 
 func TestReset(t *testing.T) {
