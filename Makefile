@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race faults pipeline-faults fuzz-smoke obs ci
+.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs ci
 
 all: build
 
@@ -15,6 +15,18 @@ test:
 
 race:
 	$(GO) test -race ./internal/par ./internal/cluster ./internal/obs
+
+# Race detector over the concurrency-heavy packages the simulation
+# harness exercises (runtime, clustering protocol, GST build, harness).
+test-race:
+	$(GO) test -race ./internal/par ./internal/cluster ./internal/pgst ./internal/sim
+
+# Coverage gate: the harness and its union-find oracle model must stay
+# above 70% statement coverage.
+cover:
+	@$(GO) test -cover ./internal/sim ./internal/unionfind > .cover.tmp || { cat .cover.tmp; rm -f .cover.tmp; exit 1; }
+	@cat .cover.tmp
+	@awk '/coverage:/ { p = $$5; sub(/%/, "", p); if (p + 0 < 70) { print "coverage gate: " $$2 " below 70% (" p "%)"; bad = 1 } } END { exit bad }' .cover.tmp; st=$$?; rm -f .cover.tmp; exit $$st
 
 # Full-repo race run; the experiments package makes this slow.
 race-all:
@@ -32,9 +44,26 @@ faults:
 pipeline-faults:
 	$(GO) run ./cmd/experiments -run pipelinefaults -quick
 
+# Bounded simulation campaign: randomized (machine, genome, faults,
+# schedule) cases, each checked against the serial-equivalence oracles.
+# Failures print a (campaign, case) tuple that replays them exactly.
+sim:
+	$(GO) run ./cmd/simrunner -campaign 1 -seeds 40 -j 4
+
+# Committed seed corpora for every fuzz target; a target whose corpus
+# directory is empty fails before fuzzing starts.
+FUZZ_CORPORA := testdata/fuzz/FuzzReadFASTA \
+	internal/seq/testdata/fuzz/FuzzReadFASTA \
+	internal/seq/testdata/fuzz/FuzzReadQual \
+	internal/wire/testdata/fuzz/FuzzReader \
+	internal/cluster/testdata/fuzz/FuzzDecodeReport
+
 # Short fuzz passes over every parser the pipeline feeds untrusted
 # bytes to: FASTA and qual readers plus the wire-format decoders.
 fuzz-smoke:
+	@for d in $(FUZZ_CORPORA); do \
+		ls $$d/* >/dev/null 2>&1 || { echo "fuzz-smoke: empty corpus: $$d"; exit 1; }; \
+	done
 	$(GO) test -run=NONE -fuzz=FuzzReadFASTA -fuzztime=10s .
 	$(GO) test -run=NONE -fuzz=FuzzReadFASTA -fuzztime=10s ./internal/seq
 	$(GO) test -run=NONE -fuzz=FuzzReadQual -fuzztime=10s ./internal/seq
@@ -50,4 +79,4 @@ obs:
 	$(GO) run ./cmd/tracecheck $(OBS_TRACE_DIR)/*.trace.json
 	rm -rf $(OBS_TRACE_DIR)
 
-ci: vet build test race faults pipeline-faults fuzz-smoke obs
+ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs

@@ -33,7 +33,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/preprocess"
-	"repro/internal/report"
 	"repro/internal/seq"
 )
 
@@ -146,18 +145,7 @@ func main() {
 		fail(err)
 	}
 
-	tb := report.NewTable("Pipeline summary", "metric", "value")
-	tb.AddRow("input fragments", report.Int(int64(len(frags))))
-	tb.AddRow("fragments clustered", report.Int(int64(res.Store.N())))
-	tb.AddRow("clusters", report.Int(int64(len(res.Clusters))))
-	tb.AddRow("singletons", report.Int(int64(len(res.Singletons))))
-	tb.AddRow("contigs", report.Int(int64(res.TotalContigs())))
-	tb.AddRow("contigs per cluster", report.F2(res.ContigsPerCluster()))
-	tb.AddRow("alignment savings", report.Pct(res.Clustering.Stats.SavingsFraction()))
-	if q := res.Quarantined(); len(q) > 0 {
-		tb.AddRow("quarantined clusters", report.Int(int64(len(q))))
-	}
-	tb.Fprint(os.Stdout)
+	summaryTable(len(frags), res, os.Stdout)
 
 	of, err := os.Create(*out)
 	if err != nil {

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// summaryTable renders the end-of-run pipeline summary. Split from
+// main so the golden-file test can pin the report format.
+func summaryTable(inputFrags int, res *core.Result, w io.Writer) {
+	tb := report.NewTable("Pipeline summary", "metric", "value")
+	tb.AddRow("input fragments", report.Int(int64(inputFrags)))
+	tb.AddRow("fragments clustered", report.Int(int64(res.Store.N())))
+	tb.AddRow("clusters", report.Int(int64(len(res.Clusters))))
+	tb.AddRow("singletons", report.Int(int64(len(res.Singletons))))
+	tb.AddRow("contigs", report.Int(int64(res.TotalContigs())))
+	tb.AddRow("contigs per cluster", report.F2(res.ContigsPerCluster()))
+	tb.AddRow("alignment savings", report.Pct(res.Clustering.Stats.SavingsFraction()))
+	if q := res.Quarantined(); len(q) > 0 {
+		tb.AddRow("quarantined clusters", report.Int(int64(len(q))))
+	}
+	tb.Fprint(w)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/simulate"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestSummaryGolden pins the pipeline summary report format: a serial
+// run over a fixed synthetic read set must render byte-identically to
+// testdata/summary.golden. Regenerate with `go test -run Golden
+// -update ./cmd/asmpipeline` after an intentional format change.
+func TestSummaryGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := simulate.NewGenome(rng, "g", simulate.GenomeConfig{
+		Length:  5000,
+		Repeats: []simulate.RepeatFamily{{Length: 300, Copies: 6, Divergence: 0.02}},
+	})
+	rc := simulate.DefaultReadConfig()
+	rc.MeanLen = 200
+	rc.LenSD = 30
+	rc.VectorProb = 0
+	frags := simulate.SampleWGS(rng, g, 3.0, rc, "r")
+
+	cfg := core.DefaultConfig()
+	cfg.PreprocessEnabled = false
+	cfg.AssemblyWorkers = 1
+	res, err := pipeline.Run(frags, pipeline.Config{Core: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	summaryTable(len(frags), res, &buf)
+
+	golden := filepath.Join("testdata", "summary.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("summary drifted from golden.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

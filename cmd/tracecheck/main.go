@@ -2,6 +2,8 @@
 // by -trace-out: each file must parse, contain events, carry the
 // required keys, and keep begin/end events balanced per track. It is
 // the Makefile's cheap stand-in for loading the file in Perfetto.
+// The validation logic lives in internal/obs/check so the simulation
+// harness and unit tests reuse it; this CLI only formats results.
 //
 // Usage:
 //
@@ -11,112 +13,11 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/obs/check"
 )
-
-type traceFile struct {
-	TraceEvents []traceEvent `json:"traceEvents"`
-}
-
-type traceEvent struct {
-	Name string   `json:"name"`
-	Ph   string   `json:"ph"`
-	Ts   *float64 `json:"ts"`
-	Pid  *int     `json:"pid"`
-	Tid  *int     `json:"tid"`
-}
-
-type track struct{ pid, tid int }
-
-// knownNames is the closed set of event names the obs exporter can
-// produce (EvFault renders as "fault:<code>", matched by prefix). A
-// name outside this set means the exporter and checker have drifted.
-var knownNames = map[string]bool{
-	// spans
-	"send": true, "ssend": true, "recv": true,
-	"gst": true, "cluster": true, "align-batch": true, "recover": true, "phase": true,
-	// instants
-	"pair-generated": true, "pair-aligned": true, "pair-discarded": true,
-	"cluster-merge": true, "lease-grant": true, "lease-expire": true,
-	"lease-adopt": true, "checkpoint": true,
-	// fault-model instants
-	"retransmit": true, "corrupt_frame": true, "retry": true, "quarantined": true,
-}
-
-func nameKnown(name string) bool {
-	return knownNames[name] || len(name) > 6 && name[:6] == "fault:"
-}
-
-// faultKinds are the reliability events; the summary counts them so a
-// fault-injection run that traced nothing is visible at a glance.
-var faultKinds = map[string]bool{
-	"retransmit": true, "corrupt_frame": true, "retry": true, "quarantined": true,
-}
-
-func check(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var tf traceFile
-	if err := json.Unmarshal(data, &tf); err != nil {
-		return fmt.Errorf("not trace_event JSON: %w", err)
-	}
-	if len(tf.TraceEvents) == 0 {
-		return fmt.Errorf("no events")
-	}
-	// depth[track][name] counts open spans; "E" must never underflow.
-	depth := map[track]map[string]int{}
-	ranks := map[track]bool{}
-	spans, instants, faults := 0, 0, 0
-	for i, e := range tf.TraceEvents {
-		if e.Name == "" || e.Ph == "" {
-			return fmt.Errorf("event %d: missing name or ph", i)
-		}
-		if e.Ph == "M" {
-			continue // metadata carries no timestamp
-		}
-		if !nameKnown(e.Name) {
-			return fmt.Errorf("event %d: unknown event kind %q", i, e.Name)
-		}
-		if faultKinds[e.Name] {
-			faults++
-		}
-		if e.Ts == nil || e.Pid == nil || e.Tid == nil {
-			return fmt.Errorf("event %d (%s %q): missing ts, pid or tid", i, e.Ph, e.Name)
-		}
-		k := track{*e.Pid, *e.Tid}
-		ranks[k] = true
-		switch e.Ph {
-		case "B":
-			if depth[k] == nil {
-				depth[k] = map[string]int{}
-			}
-			depth[k][e.Name]++
-			spans++
-		case "E":
-			if depth[k][e.Name] == 0 {
-				return fmt.Errorf("event %d: unmatched E %q on pid=%d tid=%d", i, e.Name, k.pid, k.tid)
-			}
-			depth[k][e.Name]--
-		case "i":
-			instants++
-		default:
-			return fmt.Errorf("event %d: unexpected ph %q", i, e.Ph)
-		}
-	}
-	open := 0
-	for _, names := range depth {
-		for _, d := range names {
-			open += d
-		}
-	}
-	fmt.Printf("%s: ok — %d events, %d tracks, %d spans, %d instants (%d fault-model), %d unclosed\n",
-		path, len(tf.TraceEvents), len(ranks), spans, instants, faults, open)
-	return nil
-}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -125,10 +26,13 @@ func main() {
 	}
 	failed := false
 	for _, path := range os.Args[1:] {
-		if err := check(path); err != nil {
+		sum, err := check.File(path)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
 			failed = true
+			continue
 		}
+		fmt.Printf("%s: ok — %s\n", path, sum)
 	}
 	if failed {
 		os.Exit(1)

@@ -31,6 +31,11 @@ type Guard struct {
 	Trace *obs.Tracer
 	// Metrics, when set, counts retries and quarantined clusters.
 	Metrics *obs.Registry
+	// FailInject, when set, poisons selected clusters for testing:
+	// every attempt at a cluster id for which it returns true fails
+	// before the assembler runs, so the cluster exhausts its retries
+	// and is quarantined deterministically.
+	FailInject func(id int) bool
 }
 
 // Outcome describes how one cluster's assembly ended.
@@ -117,7 +122,13 @@ func AssembleClusterGuarded(store *seq.Store, id int, members []int, cfg Config,
 			g.Trace.Emit(0, obs.EvRetry, 0, 0, int64(id), int64(attempt), 0)
 			g.Metrics.Counter("assembly_retries").Inc()
 		}
-		contigs, err := attemptCluster(store, members, cfg, g.Deadline)
+		var contigs []Contig
+		var err error
+		if g.FailInject != nil && g.FailInject(id) {
+			err = fmt.Errorf("injected failure: cluster %d is poisoned", id)
+		} else {
+			contigs, err = attemptCluster(store, members, cfg, g.Deadline)
+		}
 		if err == nil {
 			return contigs, Outcome{Attempts: attempt + 1}
 		}

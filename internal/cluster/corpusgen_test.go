@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pairgen"
+)
+
+// TestWriteFuzzCorpus regenerates the committed FuzzDecodeReport seed
+// corpus from real protocol encodings (run explicitly with
+// WRITE_FUZZ_CORPUS=1; skipped otherwise).
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeReport")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write("seed-empty-report", encodeReport(report{}))
+	write("seed-full-report", encodeReport(report{
+		pairs: []pairgen.Pair{
+			{ASid: 1, BSid: 2, APos: 3, BPos: 4, MatchLen: 20},
+			{ASid: 9, BSid: 5, APos: 0, BPos: 77, MatchLen: 31},
+		},
+		results: []alignResult{
+			{fa: 0, fb: 1, accepted: true},
+			{fa: 3, fb: 2},
+		},
+		passive: true,
+	}))
+	write("seed-failed-report", encodeReport(report{fail: "worker protocol error"}))
+	write("seed-garbage", []byte{0xff})
+}

@@ -124,29 +124,8 @@ func FaultSweep(opt Options) FaultSweepResult {
 	return res
 }
 
-// partitionLabels canonicalizes a clustering result: each fragment is
-// labeled with the smallest fragment index in its cluster.
-func partitionLabels(res *cluster.Result) []int {
-	labels := make([]int, res.N)
-	smallest := make(map[int]int)
-	for i := 0; i < res.N; i++ {
-		r := res.UF.Find(i)
-		if _, ok := smallest[r]; !ok {
-			smallest[r] = i
-		}
-		labels[i] = smallest[r]
-	}
-	return labels
-}
+// partitionLabels and matchLabels forward to the canonical forms in
+// internal/cluster, shared with the simulation harness.
+func partitionLabels(res *cluster.Result) []int { return cluster.PartitionLabels(res) }
 
-func matchLabels(got, want []int) bool {
-	if len(got) != len(want) {
-		return false
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			return false
-		}
-	}
-	return true
-}
+func matchLabels(got, want []int) bool { return cluster.SamePartition(got, want) }

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestTable1Golden pins the Table 1 report: the serial clustering
+// counts over the synthetic maize-like inputs are fully deterministic
+// for a fixed seed, so the rendered table must be byte-identical to
+// testdata/table1.golden. (The parallel tables are excluded: their
+// modeled times depend on host scheduling.) Regenerate with `go test
+// -run Table1Golden -update ./internal/experiments`.
+func TestTable1Golden(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(Options{Scale: 20000, Seed: 20060425, Out: &buf})
+
+	golden := filepath.Join("testdata", "table1.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Table 1 drifted from golden.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}

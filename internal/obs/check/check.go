@@ -1,0 +1,136 @@
+// Package check validates trace output, in two forms: exported Chrome
+// trace_event JSON files (the cmd/tracecheck CLI is a thin wrapper
+// over JSON/File) and live in-memory event streams from an
+// obs.Tracer (the Stream invariants the simulation harness runs as an
+// oracle after every campaign case).
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Summary describes one validated trace file.
+type Summary struct {
+	Events   int // total trace events (metadata included)
+	Tracks   int // distinct (pid, tid) tracks
+	Spans    int // begin events
+	Instants int // instant events
+	Faults   int // fault-model instants (retransmit, corrupt, retry, quarantine)
+	Unclosed int // spans left open at end of file
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d events, %d tracks, %d spans, %d instants (%d fault-model), %d unclosed",
+		s.Events, s.Tracks, s.Spans, s.Instants, s.Faults, s.Unclosed)
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+}
+
+type track struct{ pid, tid int }
+
+// knownNames is the closed set of event names the obs exporter can
+// produce (EvFault renders as "fault:<code>", matched by prefix). A
+// name outside this set means the exporter and checker have drifted.
+var knownNames = map[string]bool{
+	// spans
+	"send": true, "ssend": true, "recv": true,
+	"gst": true, "cluster": true, "align-batch": true, "recover": true, "phase": true,
+	// instants
+	"pair-generated": true, "pair-aligned": true, "pair-discarded": true,
+	"cluster-merge": true, "lease-grant": true, "lease-expire": true,
+	"lease-adopt": true, "checkpoint": true,
+	// fault-model instants
+	"retransmit": true, "corrupt_frame": true, "retry": true, "quarantined": true,
+}
+
+func nameKnown(name string) bool {
+	return knownNames[name] || len(name) > 6 && name[:6] == "fault:"
+}
+
+// faultKinds are the reliability events; the summary counts them so a
+// fault-injection run that traced nothing is visible at a glance.
+var faultKinds = map[string]bool{
+	"retransmit": true, "corrupt_frame": true, "retry": true, "quarantined": true,
+}
+
+// JSON validates one Chrome trace_event document: it must parse,
+// contain events, carry the required keys, use only known event names,
+// and keep begin/end events balanced per (pid, tid) track.
+func JSON(data []byte) (Summary, error) {
+	var s Summary
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return s, fmt.Errorf("not trace_event JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return s, fmt.Errorf("no events")
+	}
+	s.Events = len(tf.TraceEvents)
+	// depth[track][name] counts open spans; "E" must never underflow.
+	depth := map[track]map[string]int{}
+	tracks := map[track]bool{}
+	for i, e := range tf.TraceEvents {
+		if e.Name == "" || e.Ph == "" {
+			return s, fmt.Errorf("event %d: missing name or ph", i)
+		}
+		if e.Ph == "M" {
+			continue // metadata carries no timestamp
+		}
+		if !nameKnown(e.Name) {
+			return s, fmt.Errorf("event %d: unknown event kind %q", i, e.Name)
+		}
+		if faultKinds[e.Name] {
+			s.Faults++
+		}
+		if e.Ts == nil || e.Pid == nil || e.Tid == nil {
+			return s, fmt.Errorf("event %d (%s %q): missing ts, pid or tid", i, e.Ph, e.Name)
+		}
+		k := track{*e.Pid, *e.Tid}
+		tracks[k] = true
+		switch e.Ph {
+		case "B":
+			if depth[k] == nil {
+				depth[k] = map[string]int{}
+			}
+			depth[k][e.Name]++
+			s.Spans++
+		case "E":
+			if depth[k][e.Name] == 0 {
+				return s, fmt.Errorf("event %d: unmatched E %q on pid=%d tid=%d", i, e.Name, k.pid, k.tid)
+			}
+			depth[k][e.Name]--
+		case "i":
+			s.Instants++
+		default:
+			return s, fmt.Errorf("event %d: unexpected ph %q", i, e.Ph)
+		}
+	}
+	s.Tracks = len(tracks)
+	for _, names := range depth {
+		for _, d := range names {
+			s.Unclosed += d
+		}
+	}
+	return s, nil
+}
+
+// File reads and validates one Chrome trace_event JSON file.
+func File(path string) (Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	return JSON(data)
+}

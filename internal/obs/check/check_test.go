@@ -1,0 +1,137 @@
+package check
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+func TestJSONAcceptsExportedTrace(t *testing.T) {
+	tr := obs.NewTracer(2, 0)
+	cfg := par.DefaultConfig(2)
+	cfg.Trace = tr
+	par.Run(cfg, func(c *par.Comm) {
+		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseGST, 0, 0)
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("hello"))
+		} else {
+			c.Recv(0, 1)
+		}
+		c.TraceEvent(obs.EvPhaseExit, obs.PhaseGST, 0, 0)
+	})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := JSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("JSON rejected a valid exported trace: %v", err)
+	}
+	if sum.Events == 0 || sum.Tracks == 0 {
+		t.Fatalf("empty summary for non-empty trace: %+v", sum)
+	}
+}
+
+func TestJSONRejects(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"not json", `{"truncated`},
+		{"no events", `{"traceEvents":[]}`},
+		{"missing name", `{"traceEvents":[{"ph":"i","ts":1,"pid":1,"tid":0}]}`},
+		{"unknown kind", `{"traceEvents":[{"name":"bogus","ph":"i","ts":1,"pid":1,"tid":0}]}`},
+		{"missing ts", `{"traceEvents":[{"name":"recv","ph":"B","pid":1,"tid":0}]}`},
+		{"unmatched end", `{"traceEvents":[{"name":"recv","ph":"E","ts":1,"pid":1,"tid":0}]}`},
+		{"bad ph", `{"traceEvents":[{"name":"recv","ph":"X","ts":1,"pid":1,"tid":0}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := JSON([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestStreamAcceptsHealthyRun(t *testing.T) {
+	tr := obs.NewTracer(4, 0)
+	cfg := par.DefaultConfig(4)
+	cfg.Trace = tr
+	par.Run(cfg, func(c *par.Comm) {
+		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseCluster, 0, 0)
+		if c.Rank() == 0 {
+			for i := 1; i < c.Size(); i++ {
+				c.Recv(par.AnySource, 1)
+			}
+		} else {
+			c.Send(0, 1, []byte{byte(c.Rank())})
+		}
+		c.Barrier()
+		c.TraceEvent(obs.EvPhaseExit, obs.PhaseCluster, 0, 0)
+	})
+	sum, err := Stream(tr, nil)
+	if err != nil {
+		t.Fatalf("Stream rejected a healthy run: %v", err)
+	}
+	if sum.RecvEvents == 0 || sum.Channels == 0 {
+		t.Fatalf("no matched traffic in summary: %+v", sum)
+	}
+}
+
+func TestStreamAcceptsCrashedRank(t *testing.T) {
+	tr := obs.NewTracer(3, 0)
+	cfg := par.DefaultConfig(3)
+	cfg.Trace = tr
+	cfg.Faults = &par.FaultPlan{Seed: 1, Crashes: []par.Crash{{Rank: 2, AfterSends: 1, Tag: par.AnyTag}}}
+	_, exits := par.RunStatus(cfg, func(c *par.Comm) {
+		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseGST, 0, 0)
+		if c.Rank() != 0 {
+			c.Send(0, 1, []byte{1}) // rank 2 dies here
+		} else {
+			c.RecvTimeout(par.AnySource, 1, 50*time.Millisecond)
+			c.RecvTimeout(par.AnySource, 1, 50*time.Millisecond)
+		}
+		c.TraceEvent(obs.EvPhaseExit, obs.PhaseGST, 0, 0)
+	})
+	if _, err := Stream(tr, func(r int) bool { return exits[r].OK }); err != nil {
+		t.Fatalf("Stream rejected a run with an exempted crashed rank: %v", err)
+	}
+	// Treating the crashed rank as OK must fail span balance.
+	if _, err := Stream(tr, nil); err == nil {
+		t.Fatal("Stream accepted an unclosed span on a supposedly-OK rank")
+	}
+}
+
+func TestStreamRejectsBackwardsClock(t *testing.T) {
+	tr := obs.NewTracer(1, 0)
+	tr.Emit(0, obs.EvClusterMerge, 5, 5, 0, 0, 0)
+	tr.Emit(0, obs.EvClusterMerge, 4, 5, 0, 0, 0)
+	if _, err := Stream(tr, nil); err == nil {
+		t.Fatal("Stream accepted a backwards modeled clock")
+	}
+}
+
+func TestStreamRejectsRecvWithoutSend(t *testing.T) {
+	tr := obs.NewTracer(2, 0)
+	// Rank 1 claims to have completed a receive from rank 0, which
+	// never sent anything.
+	tr.Emit(1, obs.EvRecvBegin, 0, 0, 0, 7, 0)
+	tr.Emit(1, obs.EvRecvEnd, 0, 0, 0, 7, 16)
+	if _, err := Stream(tr, nil); err == nil {
+		t.Fatal("Stream accepted a receive with no matching send")
+	}
+}
+
+func TestStreamSkipsOverflowedRings(t *testing.T) {
+	tr := obs.NewTracer(1, 4) // tiny ring: guaranteed overflow
+	for i := 0; i < 64; i++ {
+		tr.Emit(0, obs.EvRecvBegin, 0, 0, 0, 7, 0)
+		tr.Emit(0, obs.EvRecvEnd, 0, 0, 0, 7, 16)
+	}
+	sum, err := Stream(tr, nil)
+	if err != nil {
+		t.Fatalf("Stream applied strict invariants to a truncated stream: %v", err)
+	}
+	if sum.Skipped != 1 {
+		t.Fatalf("Skipped = %d, want 1", sum.Skipped)
+	}
+}

@@ -1,0 +1,160 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// StreamSummary describes one validated in-memory trace.
+type StreamSummary struct {
+	Ranks      int // rank rings examined
+	Events     int // events examined
+	Channels   int // distinct (src, dst, tag) channels with traffic
+	RecvEvents int // completed receives matched against sends
+	Skipped    int // ranks whose per-rank invariants were skipped (ring overflow)
+}
+
+// Stream validates the runtime invariants of a tracer's retained
+// per-rank event streams — the oracle form used by the simulation
+// harness, which checks a machine's actual behaviour rather than its
+// rendered export:
+//
+//   - Modeled clocks are monotone: a rank's Comm and Comp charges
+//     never decrease in emission order.
+//   - Spans balance: on every rank that finished OK, begin/end pairs
+//     (send, ssend, recv, and each phase id) nest with no end before
+//     its begin and no span left open.
+//   - No receive without a send: on every (src, dst, tag) channel the
+//     number of completed receives never exceeds the number of sends,
+//     and the k-th earliest receive completion is no earlier than the
+//     k-th earliest send start (drops and in-flight messages make
+//     sends ≥ receives; nothing can be received before something was
+//     sent).
+//
+// okRank reports whether a rank's body returned normally; nil means
+// all ranks did. Ranks that crashed are exempt from span balance (a
+// rank dying mid-phase never exits it) but still feed the channel
+// counts. A rank whose ring overflowed (Dropped > 0) is exempt from
+// per-rank balance checks, and any overflow disables the cross-rank
+// channel invariants — a truncated stream proves nothing either way.
+func Stream(tr *obs.Tracer, okRank func(rank int) bool) (StreamSummary, error) {
+	var s StreamSummary
+	if tr == nil {
+		return s, fmt.Errorf("no tracer")
+	}
+	s.Ranks = tr.Ranks()
+	anyDropped := false
+	for r := 0; r < s.Ranks; r++ {
+		if tr.Dropped(r) > 0 {
+			anyDropped = true
+		}
+	}
+
+	type channel struct{ src, dst, tag int64 }
+	sendWall := map[channel][]int64{}
+	recvWall := map[channel][]int64{}
+
+	for r := 0; r < s.Ranks; r++ {
+		evs := tr.Events(r)
+		s.Events += len(evs)
+		dropped := tr.Dropped(r) > 0
+		if dropped {
+			s.Skipped++
+		}
+		ok := okRank == nil || okRank(r)
+
+		var lastComm, lastComp float64
+		depth := map[string]int{} // span family (or phase id) -> open count
+		for i, e := range evs {
+			if e.Comm < lastComm || e.Comp < lastComp {
+				return s, fmt.Errorf("rank %d event %d (%v): modeled clock went backwards (comm %g→%g, comp %g→%g)",
+					r, i, e.Kind, lastComm, e.Comm, lastComp, e.Comp)
+			}
+			lastComm, lastComp = e.Comm, e.Comp
+
+			switch e.Kind {
+			case obs.EvSendBegin, obs.EvSsendBegin:
+				if !dropped {
+					ch := channel{src: int64(r), dst: e.A, tag: e.B}
+					sendWall[ch] = append(sendWall[ch], e.Wall)
+				}
+			case obs.EvRecvEnd:
+				if e.C >= 0 && !dropped { // C == -1: timed out, nothing received
+					ch := channel{src: e.A, dst: int64(r), tag: e.B}
+					recvWall[ch] = append(recvWall[ch], e.Wall)
+					s.RecvEvents++
+				}
+			}
+
+			if !ok || dropped {
+				continue
+			}
+			key := spanKey(e)
+			if key == "" {
+				continue
+			}
+			if isBegin(e.Kind) {
+				depth[key]++
+			} else {
+				depth[key]--
+				if depth[key] < 0 {
+					return s, fmt.Errorf("rank %d event %d: %s end without begin", r, i, key)
+				}
+			}
+		}
+		if ok && !dropped {
+			for key, d := range depth {
+				if d != 0 {
+					return s, fmt.Errorf("rank %d: %d unclosed %s span(s) on a rank that finished OK", r, d, key)
+				}
+			}
+		}
+	}
+
+	s.Channels = len(sendWall)
+	if anyDropped {
+		return s, nil // truncated streams: skip cross-rank matching
+	}
+	for ch, recvs := range recvWall {
+		sends := sendWall[ch]
+		if len(recvs) > len(sends) {
+			return s, fmt.Errorf("channel %d→%d tag %d: %d receives but only %d sends",
+				ch.src, ch.dst, ch.tag, len(recvs), len(sends))
+		}
+		sort.Slice(sends, func(i, j int) bool { return sends[i] < sends[j] })
+		sort.Slice(recvs, func(i, j int) bool { return recvs[i] < recvs[j] })
+		for k := range recvs {
+			if recvs[k] < sends[k] {
+				return s, fmt.Errorf("channel %d→%d tag %d: receive %d completed at %dns before %d sends had started",
+					ch.src, ch.dst, ch.tag, k, recvs[k], k+1)
+			}
+		}
+	}
+	return s, nil
+}
+
+// spanKey names the balance bucket an event belongs to, or "" for
+// instants. Phase spans balance per phase id, message spans per family.
+func spanKey(e obs.Event) string {
+	switch e.Kind {
+	case obs.EvSendBegin, obs.EvSendEnd:
+		return "send"
+	case obs.EvSsendBegin, obs.EvSsendEnd:
+		return "ssend"
+	case obs.EvRecvBegin, obs.EvRecvEnd:
+		return "recv"
+	case obs.EvPhaseEnter, obs.EvPhaseExit:
+		return "phase:" + obs.PhaseName(e.A)
+	}
+	return ""
+}
+
+func isBegin(k obs.Kind) bool {
+	switch k {
+	case obs.EvSendBegin, obs.EvSsendBegin, obs.EvRecvBegin, obs.EvPhaseEnter:
+		return true
+	}
+	return false
+}

@@ -25,6 +25,7 @@ package par
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,10 @@ type Config struct {
 	// Faults, when non-nil, injects the plan's crashes, drops and
 	// delays. Nil runs fault-free with zero overhead.
 	Faults *FaultPlan
+	// Schedule, when non-nil, perturbs message delivery order and
+	// wildcard-receive choice with seeded randomness (see SchedulePlan).
+	// Nil keeps the default FIFO schedule with zero overhead.
+	Schedule *SchedulePlan
 	// Trace, when non-nil, records runtime events — send/recv/ssend
 	// begin+end, injected faults, and any user events emitted through
 	// TraceEvent — into per-rank ring buffers with both wall and
@@ -110,9 +115,10 @@ type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []envelope
-	bytes int  // current buffered bytes
-	peak  int  // high-water mark of buffered bytes
-	dead  bool // owner rank crashed; discard deliveries
+	bytes int        // current buffered bytes
+	peak  int        // high-water mark of buffered bytes
+	dead  bool       // owner rank crashed; discard deliveries
+	rng   *rand.Rand // schedule perturbation; nil = FIFO (guarded by mu)
 }
 
 func newMailbox() *mailbox {
@@ -132,7 +138,16 @@ func (mb *mailbox) put(e envelope) {
 		}
 		return
 	}
-	mb.queue = append(mb.queue, e)
+	if mb.rng != nil && len(mb.queue) > 0 {
+		// Delivery jitter: splice the message into a random position
+		// that keeps it behind every earlier message from its source.
+		i := jitterInsert(mb.queue, e.src, mb.rng)
+		mb.queue = append(mb.queue, envelope{})
+		copy(mb.queue[i+1:], mb.queue[i:])
+		mb.queue[i] = e
+	} else {
+		mb.queue = append(mb.queue, e)
+	}
 	// A rendezvous (ack != nil) message conceptually stays in the
 	// sender's memory until matched, as with MPI_Ssend; only eager
 	// messages occupy the receiver's buffers.
@@ -164,6 +179,35 @@ func (mb *mailbox) kill() {
 
 func (mb *mailbox) wake() { mb.cond.Broadcast() }
 
+// match returns the queue index of the message a receive with selector
+// (src, tag) should take, or -1 when none matches. Under FIFO (or a
+// specific-source selector) it is the first match in queue order; with
+// schedule perturbation, a wildcard-source receive picks uniformly
+// among the first matching message of each distinct source. Caller
+// holds mb.mu.
+func (mb *mailbox) match(src, tag int) int {
+	if mb.rng == nil || src != AnySource {
+		for i, e := range mb.queue {
+			if (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag) {
+				return i
+			}
+		}
+		return -1
+	}
+	var cands []int
+	seen := make(map[int]bool)
+	for i, e := range mb.queue {
+		if (tag == AnyTag || e.tag == tag) && !seen[e.src] {
+			seen[e.src] = true
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return -1
+	}
+	return pickWildcard(cands, mb.rng)
+}
+
 func (mb *mailbox) peakBytes() int {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -187,12 +231,11 @@ func (mb *mailbox) take(m *machine, self, src, tag int, deadline time.Time) (env
 		defer timer.Stop()
 	}
 	for {
-		for i, e := range mb.queue {
-			if (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag) {
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				mb.consume(e)
-				return e, blocked, takeOK
-			}
+		if i := mb.match(src, tag); i >= 0 {
+			e := mb.queue[i]
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			mb.consume(e)
+			return e, blocked, takeOK
 		}
 		if m.blockedForever(self, src) {
 			return envelope{}, blocked, takeDeadRank
@@ -238,12 +281,11 @@ func (mb *mailbox) peekWait(m *machine, self, src, tag int, deadline time.Time) 
 func (mb *mailbox) tryTake(src, tag int) (envelope, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for i, e := range mb.queue {
-		if (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag) {
-			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-			mb.consume(e)
-			return e, true
-		}
+	if i := mb.match(src, tag); i >= 0 {
+		e := mb.queue[i]
+		mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+		mb.consume(e)
+		return e, true
 	}
 	return envelope{}, false
 }
@@ -509,6 +551,9 @@ func RunStatus(cfg Config, body func(c *Comm)) ([]Stats, []Exit) {
 	}
 	for i := range m.boxes {
 		m.boxes[i] = newMailbox()
+		if cfg.Schedule != nil {
+			m.boxes[i].rng = cfg.Schedule.scheduleRNG(i)
+		}
 	}
 	stats := make([]Stats, cfg.Ranks)
 	exits := make([]Exit, cfg.Ranks)

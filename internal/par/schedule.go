@@ -1,0 +1,67 @@
+package par
+
+import "math/rand"
+
+// SchedulePlan perturbs the runtime's message schedule without
+// changing which messages are delivered: it explores interleavings the
+// default FIFO mailbox never produces, so protocol properties that
+// happen to hold under FIFO delivery (but are not actually guaranteed
+// by the protocol) surface as failures in simulation instead of in
+// production.
+//
+// Two independent perturbations are applied, both drawn from a
+// per-mailbox RNG seeded by (Seed, owner rank) so a given seed tuple
+// replays the same decisions in the same mailbox-operation order:
+//
+//   - Delivery jitter: an arriving message is inserted at a random
+//     queue position instead of the tail. Insertion never moves a
+//     message ahead of an earlier message from the same source, so the
+//     MPI-style non-overtaking guarantee (per-source FIFO) that the
+//     protocols rely on is preserved; only the interleaving across
+//     sources changes.
+//
+//   - Wildcard-receive reordering: a receive with src == AnySource
+//     picks uniformly among the first matching message of each source
+//     rather than the overall head of the queue — the master's
+//     worker-report processing order is exactly this choice.
+//
+// Like a nil FaultPlan, a nil SchedulePlan costs one nil check per
+// operation and changes nothing.
+type SchedulePlan struct {
+	// Seed drives all perturbation decisions. Mailbox r draws from an
+	// independent RNG derived from Seed and r.
+	Seed int64
+}
+
+// scheduleRNG returns the perturbation RNG for one mailbox (owner
+// rank). Called once per Run per rank; the RNG is guarded by the
+// mailbox mutex thereafter.
+func (p *SchedulePlan) scheduleRNG(rank int) *rand.Rand {
+	return rand.New(rand.NewSource(p.Seed ^ int64(uint64(rank+1)*0xbf58476d1ce4e5b9)))
+}
+
+// jitterInsert returns the index at which a message from src may be
+// inserted into queue without overtaking an earlier message from the
+// same source: a uniform draw from (last same-src index, len(queue)].
+func jitterInsert(queue []envelope, src int, rng *rand.Rand) int {
+	lo := 0
+	for i := len(queue) - 1; i >= 0; i-- {
+		if queue[i].src == src {
+			lo = i + 1
+			break
+		}
+	}
+	return lo + rng.Intn(len(queue)-lo+1)
+}
+
+// pickWildcard chooses among the first matching queue index of each
+// distinct source. With a single candidate (or a specific-source
+// selector, whose candidate set is always a singleton) the choice is
+// forced, so perturbation only ever reorders across sources — never
+// within one source's FIFO channel.
+func pickWildcard(cands []int, rng *rand.Rand) int {
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	return cands[rng.Intn(len(cands))]
+}

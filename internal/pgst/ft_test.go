@@ -2,29 +2,16 @@ package pgst
 
 import (
 	"fmt"
-	"sort"
 	"testing"
 
 	"repro/internal/par"
 )
 
-// unionSignature computes the tree signature of the union of the
-// given locals' forests (nil entries — dead ranks — are skipped).
+// unionSignature wraps the exported UnionSignature in the (nodes,
+// sufs) shape the older tests were written against.
 func unionSignature(locals []*Local) (map[string]int, []string) {
-	nodes := make(map[string]int)
-	var sufs []string
-	for _, l := range locals {
-		if l == nil {
-			continue
-		}
-		n, s := treeSignature(l.Tree)
-		for k, v := range n {
-			nodes[k] += v
-		}
-		sufs = append(sufs, s...)
-	}
-	sort.Strings(sufs)
-	return nodes, sufs
+	sig := UnionSignature(locals)
+	return sig.Nodes, sig.Suffixes
 }
 
 // checkUnion verifies that the union of the locals' trees carries the

@@ -36,26 +36,11 @@ func serialTree(st *seq.Store, w, minLen int) *suffixtree.Tree {
 	return suffixtree.Build(acc, suffixtree.EnumerateSuffixes(acc, sids, minLen), w)
 }
 
-// treeSignature summarizes a forest as a multiset of node signatures
-// plus the sorted multiset of leaf suffixes, which identifies the tree
-// content independent of node numbering or bucket distribution.
+// treeSignature wraps the exported TreeSignature in the (nodes, sufs)
+// shape the older tests were written against.
 func treeSignature(trees ...*suffixtree.Tree) (nodes map[string]int, sufs []string) {
-	nodes = make(map[string]int)
-	for _, t := range trees {
-		for i := range t.Nodes {
-			u := int32(i)
-			k := fmt.Sprintf("d%d/leaf%v/n%d", t.Nodes[u].Depth, t.IsLeaf(u),
-				t.Nodes[u].SufEnd-t.Nodes[u].SufStart)
-			nodes[k]++
-			if t.IsLeaf(u) {
-				for _, sf := range t.LeafSuffixes(u) {
-					sufs = append(sufs, fmt.Sprintf("%d:%d:%d:%d", sf.Sid, sf.Pos, sf.Prev, t.Nodes[u].Depth))
-				}
-			}
-		}
-	}
-	sort.Strings(sufs)
-	return nodes, sufs
+	sig := TreeSignature(trees...)
+	return sig.Nodes, sig.Suffixes
 }
 
 func collectPairs(tree *suffixtree.Tree, psi, n int) []string {

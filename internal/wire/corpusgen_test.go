@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteFuzzCorpus regenerates the committed FuzzReader seed corpus
+// (run explicitly with -run WriteFuzzCorpus; skipped otherwise).
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate the corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReader")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w := NewBuffer(0)
+	w.PutUint(7)
+	w.PutBytes([]byte("abc"))
+	w.PutInts([]int{1, -2, 3})
+	w.PutBool(true)
+	w.PutString("xyz")
+	write("seed-valid-message", w.Bytes())
+
+	w.Reset()
+	for _, v := range []uint64{0, 127, 128, 16383, 16384, 1<<63 - 1, ^uint64(0)} {
+		w.PutUint(v)
+	}
+	write("seed-varint-boundaries", w.Bytes())
+
+	// Non-minimal varint: 0x80 0x00 decodes to 0 but is not canonical.
+	write("seed-noncanonical", []byte{0x80, 0x00, 0x01})
+
+	// 10 continuation bytes: uvarint overflow.
+	write("seed-overflow", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	// Huge claimed length with a short payload.
+	write("seed-truncated-bytes", []byte{0xff, 0xff, 0x03, 'a', 'b'})
+}

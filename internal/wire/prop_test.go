@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// fieldKind enumerates the wire vocabulary a random message draws from.
+type fieldKind int
+
+const (
+	fUint fieldKind = iota
+	fInt
+	fBool
+	fBytes
+	fString
+	fInts
+	numFieldKinds
+)
+
+type field struct {
+	kind fieldKind
+	u    uint64
+	i    int
+	b    bool
+	p    []byte
+	s    string
+	is   []int
+}
+
+// randField draws one field with adversarial magnitudes: boundary
+// values show up often so varint width transitions are exercised.
+func randField(rng *rand.Rand) field {
+	boundary := []uint64{0, 1, 127, 128, 16383, 16384, 1<<32 - 1, 1 << 62, ^uint64(0)}
+	f := field{kind: fieldKind(rng.Intn(int(numFieldKinds)))}
+	switch f.kind {
+	case fUint:
+		if rng.Intn(2) == 0 {
+			f.u = boundary[rng.Intn(len(boundary))]
+		} else {
+			f.u = rng.Uint64()
+		}
+	case fInt:
+		f.i = int(rng.Uint64())
+	case fBool:
+		f.b = rng.Intn(2) == 0
+	case fBytes:
+		f.p = make([]byte, rng.Intn(64))
+		rng.Read(f.p)
+	case fString:
+		raw := make([]byte, rng.Intn(32))
+		rng.Read(raw)
+		f.s = string(raw)
+	case fInts:
+		f.is = make([]int, rng.Intn(16))
+		for j := range f.is {
+			f.is[j] = int(rng.Uint64())
+		}
+	}
+	return f
+}
+
+// TestRoundTripRandomMessages encodes random field sequences and
+// decodes them back: every value must survive, the reader must end
+// clean (no error, nothing remaining), and the encoding must be
+// canonical (re-encoding the decoded values is byte-identical).
+func TestRoundTripRandomMessages(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		fields := make([]field, rng.Intn(24))
+		for i := range fields {
+			fields[i] = randField(rng)
+		}
+
+		w := NewBuffer(0)
+		for _, f := range fields {
+			switch f.kind {
+			case fUint:
+				w.PutUint(f.u)
+			case fInt:
+				w.PutInt(f.i)
+			case fBool:
+				w.PutBool(f.b)
+			case fBytes:
+				w.PutBytes(f.p)
+			case fString:
+				w.PutString(f.s)
+			case fInts:
+				w.PutInts(f.is)
+			}
+		}
+		encoded := w.Bytes()
+
+		r := NewReader(encoded)
+		re := NewBuffer(len(encoded))
+		for i, f := range fields {
+			switch f.kind {
+			case fUint:
+				if got := r.Uint(); got != f.u {
+					t.Fatalf("trial %d field %d: Uint = %d, want %d", trial, i, got, f.u)
+				}
+				re.PutUint(f.u)
+			case fInt:
+				if got := r.Int(); got != f.i {
+					t.Fatalf("trial %d field %d: Int = %d, want %d", trial, i, got, f.i)
+				}
+				re.PutInt(f.i)
+			case fBool:
+				if got := r.Bool(); got != f.b {
+					t.Fatalf("trial %d field %d: Bool = %v, want %v", trial, i, got, f.b)
+				}
+				re.PutBool(f.b)
+			case fBytes:
+				if got := r.Bytes(); !bytes.Equal(got, f.p) {
+					t.Fatalf("trial %d field %d: Bytes mismatch", trial, i)
+				}
+				re.PutBytes(f.p)
+			case fString:
+				if got := r.String(); got != f.s {
+					t.Fatalf("trial %d field %d: String mismatch", trial, i)
+				}
+				re.PutString(f.s)
+			case fInts:
+				got := r.Ints()
+				if len(got) != len(f.is) {
+					t.Fatalf("trial %d field %d: Ints len %d, want %d", trial, i, len(got), len(f.is))
+				}
+				for j := range got {
+					if got[j] != f.is[j] {
+						t.Fatalf("trial %d field %d: Ints[%d] = %d, want %d", trial, i, j, got[j], f.is[j])
+					}
+				}
+				re.PutInts(f.is)
+			}
+			if r.Err() != nil {
+				t.Fatalf("trial %d field %d: reader error mid-message: %v", trial, i, r.Err())
+			}
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("trial %d: %d bytes left after full decode", trial, r.Remaining())
+		}
+		if !bytes.Equal(re.Bytes(), encoded) {
+			t.Fatalf("trial %d: re-encoding the decoded message is not byte-identical", trial)
+		}
+	}
+}
+
+// TestReaderErrorsSticky: once a read fails (truncated payload), every
+// subsequent read must return the zero value and keep the first error.
+func TestReaderErrorsSticky(t *testing.T) {
+	w := NewBuffer(0)
+	w.PutBytes([]byte("payload"))
+	encoded := w.Bytes()
+	r := NewReader(encoded[:len(encoded)-3]) // truncate inside the payload
+	if got := r.Bytes(); got != nil {
+		t.Fatalf("truncated Bytes returned %q", got)
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("truncated read did not set the reader error")
+	}
+	if got := r.Uint(); got != 0 {
+		t.Fatalf("post-error Uint = %d, want 0", got)
+	}
+	if r.Err() != first {
+		t.Fatalf("error not sticky: %v then %v", first, r.Err())
+	}
+}

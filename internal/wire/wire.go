@@ -151,7 +151,10 @@ func (r *Reader) Bytes() []byte {
 	if r.err != nil {
 		return nil
 	}
-	if n < 0 || r.off+n > len(r.b) {
+	// Compare against the remaining length rather than computing
+	// r.off+n, which overflows int when a corrupt length decodes to
+	// ~2^63 and would sail past the bounds check.
+	if n < 0 || n > len(r.b)-r.off {
 		r.fail("truncated bytes (want %d, have %d)", n, len(r.b)-r.off)
 		return nil
 	}
