@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs ci
+.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke ci
 
 all: build
 
@@ -79,4 +79,27 @@ obs:
 	$(GO) run ./cmd/tracecheck $(OBS_TRACE_DIR)/*.trace.json
 	rm -rf $(OBS_TRACE_DIR)
 
-ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs
+# Continuous benchmarks: fixed-seed workloads measured in host terms
+# (ns/op, allocs, peak RSS) and modeled terms (critical path,
+# comm/comp split from the causal DAG). `bench` rewrites the committed
+# baselines; `bench-check` gates the current build against them with
+# per-metric noise-calibrated thresholds and fails on regression.
+bench:
+	$(GO) run ./cmd/benchrun -workload cluster -out BENCH_cluster.json
+	$(GO) run ./cmd/benchrun -workload pipeline -out BENCH_pipeline.json
+
+bench-check:
+	$(GO) run ./cmd/benchrun -workload cluster -check BENCH_cluster.json
+	$(GO) run ./cmd/benchrun -workload pipeline -check BENCH_pipeline.json
+
+# Causal-analysis smoke: replay one sim case with its raw events dump,
+# stitch the causal DAG and print the critical path; a malformed DAG
+# (unmatched message edge, cycle, CP != makespan) fails the target.
+ANALYZE_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/analyze-smoke)
+analyze-smoke:
+	$(GO) run ./cmd/simrunner -campaign 1 -case 3 -events-out $(ANALYZE_TMP)/case3.events.json
+	$(GO) run ./cmd/traceanalyze -chrome $(ANALYZE_TMP)/case3.crit.json $(ANALYZE_TMP)/case3.events.json
+	$(GO) run ./cmd/tracecheck $(ANALYZE_TMP)/case3.crit.json
+	rm -rf $(ANALYZE_TMP)
+
+ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke bench-check

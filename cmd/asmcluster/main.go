@@ -21,6 +21,7 @@ import (
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/report"
 )
 
@@ -34,8 +35,9 @@ func main() {
 	minIdentity := flag.Float64("minidentity", 0.90, "minimum overlap identity")
 	faults := flag.String("faults", "", "fault injection spec, e.g. crash=2@5,drop=0.01,seed=7 (see cluster.ParseFaults)")
 	lease := flag.Duration("lease", 250*time.Millisecond, "master lease timeout for fault runs")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this host:port while running")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace, /analyze and /debug/pprof on this host:port while running")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace JSON of the run to this file (load in ui.perfetto.dev)")
+	eventsOut := flag.String("events-out", "", "write the raw events dump to this file (input for traceanalyze)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -44,18 +46,18 @@ func main() {
 
 	var tr *obs.Tracer
 	var reg *obs.Registry
-	if *obsAddr != "" || *traceOut != "" {
+	if *obsAddr != "" || *traceOut != "" || *eventsOut != "" {
 		tr = obs.NewTracer(*ranks, obs.DefaultRingCap)
 		reg = obs.NewRegistry()
 	}
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg, tr)
+		srv, err := obs.Serve(*obsAddr, reg, tr, analyze.Endpoint(tr))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "asmcluster:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("observability server on http://%s (/metrics /trace /timeline /debug/pprof)\n", srv.Addr)
+		fmt.Printf("observability server on http://%s (/metrics /trace /timeline /analyze /debug/pprof)\n", srv.Addr)
 	}
 
 	f, err := os.Open(*in)
@@ -153,5 +155,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *traceOut)
+	}
+	if *eventsOut != "" {
+		ef, err := os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteEvents(ef); err == nil {
+			err = ef.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *eventsOut)
 	}
 }

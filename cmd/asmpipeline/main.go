@@ -31,6 +31,7 @@ import (
 	"repro/internal/assembly"
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/pipeline"
 	"repro/internal/preprocess"
 	"repro/internal/seq"
@@ -55,7 +56,8 @@ func main() {
 	faults := flag.String("faults", "", "fault plan for the parallel engine, e.g. crash=2@5,gstcrash=3@1,corrupt=0.01")
 	retries := flag.Int("assembly-retries", 1, "per-cluster assembly retries before quarantine")
 	deadline := flag.Duration("assembly-deadline", 0, "per-attempt assembly wall budget (0 = none)")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this host:port while running")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace, /analyze and /debug/pprof on this host:port while running")
+	eventsOut := flag.String("events-out", "", "write the raw events dump to this file (input for traceanalyze)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -67,15 +69,17 @@ func main() {
 
 	var tr *obs.Tracer
 	var reg *obs.Registry
-	if *obsAddr != "" {
+	if *obsAddr != "" || *eventsOut != "" {
 		tr = obs.NewTracer(*ranks, obs.DefaultRingCap)
 		reg = obs.NewRegistry()
-		srv, err := obs.Serve(*obsAddr, reg, tr)
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, reg, tr, analyze.Endpoint(tr))
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
-		fmt.Printf("observability server on http://%s (/metrics /trace /timeline /debug/pprof)\n", srv.Addr)
+		fmt.Printf("observability server on http://%s (/metrics /trace /timeline /analyze /debug/pprof)\n", srv.Addr)
 	}
 
 	f, err := os.Open(*in)
@@ -165,4 +169,18 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %d contigs to %s\n", len(contigFrags), *out)
+
+	if *eventsOut != "" {
+		ef, err := os.Create(*eventsOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := tr.WriteEvents(ef); err == nil {
+			err = ef.Close()
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *eventsOut)
+	}
 }

@@ -1,0 +1,83 @@
+// benchrun runs the continuous-benchmark workloads (see
+// internal/bench) and either records a baseline or checks the
+// current build against one.
+//
+//	benchrun -workload cluster -out BENCH_cluster.json     # record
+//	benchrun -workload cluster -check BENCH_cluster.json   # gate
+//
+// -slowdown multiplies every modeled compute charge; -slowdown 2
+// against a natural baseline demonstrates the regression gate firing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	workload := flag.String("workload", "cluster", "benchmark workload: cluster or pipeline")
+	ranks := flag.Int("ranks", 8, "simulated machine size")
+	iters := flag.Int("iters", 3, "timed iterations (fastest wins)")
+	out := flag.String("out", "", "write the measurement as a baseline file")
+	check := flag.String("check", "", "compare against this baseline file; exit 1 on regression")
+	slowdown := flag.Float64("slowdown", 1, "multiply modeled compute charges (inject a slowdown)")
+	flag.Parse()
+
+	m, err := bench.Run(*workload, bench.Config{Ranks: *ranks, Iters: *iters, Slowdown: *slowdown})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d ranks, %d iters\n", m.Workload, m.Ranks, m.Iters)
+	fmt.Printf("  ns/op           %d\n", m.NsPerOp)
+	fmt.Printf("  allocs/op       %d\n", m.AllocsPerOp)
+	fmt.Printf("  peak RSS        %d bytes\n", m.PeakRSSBytes)
+	fmt.Printf("  critical path   %.6fs (raw makespan %.6fs)\n", m.CriticalPathSec, m.RawMakespanSec)
+	fmt.Printf("  comm/comp/idle  %.6fs / %.6fs / %.6fs (ratio %.3f)\n",
+		m.CommSec, m.CompSec, m.IdleSec, m.CommCompRatio)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteBaseline(f, *m); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote baseline %s\n", *out)
+	}
+
+	if *check != "" {
+		b, err := bench.ReadBaselineFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		var base *bench.Metrics
+		for i := range b.Workload {
+			if b.Workload[i].Workload == m.Workload {
+				base = &b.Workload[i]
+			}
+		}
+		if base == nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %s has no %q baseline\n", *check, m.Workload)
+			os.Exit(1)
+		}
+		if regs := bench.Compare(base, m); len(regs) > 0 {
+			fmt.Println("REGRESSIONS:")
+			for _, r := range regs {
+				fmt.Println(" ", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions against %s (gates: %v)\n", *check, bench.Gates())
+	}
+}

@@ -28,6 +28,7 @@ func main() {
 		seeds    = flag.Int("seeds", 100, "number of cases to run")
 		caseIdx  = flag.Int("case", -1, "replay a single case index instead of a campaign")
 		shrink   = flag.Bool("shrink", false, "minimize each failing case's fault surface by greedy field removal")
+		events   = flag.String("events-out", "", "with -case: write the clustering run's raw events dump (input for traceanalyze)")
 		workers  = flag.Int("j", 4, "cases run concurrently")
 		verbose  = flag.Bool("v", false, "print every case, not just failures")
 	)
@@ -37,6 +38,20 @@ func main() {
 		c := sim.CaseFor(*campaign, *caseIdx)
 		fmt.Println(c)
 		res := sim.RunCase(c)
+		if *events != "" && res.Trace != nil {
+			f, err := os.Create(*events)
+			if err == nil {
+				err = res.Trace.WriteEvents(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simrunner:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *events)
+		}
 		if !res.Failed() {
 			fmt.Printf("ok: all oracles held (%.1fs)\n", res.Wall.Seconds())
 			return

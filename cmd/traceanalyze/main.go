@@ -1,0 +1,66 @@
+// traceanalyze stitches a raw events dump (obs.Dump JSON, written by
+// -events-out flags or obs.Tracer.WriteEvents) into a causal DAG and
+// reports the critical path, per-rank and per-phase comm/comp/idle
+// decompositions, and straggler structure of the run.
+//
+// Usage:
+//
+//	traceanalyze [-json] [-chrome out.json] [-top N] run.events.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as deterministic JSON instead of text")
+	chromeOut := flag.String("chrome", "", "also write a Chrome trace with critical-path spans marked (crit:true) to this file")
+	top := flag.Int("top", 10, "how many slowest spans to report")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceanalyze [-json] [-chrome out.json] [-top N] run.events.json")
+		os.Exit(2)
+	}
+
+	dump, err := obs.ReadDumpFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+	rep, err := analyze.Analyze(dump, analyze.Options{TopSpans: *top})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteAnnotatedChrome(f, dump); err != nil {
+			fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		err = rep.WriteJSON(os.Stdout)
+	} else {
+		err = rep.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+}

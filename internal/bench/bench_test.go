@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCompareGates(t *testing.T) {
+	base := &Metrics{
+		Workload: "cluster", NsPerOp: 1000, AllocsPerOp: 1000,
+		CriticalPathSec: 1.0, CompSec: 1.0, CommSec: 1.0,
+	}
+	same := *base
+	if regs := Compare(base, &same); len(regs) != 0 {
+		t.Fatalf("identical metrics flagged: %v", regs)
+	}
+	// Within threshold: ns/op may double-ish, modeled +34%.
+	ok := *base
+	ok.NsPerOp = 1900
+	ok.CriticalPathSec = 1.34
+	if regs := Compare(base, &ok); len(regs) != 0 {
+		t.Fatalf("in-threshold drift flagged: %v", regs)
+	}
+	// Past threshold on a modeled metric.
+	bad := *base
+	bad.CompSec = 1.5
+	regs := Compare(base, &bad)
+	if len(regs) != 1 || !strings.Contains(regs[0], "comp_sec") {
+		t.Fatalf("comp_sec regression not flagged: %v", regs)
+	}
+	// Improvements never flag.
+	better := *base
+	better.NsPerOp = 1
+	better.CompSec = 0.1
+	if regs := Compare(base, &better); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	m := Metrics{Workload: "cluster", Ranks: 8, NsPerOp: 42, CriticalPathSec: 0.5}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Workload) != 1 || b.Workload[0] != m {
+		t.Fatalf("round trip lost data: %+v", b)
+	}
+	if _, err := ReadBaseline(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+// TestSlowdownDetected runs the cluster workload at natural speed and
+// with every modeled compute charge doubled; the doubled run must
+// trip the regression gates. This is the end-to-end proof that
+// bench-check catches a 2x slowdown.
+func TestSlowdownDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full cluster workload twice")
+	}
+	cfg := Config{Ranks: 4, Iters: 1}
+	base, err := Run("cluster", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Slowdown = 2
+	slow, err := Run("cluster", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Compare(base, slow)
+	if len(regs) == 0 {
+		t.Fatalf("2x compute slowdown not detected: base comp=%.4fs slow comp=%.4fs",
+			base.CompSec, slow.CompSec)
+	}
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, "comp_sec") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("comp_sec gate silent under 2x compute slowdown: %v", regs)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Run("bogus", Config{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

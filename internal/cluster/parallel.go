@@ -240,7 +240,9 @@ func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, Phase
 		// Phase 2: master–worker clustering.
 		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseCluster, 0, 0)
 		if c.Rank() == 0 {
+			c.TraceEvent(obs.EvPhaseEnter, obs.PhaseMaster, 0, 0)
 			uf, st, busy, err := runMaster(c, store, cfg, pcfg, resume, mx)
+			c.TraceEvent(obs.EvPhaseExit, obs.PhaseMaster, 0, 0)
 			result.UF = uf
 			result.Stats = st
 			masterWork = busy
@@ -762,13 +764,19 @@ func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcf
 		c.TraceEvent(obs.EvPhaseExit, obs.PhaseRecover, 0, 0)
 	}
 
-	// takeN draws from the buffer first, then the streams in order.
+	// takeN draws from the buffer first, then the streams in order. The
+	// stream pulls are bracketed as a pairgen phase span so the trace
+	// separates generation time from alignment and protocol waits.
 	takeN := func(r int) []pairgen.Pair {
 		var out []pairgen.Pair
 		for len(out) < r && len(buffered) > 0 {
 			out = append(out, buffered[0])
 			buffered = buffered[1:]
 		}
+		if len(out) >= r || exhausted {
+			return out
+		}
+		c.TraceEvent(obs.EvPhaseEnter, obs.PhasePairGen, 0, 0)
 		for len(out) < r && !exhausted {
 			before := len(out)
 			out = streams[cur].Take(out, r)
@@ -778,6 +786,7 @@ func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcf
 				exhausted = cur >= len(streams)
 			}
 		}
+		c.TraceEvent(obs.EvPhaseExit, obs.PhasePairGen, 0, 0)
 		return out
 	}
 
@@ -832,21 +841,25 @@ func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcf
 		// Still no reply? Generate ahead into the bounded buffer.
 		var msg par.Message
 		got := false
-		for !exhausted && len(buffered) < pcfg.NewPairsBuf {
-			if m, ok := c.Probe(0, par.AnyTag); ok {
-				msg, got = m, true
-				break
-			}
-			p, ok := streams[cur].Next()
-			if !ok {
-				cur++
-				if exhausted = cur >= len(streams); exhausted {
+		if !exhausted && len(buffered) < pcfg.NewPairsBuf {
+			c.TraceEvent(obs.EvPhaseEnter, obs.PhasePairGen, 0, 0)
+			for !exhausted && len(buffered) < pcfg.NewPairsBuf {
+				if m, ok := c.Probe(0, par.AnyTag); ok {
+					msg, got = m, true
 					break
 				}
-				continue
+				p, ok := streams[cur].Next()
+				if !ok {
+					cur++
+					if exhausted = cur >= len(streams); exhausted {
+						break
+					}
+					continue
+				}
+				c.ChargeCompute(costPair)
+				buffered = append(buffered, p)
 			}
-			c.ChargeCompute(costPair)
-			buffered = append(buffered, p)
+			c.TraceEvent(obs.EvPhaseExit, obs.PhasePairGen, 0, 0)
 		}
 		if !got {
 			if ft {

@@ -1,0 +1,131 @@
+package analyze
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden; run with -update if intended.\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestReportGoldens pins all three renderings of the hand-scripted
+// dump: the analysis is pure arithmetic over a fixed event stream, so
+// every byte of the text report, the JSON report, and the annotated
+// Chrome trace must be reproducible.
+func TestReportGoldens(t *testing.T) {
+	d := handScript(t)
+	rep, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.txt", text.Bytes())
+
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json", js.Bytes())
+
+	var chrome bytes.Buffer
+	if err := rep.WriteAnnotatedChrome(&chrome, d); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "annotated_chrome.json", chrome.Bytes())
+}
+
+// TestAcceptance8Rank is the PR's acceptance criterion: an eight-rank
+// clustering run over a simulated read set, traced end to end; the
+// stitched DAG's critical path must land within 1% of the modeled
+// makespan, and the per-phase comm/comp/idle decomposition must sum
+// to it exactly (assertConsistent).
+func TestAcceptance8Rank(t *testing.T) {
+	const ranks = 8
+	rng := rand.New(rand.NewSource(7))
+	g := simulate.NewGenome(rng, "acc", simulate.GenomeConfig{
+		Length:  12000,
+		Repeats: []simulate.RepeatFamily{{Length: 250, Copies: 4, Divergence: 0.02}},
+	})
+	rc := simulate.DefaultReadConfig()
+	rc.MeanLen = 180
+	rc.LenSD = 25
+	rc.VectorProb = 0
+	frags := simulate.SampleWGS(rng, g, 5.0, rc, "a")
+	store := seq.NewStore(frags)
+
+	tr := obs.NewTracer(ranks, obs.DefaultRingCap)
+	pcfg := cluster.DefaultParallelConfig(ranks)
+	pcfg.Machine = par.DefaultConfig(ranks)
+	pcfg.Machine.Trace = tr
+	if _, _, err := cluster.Parallel(store, cluster.DefaultConfig(), pcfg); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := FromTracer(tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ranks != ranks {
+		t.Fatalf("ranks = %d, want %d", rep.Ranks, ranks)
+	}
+	if rep.EventsTotal == 0 {
+		t.Fatal("no events traced")
+	}
+	if d := math.Abs(rep.CriticalPath.LengthSec - rep.MakespanSec); d > 0.01*rep.MakespanSec {
+		t.Fatalf("critical path %.6fs off makespan %.6fs by %.2f%% (want <= 1%%)",
+			rep.CriticalPath.LengthSec, rep.MakespanSec, 100*d/rep.MakespanSec)
+	}
+	if rep.MakespanSec < rep.RawMakespanSec-1e-9 {
+		t.Fatalf("synchronized makespan %v < raw %v", rep.MakespanSec, rep.RawMakespanSec)
+	}
+	// The run must exercise the instrumented phases: GST distribution
+	// and clustering both appear with nonzero attributed time.
+	var phases []string
+	sawWork := false
+	for _, ps := range rep.Phases {
+		phases = append(phases, ps.Phase)
+		if ps.CommSec+ps.CompSec > 0 {
+			sawWork = true
+		}
+	}
+	if len(rep.Phases) < 2 || !sawWork {
+		t.Fatalf("phase decomposition too thin: %v", phases)
+	}
+	assertConsistent(t, rep)
+}

@@ -1,0 +1,40 @@
+package analyze
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Handler serves on-demand causal analysis of a live tracer.
+// ?format=json returns the deterministic report JSON, ?format=chrome
+// the critical-path-annotated Chrome trace; the default is text.
+func Handler(tr *obs.Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		dump := tr.Dump()
+		rep, err := Analyze(dump, Options{})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		switch req.URL.Query().Get("format") {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			err = rep.WriteJSON(w)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			err = rep.WriteAnnotatedChrome(w, dump)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			err = rep.WriteText(w)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Endpoint mounts Handler at /analyze on an obs.Serve server.
+func Endpoint(tr *obs.Tracer) obs.Endpoint {
+	return obs.Endpoint{Path: "/analyze", Handler: Handler(tr)}
+}

@@ -13,17 +13,18 @@ import (
 
 // Summary describes one validated trace file.
 type Summary struct {
-	Events   int // total trace events (metadata included)
-	Tracks   int // distinct (pid, tid) tracks
-	Spans    int // begin events
-	Instants int // instant events
-	Faults   int // fault-model instants (retransmit, corrupt, retry, quarantine)
-	Unclosed int // spans left open at end of file
+	Events     int // total trace events (metadata included)
+	Tracks     int // distinct (pid, tid) tracks
+	Spans      int // begin events
+	Instants   int // instant events
+	Faults     int // fault-model instants (retransmit, corrupt, retry, quarantine)
+	Unclosed   int // spans left open at end of file
+	SeqMatched int // receives matched to their send by (src, seq)
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("%d events, %d tracks, %d spans, %d instants (%d fault-model), %d unclosed",
-		s.Events, s.Tracks, s.Spans, s.Instants, s.Faults, s.Unclosed)
+	return fmt.Sprintf("%d events, %d tracks, %d spans, %d instants (%d fault-model), %d unclosed, %d seq-matched recvs",
+		s.Events, s.Tracks, s.Spans, s.Instants, s.Faults, s.Unclosed, s.SeqMatched)
 }
 
 type traceFile struct {
@@ -31,11 +32,21 @@ type traceFile struct {
 }
 
 type traceEvent struct {
-	Name string   `json:"name"`
-	Ph   string   `json:"ph"`
-	Ts   *float64 `json:"ts"`
-	Pid  *int     `json:"pid"`
-	Tid  *int     `json:"tid"`
+	Name string    `json:"name"`
+	Ph   string    `json:"ph"`
+	Ts   *float64  `json:"ts"`
+	Pid  *int      `json:"pid"`
+	Tid  *int      `json:"tid"`
+	Args traceArgs `json:"args"`
+}
+
+// traceArgs picks out the argument fields the causal checks need;
+// other keys are ignored.
+type traceArgs struct {
+	Dropped uint64  `json:"dropped"` // thread_name metadata: ring evictions
+	Src     *int64  `json:"src"`
+	Seq     *uint64 `json:"seq"`
+	Bytes   *int64  `json:"bytes"`
 }
 
 type track struct{ pid, tid int }
@@ -47,6 +58,7 @@ var knownNames = map[string]bool{
 	// spans
 	"send": true, "ssend": true, "recv": true,
 	"gst": true, "cluster": true, "align-batch": true, "recover": true, "phase": true,
+	"gst-redistribute": true, "gst-fetch": true, "pairgen": true, "master": true,
 	// instants
 	"pair-generated": true, "pair-aligned": true, "pair-discarded": true,
 	"cluster-merge": true, "lease-grant": true, "lease-expire": true,
@@ -67,7 +79,11 @@ var faultKinds = map[string]bool{
 
 // JSON validates one Chrome trace_event document: it must parse,
 // contain events, carry the required keys, use only known event names,
-// and keep begin/end events balanced per (pid, tid) track.
+// keep begin/end events balanced per (pid, tid) track, and satisfy
+// the causal sequence invariants: each thread's send sequence numbers
+// are gap-free (unless its thread_name metadata records dropped
+// events), and within a pid every received (src, seq) matches a send
+// some thread carried, at most once.
 func JSON(data []byte) (Summary, error) {
 	var s Summary
 	var tf traceFile
@@ -81,11 +97,36 @@ func JSON(data []byte) (Summary, error) {
 	// depth[track][name] counts open spans; "E" must never underflow.
 	depth := map[track]map[string]int{}
 	tracks := map[track]bool{}
+	// Causal bookkeeping, all per pid (every event renders once per
+	// clock-domain pid, so the domains are checked independently).
+	type msgID struct {
+		src int64
+		seq uint64
+	}
+	type pidMsg struct {
+		pid int
+		id  msgID
+	}
+	lastSeq := map[track]uint64{}
+	droppedTrack := map[track]bool{} // this thread's ring was truncated
+	droppedPid := map[int]bool{}     // any thread in pid truncated
+	sent := map[pidMsg]bool{}
+	type recvRef struct {
+		event int
+		key   pidMsg
+	}
+	var recvs []recvRef
 	for i, e := range tf.TraceEvents {
 		if e.Name == "" || e.Ph == "" {
 			return s, fmt.Errorf("event %d: missing name or ph", i)
 		}
 		if e.Ph == "M" {
+			if e.Name == "thread_name" && e.Args.Dropped > 0 && e.Pid != nil {
+				droppedPid[*e.Pid] = true
+				if e.Tid != nil {
+					droppedTrack[track{*e.Pid, *e.Tid}] = true
+				}
+			}
 			continue // metadata carries no timestamp
 		}
 		if !nameKnown(e.Name) {
@@ -106,11 +147,28 @@ func JSON(data []byte) (Summary, error) {
 			}
 			depth[k][e.Name]++
 			s.Spans++
+			if (e.Name == "send" || e.Name == "ssend") && e.Args.Seq != nil && *e.Args.Seq > 0 {
+				seq := *e.Args.Seq
+				if seq <= lastSeq[k] {
+					return s, fmt.Errorf("event %d: pid=%d tid=%d send seq %d after %d (not increasing)",
+						i, k.pid, k.tid, seq, lastSeq[k])
+				}
+				if !droppedTrack[k] && seq != lastSeq[k]+1 {
+					return s, fmt.Errorf("event %d: pid=%d tid=%d send seq %d after %d (gap: a send went untraced)",
+						i, k.pid, k.tid, seq, lastSeq[k])
+				}
+				lastSeq[k] = seq
+				sent[pidMsg{k.pid, msgID{int64(k.tid), seq}}] = true
+			}
 		case "E":
 			if depth[k][e.Name] == 0 {
 				return s, fmt.Errorf("event %d: unmatched E %q on pid=%d tid=%d", i, e.Name, k.pid, k.tid)
 			}
 			depth[k][e.Name]--
+			if e.Name == "recv" && e.Args.Seq != nil && *e.Args.Seq > 0 &&
+				e.Args.Src != nil && (e.Args.Bytes == nil || *e.Args.Bytes >= 0) {
+				recvs = append(recvs, recvRef{event: i, key: pidMsg{k.pid, msgID{*e.Args.Src, *e.Args.Seq}}})
+			}
 		case "i":
 			s.Instants++
 		default:
@@ -122,6 +180,25 @@ func JSON(data []byte) (Summary, error) {
 		for _, d := range names {
 			s.Unclosed += d
 		}
+	}
+	// Exactly-once matching per pid: every received (src, seq) was
+	// sent, and consumed at most once. Truncated pids are exempt —
+	// the matching send may have been evicted.
+	consumed := map[pidMsg]bool{}
+	for _, rc := range recvs {
+		if droppedPid[rc.key.pid] {
+			continue
+		}
+		if !sent[rc.key] {
+			return s, fmt.Errorf("event %d: pid=%d received (src=%d seq=%d) but no such send in trace",
+				rc.event, rc.key.pid, rc.key.id.src, rc.key.id.seq)
+		}
+		if consumed[rc.key] {
+			return s, fmt.Errorf("event %d: pid=%d (src=%d seq=%d) delivered more than once",
+				rc.event, rc.key.pid, rc.key.id.src, rc.key.id.seq)
+		}
+		consumed[rc.key] = true
+		s.SeqMatched++
 	}
 	return s, nil
 }

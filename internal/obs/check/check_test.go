@@ -135,3 +135,126 @@ func TestStreamSkipsOverflowedRings(t *testing.T) {
 		t.Fatalf("Skipped = %d, want 1", sum.Skipped)
 	}
 }
+
+func TestStreamRejectsSeqGap(t *testing.T) {
+	tr := obs.NewTracer(1, 0)
+	// Seq jumps 1 -> 3: a send went untraced.
+	tr.EmitSeq(0, obs.EvSendBegin, 0, 0, 1, 7, 8, 1)
+	tr.EmitSeq(0, obs.EvSendEnd, 1, 0, 1, 7, 8, 1)
+	tr.EmitSeq(0, obs.EvSendBegin, 1, 0, 1, 7, 8, 3)
+	tr.EmitSeq(0, obs.EvSendEnd, 2, 0, 1, 7, 8, 3)
+	if _, err := Stream(tr, nil); err == nil {
+		t.Fatal("Stream accepted a send sequence gap")
+	}
+}
+
+func TestStreamRejectsSeqMismatchedRecv(t *testing.T) {
+	tr := obs.NewTracer(2, 0)
+	tr.EmitSeq(0, obs.EvSendBegin, 0, 0, 1, 7, 8, 1)
+	tr.EmitSeq(0, obs.EvSendEnd, 1, 0, 1, 7, 8, 1)
+	// Receiver claims seq 2, which rank 0 never sent. The channel
+	// count invariant alone cannot see this.
+	tr.EmitSeq(1, obs.EvRecvBegin, 0, 0, 0, 7, 0, 0)
+	tr.EmitSeq(1, obs.EvRecvEnd, 1, 0, 0, 7, 8, 2)
+	if _, err := Stream(tr, nil); err == nil {
+		t.Fatal("Stream accepted a receive of a never-sent sequence number")
+	}
+}
+
+func TestStreamRejectsDuplicateDelivery(t *testing.T) {
+	tr := obs.NewTracer(3, 0)
+	tr.EmitSeq(0, obs.EvSendBegin, 0, 0, 1, 7, 8, 1)
+	tr.EmitSeq(0, obs.EvSendEnd, 1, 0, 1, 7, 8, 1)
+	tr.EmitSeq(0, obs.EvSendBegin, 1, 0, 2, 7, 8, 2)
+	tr.EmitSeq(0, obs.EvSendEnd, 2, 0, 2, 7, 8, 2)
+	for r := 1; r <= 2; r++ {
+		// Both receivers consume (src=0, seq=1): delivered twice.
+		tr.EmitSeq(r, obs.EvRecvBegin, 0, 0, 0, 7, 0, 0)
+		tr.EmitSeq(r, obs.EvRecvEnd, 1, 0, 0, 7, 8, 1)
+	}
+	if _, err := Stream(tr, nil); err == nil {
+		t.Fatal("Stream accepted a duplicate delivery")
+	}
+}
+
+func TestStreamSeqMatchedCounts(t *testing.T) {
+	tr := obs.NewTracer(2, 0)
+	cfg := par.DefaultConfig(2)
+	cfg.Trace = tr
+	par.Run(cfg, func(c *par.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("a"))
+			c.Send(1, 1, []byte("b"))
+		} else {
+			c.Recv(0, 1)
+			c.Recv(0, 1)
+		}
+	})
+	sum, err := Stream(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SeqMatched != 2 {
+		t.Fatalf("SeqMatched = %d, want 2", sum.SeqMatched)
+	}
+}
+
+func TestJSONCausalInvariants(t *testing.T) {
+	// A well-formed two-rank exchange passes and matches the recv.
+	tr := obs.NewTracer(2, 0)
+	cfg := par.DefaultConfig(2)
+	cfg.Trace = tr
+	par.Run(cfg, func(c *par.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("hello"))
+		} else {
+			c.Recv(0, 1)
+		}
+	})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := JSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SeqMatched == 0 {
+		t.Fatal("exported trace carried no seq-matched receives")
+	}
+
+	// Hand-built documents violating each causal invariant.
+	bad := []struct{ name, doc string }{
+		{"seq gap", `{"traceEvents":[
+			{"name":"send","ph":"B","ts":1,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":1}},
+			{"name":"send","ph":"E","ts":2,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":1}},
+			{"name":"send","ph":"B","ts":3,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":3}},
+			{"name":"send","ph":"E","ts":4,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":3}}]}`},
+		{"recv without send", `{"traceEvents":[
+			{"name":"recv","ph":"B","ts":1,"pid":1,"tid":1,"args":{"src":0,"tag":7}},
+			{"name":"recv","ph":"E","ts":2,"pid":1,"tid":1,"args":{"src":0,"tag":7,"bytes":8,"seq":5}}]}`},
+		{"duplicate delivery", `{"traceEvents":[
+			{"name":"send","ph":"B","ts":1,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":1}},
+			{"name":"send","ph":"E","ts":2,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":1}},
+			{"name":"recv","ph":"B","ts":3,"pid":1,"tid":1,"args":{"src":0,"tag":7}},
+			{"name":"recv","ph":"E","ts":4,"pid":1,"tid":1,"args":{"src":0,"tag":7,"bytes":8,"seq":1}},
+			{"name":"recv","ph":"B","ts":5,"pid":1,"tid":2,"args":{"src":0,"tag":7}},
+			{"name":"recv","ph":"E","ts":6,"pid":1,"tid":2,"args":{"src":0,"tag":7,"bytes":8,"seq":1}}]}`},
+	}
+	for _, tc := range bad {
+		if _, err := JSON([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// The same gap is tolerated when the thread is marked truncated.
+	tolerated := `{"traceEvents":[
+		{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"rank 0","dropped":9}},
+		{"name":"send","ph":"B","ts":1,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":4}},
+		{"name":"send","ph":"E","ts":2,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":4}},
+		{"name":"send","ph":"B","ts":3,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":7}},
+		{"name":"send","ph":"E","ts":4,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":7}}]}`
+	if _, err := JSON([]byte(tolerated)); err != nil {
+		t.Errorf("truncated thread's seq gap rejected: %v", err)
+	}
+}

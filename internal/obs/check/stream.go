@@ -13,6 +13,7 @@ type StreamSummary struct {
 	Events     int // events examined
 	Channels   int // distinct (src, dst, tag) channels with traffic
 	RecvEvents int // completed receives matched against sends
+	SeqMatched int // receives matched to their exact send by (src, seq)
 	Skipped    int // ranks whose per-rank invariants were skipped (ring overflow)
 }
 
@@ -32,6 +33,12 @@ type StreamSummary struct {
 //     k-th earliest send start (drops and in-flight messages make
 //     sends ≥ receives; nothing can be received before something was
 //     sent).
+//   - Sequence numbers are causal: each rank's send sequence is
+//     exactly 1, 2, 3, ... with no gaps or repeats (a gap means a
+//     send went untraced), and every completed receive names a (src,
+//     seq) pair some traced send actually carried, each consumed at
+//     most once — the exactly-once delivery guarantee, checked
+//     end-to-end through the trace.
 //
 // okRank reports whether a rank's body returned normally; nil means
 // all ranks did. Ranks that crashed are exempt from span balance (a
@@ -56,6 +63,17 @@ func Stream(tr *obs.Tracer, okRank func(rank int) bool) (StreamSummary, error) {
 	sendWall := map[channel][]int64{}
 	recvWall := map[channel][]int64{}
 
+	type msgID struct {
+		src int64
+		seq uint64
+	}
+	sent := map[msgID]bool{}
+	type recvRef struct {
+		rank, idx int
+		id        msgID
+	}
+	var recvs []recvRef
+
 	for r := 0; r < s.Ranks; r++ {
 		evs := tr.Events(r)
 		s.Events += len(evs)
@@ -66,6 +84,7 @@ func Stream(tr *obs.Tracer, okRank func(rank int) bool) (StreamSummary, error) {
 		ok := okRank == nil || okRank(r)
 
 		var lastComm, lastComp float64
+		var lastSeq uint64
 		depth := map[string]int{} // span family (or phase id) -> open count
 		for i, e := range evs {
 			if e.Comm < lastComm || e.Comp < lastComp {
@@ -76,11 +95,29 @@ func Stream(tr *obs.Tracer, okRank func(rank int) bool) (StreamSummary, error) {
 
 			switch e.Kind {
 			case obs.EvSendBegin, obs.EvSsendBegin:
+				if e.Seq > 0 {
+					switch {
+					case dropped:
+						// Truncated stream: gaps are expected, order is not.
+						if e.Seq <= lastSeq && lastSeq > 0 {
+							return s, fmt.Errorf("rank %d event %d: send seq %d after %d (not increasing)",
+								r, i, e.Seq, lastSeq)
+						}
+					case e.Seq != lastSeq+1:
+						return s, fmt.Errorf("rank %d event %d: send seq %d after %d (gap: a send went untraced)",
+							r, i, e.Seq, lastSeq)
+					}
+					lastSeq = e.Seq
+					sent[msgID{int64(r), e.Seq}] = true
+				}
 				if !dropped {
 					ch := channel{src: int64(r), dst: e.A, tag: e.B}
 					sendWall[ch] = append(sendWall[ch], e.Wall)
 				}
 			case obs.EvRecvEnd:
+				if e.C >= 0 && e.Seq > 0 {
+					recvs = append(recvs, recvRef{rank: r, idx: i, id: msgID{e.A, e.Seq}})
+				}
 				if e.C >= 0 && !dropped { // C == -1: timed out, nothing received
 					ch := channel{src: e.A, dst: int64(r), tag: e.B}
 					recvWall[ch] = append(recvWall[ch], e.Wall)
@@ -116,6 +153,21 @@ func Stream(tr *obs.Tracer, okRank func(rank int) bool) (StreamSummary, error) {
 	s.Channels = len(sendWall)
 	if anyDropped {
 		return s, nil // truncated streams: skip cross-rank matching
+	}
+	// Exact matching: every completed receive must name a traced send,
+	// and no (src, seq) may be delivered twice.
+	consumed := map[msgID]bool{}
+	for _, rc := range recvs {
+		if !sent[rc.id] {
+			return s, fmt.Errorf("rank %d event %d: received (src=%d seq=%d) but no such send was traced",
+				rc.rank, rc.idx, rc.id.src, rc.id.seq)
+		}
+		if consumed[rc.id] {
+			return s, fmt.Errorf("rank %d event %d: (src=%d seq=%d) delivered more than once",
+				rc.rank, rc.idx, rc.id.src, rc.id.seq)
+		}
+		consumed[rc.id] = true
+		s.SeqMatched++
 	}
 	for ch, recvs := range recvWall {
 		sends := sendWall[ch]

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DumpVersion is the current raw events dump format version.
+const DumpVersion = 1
+
+// RankDump is one rank's retained event stream plus how many of its
+// events ring wraparound evicted (a truncated stream disqualifies the
+// strict causal checks).
+type RankDump struct {
+	Rank    int     `json:"rank"`
+	Dropped uint64  `json:"dropped,omitempty"`
+	Events  []Event `json:"events"`
+}
+
+// Dump is the lossless raw export of a tracer: every retained event of
+// every rank, with both clock domains and the per-sender sequence
+// numbers intact. The Chrome trace_event export collapses the modeled
+// clock to a single timestamp per event, so causal analysis
+// (cmd/traceanalyze, internal/obs/analyze) consumes this format
+// instead.
+type Dump struct {
+	Version int        `json:"version"`
+	Ranks   []RankDump `json:"ranks"`
+}
+
+// Dump snapshots the tracer's retained events per rank.
+func (t *Tracer) Dump() *Dump {
+	d := &Dump{Version: DumpVersion}
+	if t == nil {
+		return d
+	}
+	for r := 0; r < t.Ranks(); r++ {
+		d.Ranks = append(d.Ranks, RankDump{
+			Rank:    r,
+			Dropped: t.Dropped(r),
+			Events:  t.Events(r),
+		})
+	}
+	return d
+}
+
+// WriteJSON writes the dump as a single JSON document.
+func (d *Dump) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(d)
+}
+
+// WriteEvents writes the tracer's raw events dump to w.
+func (t *Tracer) WriteEvents(w io.Writer) error {
+	return t.Dump().WriteJSON(w)
+}
+
+// ReadDump parses a raw events dump.
+func ReadDump(r io.Reader) (*Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("obs: not an events dump: %w", err)
+	}
+	if d.Version != DumpVersion {
+		return nil, fmt.Errorf("obs: events dump version %d, want %d", d.Version, DumpVersion)
+	}
+	return &d, nil
+}
+
+// ReadDumpFile reads and parses one raw events dump file.
+func ReadDumpFile(path string) (*Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := ReadDump(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}

@@ -47,15 +47,20 @@ func chromeName(e Event) string {
 	return e.Kind.String()
 }
 
-// chromeArgs renders the kind-specific arguments.
+// chromeArgs renders the kind-specific arguments. Message-transfer
+// events carry the sender's sequence number so a trace file preserves
+// the exact send→recv correlation (src, seq).
 func chromeArgs(e Event) map[string]any {
 	switch e.Kind {
 	case EvSendBegin, EvSendEnd, EvSsendBegin, EvSsendEnd:
-		return map[string]any{"dst": e.A, "tag": e.B, "bytes": e.C}
+		return map[string]any{"dst": e.A, "tag": e.B, "bytes": e.C, "seq": e.Seq}
 	case EvRecvBegin:
 		return map[string]any{"src": e.A, "tag": e.B}
 	case EvRecvEnd:
-		return map[string]any{"src": e.A, "tag": e.B, "bytes": e.C}
+		if e.C < 0 { // timed out: nothing was received
+			return map[string]any{"src": e.A, "tag": e.B, "bytes": e.C}
+		}
+		return map[string]any{"src": e.A, "tag": e.B, "bytes": e.C, "seq": e.Seq}
 	case EvPairGenerated, EvPairAligned, EvPairDiscarded:
 		return map[string]any{"count": e.A, "peer": e.B}
 	case EvClusterMerge:
@@ -90,8 +95,25 @@ func chromeArgs(e Event) map[string]any {
 // (a rank that died mid-operation) appear as unfinished spans, which
 // is exactly what they are.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	perRank := make([][]Event, t.Ranks())
+	dropped := make([]uint64, t.Ranks())
+	for r := 0; r < t.Ranks(); r++ {
+		perRank[r] = t.Events(r)
+		dropped[r] = t.Dropped(r)
+	}
+	return WriteChromeTraceEvents(w, perRank, dropped, nil)
+}
+
+// WriteChromeTraceEvents is the Chrome trace_event renderer behind
+// WriteChromeTrace, working from already-snapshotted per-rank event
+// slices (e.g. a loaded obs.Dump). dropped may be nil; when a rank's
+// count is nonzero it is recorded on the thread_name metadata so a
+// reader knows the stream is truncated. annotate, when non-nil, is
+// called per (rank, event index) and its returned entries are merged
+// into that event's args — cmd/traceanalyze uses it to mark
+// critical-path spans.
+func WriteChromeTraceEvents(w io.Writer, perRank [][]Event, dropped []uint64, annotate func(rank, idx int) map[string]any) error {
 	var evs []chromeEvent
-	ranks := t.Ranks()
 	for pid, name := range map[int]string{pidWall: "wall clock", pidModeled: "modeled clock"} {
 		evs = append(evs, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: pid,
@@ -101,21 +123,24 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	// Deterministic metadata order (the map above is only 2 entries but
 	// map iteration order would still flip them run to run).
 	sort.Slice(evs, func(i, j int) bool { return evs[i].Pid < evs[j].Pid })
-	for r := 0; r < ranks; r++ {
-		events := t.Events(r)
+	for r, events := range perRank {
 		if len(events) == 0 {
 			continue
+		}
+		meta := map[string]any{"name": fmt.Sprintf("rank %d", r)}
+		if dropped != nil && dropped[r] > 0 {
+			meta["dropped"] = dropped[r]
 		}
 		for _, pid := range [2]int{pidWall, pidModeled} {
 			evs = append(evs, chromeEvent{
 				Name: "thread_name", Ph: "M", Pid: pid, Tid: r,
-				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+				Args: meta,
 			})
 		}
 		// An end whose begin was evicted by wraparound would corrupt
 		// B/E nesting; track per-family depth and drop orphan ends.
 		depth := map[string]int{}
-		for _, e := range events {
+		for i, e := range events {
 			name := chromeName(e)
 			var ph string
 			switch {
@@ -131,9 +156,20 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			default:
 				ph = "i"
 			}
+			args := chromeArgs(e)
+			if annotate != nil {
+				if extra := annotate(r, i); len(extra) > 0 {
+					if args == nil {
+						args = map[string]any{}
+					}
+					for k, v := range extra {
+						args[k] = v
+					}
+				}
+			}
 			wall := chromeEvent{
 				Name: name, Ph: ph, Ts: float64(e.Wall) / 1e3,
-				Pid: pidWall, Tid: r, Args: chromeArgs(e),
+				Pid: pidWall, Tid: r, Args: args,
 			}
 			model := wall
 			model.Pid = pidModeled
@@ -185,11 +221,14 @@ func timelineLabel(e Event) string {
 func timelineArgs(e Event) string {
 	switch e.Kind {
 	case EvSendBegin, EvSendEnd, EvSsendBegin, EvSsendEnd:
-		return fmt.Sprintf("dst=%d tag=%d bytes=%d", e.A, e.B, e.C)
+		return fmt.Sprintf("dst=%d tag=%d bytes=%d seq=%d", e.A, e.B, e.C, e.Seq)
 	case EvRecvBegin:
 		return fmt.Sprintf("src=%d tag=%d", e.A, e.B)
 	case EvRecvEnd:
-		return fmt.Sprintf("src=%d tag=%d bytes=%d", e.A, e.B, e.C)
+		if e.C < 0 {
+			return fmt.Sprintf("src=%d tag=%d bytes=%d", e.A, e.B, e.C)
+		}
+		return fmt.Sprintf("src=%d tag=%d bytes=%d seq=%d", e.A, e.B, e.C, e.Seq)
 	case EvPhaseEnter, EvPhaseExit:
 		return ""
 	case EvPairGenerated, EvPairAligned, EvPairDiscarded:

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files under testdata/")
@@ -116,5 +117,54 @@ func TestChromeTraceBalanced(t *testing.T) {
 	}
 	if sendEndsRank1 != 0 {
 		t.Errorf("rank 1's orphaned send end survived export (%d)", sendEndsRank1)
+	}
+}
+
+// TestMetricsJSONGolden pins the metrics export byte for byte: a
+// registry on a scripted clock with one of each metric family must
+// render identically on every run (keys sorted by the encoder,
+// uptime read through the injected clock).
+func TestMetricsJSONGolden(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	calls := 0
+	reg := NewRegistryAt(func() time.Time {
+		calls++
+		if calls == 1 {
+			return base // registry start
+		}
+		return base.Add(2 * time.Second) // snapshot time: uptime pinned at 2s
+	})
+	reg.Counter("pairs_aligned").Add(42)
+	reg.Gauge("master_queue_depth").Set(7)
+	h := reg.Histogram("align_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json", buf.Bytes())
+
+	// Byte-determinism: a second registry scripted identically must
+	// render the identical document.
+	calls2 := 0
+	reg2 := NewRegistryAt(func() time.Time {
+		calls2++
+		if calls2 == 1 {
+			return base
+		}
+		return base.Add(2 * time.Second)
+	})
+	reg2.Counter("pairs_aligned").Add(42)
+	reg2.Gauge("master_queue_depth").Set(7)
+	h2 := reg2.Histogram("align_seconds", []float64{0.001, 0.01})
+	h2.Observe(0.0005)
+	h2.Observe(0.5)
+	var buf2 bytes.Buffer
+	if err := reg2.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("metrics export not deterministic:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
 	}
 }

@@ -134,6 +134,7 @@ func (h *Histogram) snapshot() map[string]any {
 // no-ops — so a disabled run takes one nil check per metric update.
 type Registry struct {
 	start time.Time
+	now   func() time.Time
 
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -142,9 +143,16 @@ type Registry struct {
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
+func NewRegistry() *Registry { return NewRegistryAt(time.Now) }
+
+// NewRegistryAt returns an empty registry reading the clock through
+// now. With a fixed clock the JSON export is byte-deterministic
+// (uptime pinned, keys sorted by the encoder) — what the golden
+// tests and deterministic experiment reports use.
+func NewRegistryAt(now func() time.Time) *Registry {
 	return &Registry{
-		start:    time.Now(),
+		start:    now(),
+		now:      now,
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
@@ -209,7 +217,7 @@ func (r *Registry) Snapshot() map[string]any {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out["uptime_seconds"] = time.Since(r.start).Seconds()
+	out["uptime_seconds"] = r.now().Sub(r.start).Seconds()
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}

@@ -99,10 +99,14 @@ func (k Kind) isEnd() bool {
 
 // Phase identifiers carried in the A argument of EvPhaseEnter/Exit.
 const (
-	PhaseGST     int64 = 1 + iota // parallel GST construction
-	PhaseCluster                  // master–worker clustering loop
-	PhaseAlign                    // one worker alignment batch
-	PhaseRecover                  // rebuilding a dead rank's GST portion
+	PhaseGST       int64 = 1 + iota // parallel GST construction
+	PhaseCluster                    // master–worker clustering loop
+	PhaseAlign                      // one worker alignment batch
+	PhaseRecover                    // rebuilding a dead rank's GST portion
+	PhaseGSTRedist                  // GST suffix redistribution (Alltoallv)
+	PhaseGSTFetch                   // one GST fragment-fetch round
+	PhasePairGen                    // worker promising-pair generation
+	PhaseMaster                     // master protocol loop (rank 0)
 )
 
 // PhaseName names a phase identifier.
@@ -116,6 +120,14 @@ func PhaseName(id int64) string {
 		return "align-batch"
 	case PhaseRecover:
 		return "recover"
+	case PhaseGSTRedist:
+		return "gst-redistribute"
+	case PhaseGSTFetch:
+		return "gst-fetch"
+	case PhasePairGen:
+		return "pairgen"
+	case PhaseMaster:
+		return "master"
 	}
 	return "phase"
 }
@@ -163,15 +175,25 @@ func FaultName(code int64) string {
 //	corrupt_frame:         A = dst,   B = tag,   C = frame bytes
 //	retry:                 A = cluster id, B = attempt number
 //	quarantined:           A = cluster id, B = reads emitted as singletons
+//
+// Seq is the per-sender message sequence number: every send a rank
+// performs increments its counter, and the receive completing that
+// message carries the same value — so (src, Seq) identifies a message
+// exactly and trace analysis can stitch send→recv causal edges without
+// heuristics. Zero on events that are not message transfers.
+//
+// The JSON field names are the compact encoding of the raw events dump
+// (see Dump), the lossless format cmd/traceanalyze consumes.
 type Event struct {
-	Kind Kind
-	Rank int32
-	Wall int64
-	Comm float64
-	Comp float64
-	A    int64
-	B    int64
-	C    int64
+	Kind Kind    `json:"k"`
+	Rank int32   `json:"r"`
+	Wall int64   `json:"w"`
+	Comm float64 `json:"cm"`
+	Comp float64 `json:"cp"`
+	A    int64   `json:"a,omitempty"`
+	B    int64   `json:"b,omitempty"`
+	C    int64   `json:"c,omitempty"`
+	Seq  uint64  `json:"seq,omitempty"`
 }
 
 // PhaseSpan is one completed phase on one rank, with the modeled
@@ -234,13 +256,20 @@ type Tracer struct {
 // grow on demand if a higher rank emits) with the given per-rank
 // event capacity (0: DefaultRingCap).
 func NewTracer(ranks, capacity int) *Tracer {
+	return NewTracerAt(ranks, capacity, time.Now)
+}
+
+// NewTracerAt is NewTracer with an explicit clock: wall timestamps are
+// read from now, and the epoch is now()'s first value. Tests feed a
+// scripted clock here so exported traces are byte-reproducible.
+func NewTracerAt(ranks, capacity int, now func() time.Time) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultRingCap
 	}
 	if ranks < 1 {
 		ranks = 1
 	}
-	t := &Tracer{epoch: time.Now(), now: time.Now, cap: capacity}
+	t := &Tracer{epoch: now(), now: now, cap: capacity}
 	t.rings = make([]*ring, ranks)
 	for i := range t.rings {
 		t.rings[i] = &ring{buf: make([]Event, capacity)}
@@ -271,6 +300,13 @@ func (t *Tracer) ring(rank int) *ring {
 // additionally maintain the completed-span list, which is never
 // evicted by ring wraparound (spans are rare; messages are not).
 func (t *Tracer) Emit(rank int, k Kind, commSec, compSec float64, a, b, c int64) {
+	t.EmitSeq(rank, k, commSec, compSec, a, b, c, 0)
+}
+
+// EmitSeq is Emit for message-transfer events, additionally stamping
+// the sender's per-rank sequence number so send and receive records of
+// the same message share a (src, seq) correlation key.
+func (t *Tracer) EmitSeq(rank int, k Kind, commSec, compSec float64, a, b, c int64, seq uint64) {
 	if t == nil {
 		return
 	}
@@ -279,7 +315,7 @@ func (t *Tracer) Emit(rank int, k Kind, commSec, compSec float64, a, b, c int64)
 	r.mu.Lock()
 	r.buf[r.next%uint64(len(r.buf))] = Event{
 		Kind: k, Rank: int32(rank), Wall: wall,
-		Comm: commSec, Comp: compSec, A: a, B: b, C: c,
+		Comm: commSec, Comp: compSec, A: a, B: b, C: c, Seq: seq,
 	}
 	r.next++
 	switch k {

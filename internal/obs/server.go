@@ -26,10 +26,20 @@ type Server struct {
 	ln  net.Listener
 }
 
+// Endpoint is an extra HTTP route a caller mounts on the
+// observability server. It keeps obs free of upward dependencies:
+// packages layered above obs (internal/obs/analyze) export an
+// Endpoint rather than obs importing them.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // Serve starts an observability server on addr ("host:port"; ":0"
 // picks a free port) and returns once it is listening. The server
-// runs until Close.
-func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+// runs until Close. Extra endpoints are mounted verbatim and listed
+// on the index page.
+func Serve(addr string, reg *Registry, tr *Tracer, extra ...Endpoint) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
@@ -40,8 +50,15 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "observability endpoints:\n  /metrics\n  /trace\n  /timeline\n  /debug/pprof/\n")
+		fmt.Fprintf(w, "observability endpoints:\n  /metrics\n  /trace\n  /timeline\n")
+		for _, ep := range extra {
+			fmt.Fprintf(w, "  %s\n", ep.Path)
+		}
+		fmt.Fprintf(w, "  /debug/pprof/\n")
 	})
+	for _, ep := range extra {
+		mux.Handle(ep.Path, ep.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := reg.WriteJSON(w); err != nil {

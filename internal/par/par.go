@@ -50,10 +50,15 @@ const (
 	tagSendRecv
 )
 
-// Message is a received point-to-point message.
+// Message is a received point-to-point message. Seq is the sender's
+// per-rank message sequence number (1-based, counting every send the
+// source rank performed), so (Src, Seq) identifies the transfer
+// exactly — the correlation key trace analysis matches send and recv
+// events on.
 type Message struct {
 	Src  int
 	Tag  int
+	Seq  uint64
 	Data []byte
 }
 
@@ -76,6 +81,11 @@ type Config struct {
 	// modeled timestamps. Nil disables tracing: the hot path then
 	// costs one nil check per operation and allocates nothing.
 	Trace *obs.Tracer
+	// CompScale multiplies every modeled compute charge (0 = 1.0). It
+	// models uniformly slower cores without touching the interconnect
+	// model — the knob cmd/benchrun's -slowdown uses to demonstrate
+	// that the benchmark regression gate trips.
+	CompScale float64
 }
 
 // DefaultConfig returns a machine with p ranks and BlueGene/L-like
@@ -91,12 +101,16 @@ func (c Config) withDefaults() Config {
 	if c.Beta == 0 {
 		c.Beta = 150e6
 	}
+	if c.CompScale == 0 {
+		c.CompScale = 1
+	}
 	return c
 }
 
 type envelope struct {
 	src  int
 	tag  int
+	seq  uint64 // sender's per-rank sequence number (survives retransmits)
 	data []byte
 	ack  chan struct{} // non-nil for synchronous (rendezvous) sends
 }
@@ -349,6 +363,7 @@ func (m *machine) blockedForever(self, src int) bool {
 type Comm struct {
 	m     *machine
 	rank  int
+	seq   uint64 // sequence number of this rank's most recent send
 	st    Stats
 	start time.Time
 	fs    *faultState // nil when no fault plan is set
@@ -376,6 +391,16 @@ func (c *Comm) trace(k obs.Kind, a, b, n int64) {
 	c.tr.Emit(c.rank, k, c.st.CommModel, c.st.CompModel, a, b, n)
 }
 
+// traceSeq is trace for message-transfer events, stamping the message's
+// per-sender sequence number so trace analysis can match the send and
+// recv records of one transfer exactly.
+func (c *Comm) traceSeq(k obs.Kind, a, b, n int64, seq uint64) {
+	if c.tr == nil {
+		return
+	}
+	c.tr.EmitSeq(c.rank, k, c.st.CommModel, c.st.CompModel, a, b, n, seq)
+}
+
 // TraceEvent records a user-level event (phase enter/exit, protocol
 // milestones) on this rank's trace track; a no-op without a tracer.
 // Arguments are kind-specific — see obs.Event.
@@ -390,11 +415,11 @@ func (c *Comm) chargeComm(bytes int) {
 	c.st.CommModel += c.m.cfg.Alpha.Seconds() + float64(bytes)/c.m.cfg.Beta
 }
 
-// ChargeCompute adds modeled computation seconds to this rank.
-// Compute kernels charge analytic costs (cells aligned, characters
-// scanned) so modeled runtimes scale with the simulated machine size
-// rather than the host's core count.
-func (c *Comm) ChargeCompute(sec float64) { c.st.CompModel += sec }
+// ChargeCompute adds modeled computation seconds to this rank, scaled
+// by the machine's CompScale. Compute kernels charge analytic costs
+// (cells aligned, characters scanned) so modeled runtimes scale with
+// the simulated machine size rather than the host's core count.
+func (c *Comm) ChargeCompute(sec float64) { c.st.CompModel += sec * c.m.cfg.CompScale }
 
 // Snapshot returns the rank's statistics accumulated so far, with Wall
 // reflecting elapsed time since the rank started. Useful for per-phase
@@ -414,12 +439,13 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 		panic(fmt.Sprintf("par: send to invalid rank %d", dst))
 	}
 	c.checkSend(tag)
+	c.seq++
 	c.st.MsgsSent++
 	c.st.BytesSent += len(data)
 	c.chargeComm(len(data))
-	c.trace(obs.EvSendBegin, int64(dst), int64(tag), int64(len(data)))
-	c.deliver(dst, envelope{src: c.rank, tag: tag, data: data})
-	c.trace(obs.EvSendEnd, int64(dst), int64(tag), int64(len(data)))
+	c.traceSeq(obs.EvSendBegin, int64(dst), int64(tag), int64(len(data)), c.seq)
+	c.deliver(dst, envelope{src: c.rank, tag: tag, seq: c.seq, data: data})
+	c.traceSeq(obs.EvSendEnd, int64(dst), int64(tag), int64(len(data)), c.seq)
 }
 
 // Ssend is a synchronous (rendezvous) send: it returns only after the
@@ -432,16 +458,18 @@ func (c *Comm) Ssend(dst, tag int, data []byte) {
 		panic(fmt.Sprintf("par: ssend to invalid rank %d", dst))
 	}
 	c.checkSend(tag)
+	c.seq++
+	seq := c.seq
 	ack := make(chan struct{})
 	c.st.MsgsSent++
 	c.st.BytesSent += len(data)
 	c.chargeComm(len(data))
-	c.trace(obs.EvSsendBegin, int64(dst), int64(tag), int64(len(data)))
-	c.m.boxes[dst].put(envelope{src: c.rank, tag: tag, data: data, ack: ack})
+	c.traceSeq(obs.EvSsendBegin, int64(dst), int64(tag), int64(len(data)), seq)
+	c.m.boxes[dst].put(envelope{src: c.rank, tag: tag, seq: seq, data: data, ack: ack})
 	start := time.Now()
 	<-ack
 	c.st.Blocked += time.Since(start)
-	c.trace(obs.EvSsendEnd, int64(dst), int64(tag), int64(len(data)))
+	c.traceSeq(obs.EvSsendEnd, int64(dst), int64(tag), int64(len(data)), seq)
 }
 
 // accountRecv books a matched envelope into the rank's statistics and
@@ -453,7 +481,7 @@ func (c *Comm) accountRecv(e envelope) Message {
 	if e.ack != nil {
 		close(e.ack)
 	}
-	return Message{Src: e.src, Tag: e.tag, Data: e.data}
+	return Message{Src: e.src, Tag: e.tag, Seq: e.seq, Data: e.data}
 }
 
 // Recv blocks until a message matching (src, tag) arrives; wildcards
@@ -469,7 +497,7 @@ func (c *Comm) Recv(src, tag int) Message {
 		c.die(false, fmt.Sprintf("blocked in Recv(src=%d, tag=%d) on crashed rank(s)", src, tag))
 	}
 	msg := c.accountRecv(e)
-	c.trace(obs.EvRecvEnd, int64(msg.Src), int64(msg.Tag), int64(len(msg.Data)))
+	c.traceSeq(obs.EvRecvEnd, int64(msg.Src), int64(msg.Tag), int64(len(msg.Data)), msg.Seq)
 	return msg
 }
 
@@ -488,7 +516,7 @@ func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, bool) {
 		return Message{}, false
 	}
 	msg := c.accountRecv(e)
-	c.trace(obs.EvRecvEnd, int64(msg.Src), int64(msg.Tag), int64(len(msg.Data)))
+	c.traceSeq(obs.EvRecvEnd, int64(msg.Src), int64(msg.Tag), int64(len(msg.Data)), msg.Seq)
 	return msg, true
 }
 
@@ -503,14 +531,19 @@ func (c *Comm) ProbeDeadline(src, tag int, d time.Duration) bool {
 }
 
 // Probe is a non-blocking receive; ok is false if no matching message
-// is queued.
+// is queued. A successful probe traces a zero-length recv span so the
+// causal trace still records the transfer; a miss traces nothing
+// (probes poll in tight loops).
 func (c *Comm) Probe(src, tag int) (Message, bool) {
 	c.checkTime()
 	e, ok := c.m.boxes[c.rank].tryTake(src, tag)
 	if !ok {
 		return Message{}, false
 	}
-	return c.accountRecv(e), true
+	c.trace(obs.EvRecvBegin, int64(src), int64(tag), 0)
+	msg := c.accountRecv(e)
+	c.traceSeq(obs.EvRecvEnd, int64(msg.Src), int64(msg.Tag), int64(len(msg.Data)), msg.Seq)
+	return msg, true
 }
 
 // SendRecv concurrently performs a synchronous send to dst and a
@@ -520,9 +553,11 @@ func (c *Comm) Probe(src, tag int) (Message, bool) {
 // receive space (the property the paper's customized Alltoallv needs).
 func (c *Comm) SendRecv(dst int, data []byte, src, tag int) Message {
 	c.checkSend(tag)
+	c.seq++
+	seq := c.seq
 	ack := make(chan struct{})
-	c.trace(obs.EvSsendBegin, int64(dst), int64(tag), int64(len(data)))
-	c.m.boxes[dst].put(envelope{src: c.rank, tag: tag, data: data, ack: ack})
+	c.traceSeq(obs.EvSsendBegin, int64(dst), int64(tag), int64(len(data)), seq)
+	c.m.boxes[dst].put(envelope{src: c.rank, tag: tag, seq: seq, data: data, ack: ack})
 	c.st.MsgsSent++
 	c.st.BytesSent += len(data)
 	c.chargeComm(len(data))
@@ -530,7 +565,7 @@ func (c *Comm) SendRecv(dst int, data []byte, src, tag int) Message {
 	start := time.Now()
 	<-ack
 	c.st.Blocked += time.Since(start)
-	c.trace(obs.EvSsendEnd, int64(dst), int64(tag), int64(len(data)))
+	c.traceSeq(obs.EvSsendEnd, int64(dst), int64(tag), int64(len(data)), seq)
 	return msg
 }
 

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/seq"
 	"repro/internal/suffixtree"
@@ -197,7 +198,9 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 	// Phase 3: redistribute suffixes so each bucket lands whole on its
 	// owner rank. Under FT, exchanges severed by a rank death are
 	// re-enumerated locally from the full store.
+	c.TraceEvent(obs.EvPhaseEnter, obs.PhaseGSTRedist, 0, 0)
 	mine := redistribute(c, st, local, splitters, bounds, cfg)
+	c.TraceEvent(obs.EvPhaseExit, obs.PhaseGSTRedist, 0, 0)
 	sort.Slice(mine, func(i, j int) bool { return mine[i].key < mine[j].key })
 	c.ChargeCompute(float64(len(mine)) * log2f(len(mine)) * costSort)
 
@@ -234,7 +237,9 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 		if round < len(batches) {
 			batch = batches[round]
 		}
+		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseGSTFetch, int64(round), 0)
 		cache := fetchFragments(c, st, buckets, batch, bounds, cfg)
+		c.TraceEvent(obs.EvPhaseExit, obs.PhaseGSTFetch, int64(round), 0)
 		access := cacheAccess(st, cache, cfg.FT)
 		for _, bi := range batch {
 			ib.AddBucket(access, buckets[bi])

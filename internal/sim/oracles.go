@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/obs/check"
 	"repro/internal/par"
 	"repro/internal/pgst"
@@ -29,6 +30,10 @@ type Result struct {
 	Retransmits int
 	Quarantined int
 	Wall        time.Duration
+
+	// Trace is the clustering run's tracer, kept so a replayed case
+	// can dump its raw events (simrunner -events-out).
+	Trace *obs.Tracer
 }
 
 // Failed reports whether any oracle rejected the case.
@@ -56,7 +61,10 @@ const leaseTimeout = 400 * time.Millisecond
 //     quarantined, no more, no fewer.
 //  5. Trace: the clustering run's event streams satisfy the runtime
 //     invariants (monotone modeled clocks, balanced spans on OK
-//     ranks, no receive without a send).
+//     ranks, no receive without a send, causal sequence numbers).
+//  6. Causal DAG: the same streams stitch into a well-formed causal
+//     DAG — every message edge resolves, no cycles — and the derived
+//     critical path equals the synchronized makespan.
 func RunCase(c Case) Result {
 	start := time.Now()
 	res := Result{Case: c}
@@ -111,6 +119,25 @@ func (r *Result) checkClustering(c Case, store *seq.Store, ccfg cluster.Config, 
 	}
 	if _, err := check.Stream(tracer, okRank); err != nil {
 		r.failf("trace oracle: %v", err)
+	}
+	r.Trace = tracer
+
+	// Causal DAG oracle: the streams must assemble into an acyclic
+	// DAG whose critical path reproduces the synchronized makespan.
+	rep, err := analyze.FromTracer(tracer, analyze.Options{TopSpans: 1})
+	if err != nil {
+		r.failf("causal oracle: %v", err)
+		return
+	}
+	if rep.MakespanSec > 0 {
+		if diff := rep.CriticalPath.LengthSec - rep.MakespanSec; diff < -rep.MakespanSec*0.01 || diff > rep.MakespanSec*0.01 {
+			r.failf("causal oracle: critical path %.9fs differs from makespan %.9fs by more than 1%%",
+				rep.CriticalPath.LengthSec, rep.MakespanSec)
+		}
+	}
+	if rep.MakespanSec < rep.RawMakespanSec-1e-9 {
+		r.failf("causal oracle: synchronized makespan %.9fs below raw local makespan %.9fs",
+			rep.MakespanSec, rep.RawMakespanSec)
 	}
 }
 
