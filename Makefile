@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke ci
+.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke transport-conformance ci
 
 all: build
 
@@ -56,7 +56,8 @@ FUZZ_CORPORA := testdata/fuzz/FuzzReadFASTA \
 	internal/seq/testdata/fuzz/FuzzReadFASTA \
 	internal/seq/testdata/fuzz/FuzzReadQual \
 	internal/wire/testdata/fuzz/FuzzReader \
-	internal/cluster/testdata/fuzz/FuzzDecodeReport
+	internal/cluster/testdata/fuzz/FuzzDecodeReport \
+	internal/par/nettrans/testdata/fuzz/FuzzDecodeFrame
 
 # Short fuzz passes over every parser the pipeline feeds untrusted
 # bytes to: FASTA and qual readers plus the wire-format decoders.
@@ -69,6 +70,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadQual -fuzztime=10s ./internal/seq
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzDecodeReport -fuzztime=10s ./internal/cluster
+	$(GO) test -run=NONE -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/par/nettrans
 
 # Instrumented quickstart: runs two quick experiments with tracing on
 # and validates that every emitted trace file parses as balanced
@@ -86,11 +88,22 @@ obs:
 # per-metric noise-calibrated thresholds and fails on regression.
 bench:
 	$(GO) run ./cmd/benchrun -workload cluster -out BENCH_cluster.json
+	$(GO) run ./cmd/benchrun -workload transport -ranks 4 -out BENCH_transport.json
 	$(GO) run ./cmd/benchrun -workload pipeline -out BENCH_pipeline.json
 
 bench-check:
 	$(GO) run ./cmd/benchrun -workload cluster -check BENCH_cluster.json
+	$(GO) run ./cmd/benchrun -workload transport -ranks 4 -check BENCH_transport.json
 	$(GO) run ./cmd/benchrun -workload pipeline -check BENCH_pipeline.json
+
+# Transport conformance: the sim partition and causal-trace oracles
+# against every transport backend under the race detector — in-process
+# goroutines, then TCP and Unix-socket ranks as real OS processes (the
+# test binary re-executes itself as the workers), plus one case that
+# SIGKILLs a worker process mid-phase and requires lease-based
+# recovery to the canonical partition.
+transport-conformance:
+	$(GO) test -race -v -run TestConformance ./internal/transconf
 
 # Causal-analysis smoke: replay one sim case with its raw events dump,
 # stitch the causal DAG and print the critical path; a malformed DAG
@@ -102,4 +115,4 @@ analyze-smoke:
 	$(GO) run ./cmd/tracecheck $(ANALYZE_TMP)/case3.crit.json
 	rm -rf $(ANALYZE_TMP)
 
-ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke bench-check
+ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke transport-conformance bench-check

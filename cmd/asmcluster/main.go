@@ -20,8 +20,10 @@ import (
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/launch"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/par"
 	"repro/internal/report"
 )
 
@@ -38,9 +40,59 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace, /analyze and /debug/pprof on this host:port while running")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace JSON of the run to this file (load in ui.perfetto.dev)")
 	eventsOut := flag.String("events-out", "", "write the raw events dump to this file (input for traceanalyze)")
+	transport := flag.String("transport", "inproc", "run parallel ranks as: inproc goroutines, or tcp / unix OS processes")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
+		os.Exit(2)
+	}
+
+	// Multi-process transport: the job root becomes rank 0 and forks
+	// the workers; a re-executed child finds its rank in the
+	// environment, clusters, and exits without writing output.
+	rank := 0
+	var fleet *launch.Fleet
+	var trans par.Transport
+	switch *transport {
+	case "inproc":
+	case "tcp", "unix":
+		if *ranks < 2 {
+			fmt.Fprintln(os.Stderr, "asmcluster: -transport", *transport, "requires -ranks ≥ 2")
+			os.Exit(2)
+		}
+		if *faults != "" {
+			fmt.Fprintln(os.Stderr, "asmcluster: -faults is for the simulated in-process machine; use real process kills instead")
+			os.Exit(2)
+		}
+		child, isChild, err := launch.FromEnv()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster:", err)
+			os.Exit(1)
+		}
+		registry, epoch := "", uint64(0)
+		if isChild {
+			rank, registry, epoch = child.Rank, child.Registry, child.Epoch
+			*obsAddr = "" // one observability server per job, owned by rank 0
+		} else {
+			if registry, err = os.MkdirTemp("", "asmcluster-registry-"); err != nil {
+				fmt.Fprintln(os.Stderr, "asmcluster:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(registry)
+			epoch = launch.Epoch()
+			if fleet, err = launch.Spawn(*ranks, *transport, registry, epoch); err != nil {
+				fmt.Fprintln(os.Stderr, "asmcluster:", err)
+				os.Exit(1)
+			}
+			defer fleet.Wait()
+		}
+		if trans, err = launch.NewTransport(rank, *ranks, *transport, registry, epoch, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster:", err)
+			os.Exit(1)
+		}
+		defer trans.Close()
+	default:
+		fmt.Fprintln(os.Stderr, "asmcluster: unknown -transport", *transport, "(inproc, tcp, unix)")
 		os.Exit(2)
 	}
 
@@ -94,7 +146,12 @@ func main() {
 			pcfg.LeaseTimeout = *lease
 		}
 		var perr error
-		res, _, perr = cluster.Parallel(store, cfg, pcfg)
+		if trans != nil {
+			pcfg.FT = true // real processes genuinely die
+			res, _, _, perr = cluster.ParallelRank(store, cfg, pcfg, rank, trans)
+		} else {
+			res, _, perr = cluster.Parallel(store, cfg, pcfg)
+		}
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, "asmcluster:", perr)
 			os.Exit(1)
@@ -104,6 +161,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, "asmcluster: -faults ignored with -ranks 1 (serial run)")
 		}
 		res = cluster.Serial(store, cfg)
+	}
+
+	if trans != nil && *eventsOut != "" {
+		// One dump per OS process; merge with tracecheck -events.
+		*eventsOut = fmt.Sprintf("%s.rank%d", *eventsOut, rank)
+	}
+	if rank != 0 {
+		// Worker-rank process: the master owns every output file
+		// except this rank's own events dump.
+		if *eventsOut != "" {
+			ef, err := os.Create(*eventsOut)
+			if err == nil {
+				if err = tr.WriteEvents(ef); err == nil {
+					err = ef.Close()
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asmcluster:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	sum := res.Summarize()

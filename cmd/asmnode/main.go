@@ -1,0 +1,234 @@
+// Command asmnode runs one rank of the parallel clustering engine as
+// its own OS process, with ranks wired together over fault-tolerant
+// TCP or Unix-domain sockets instead of in-process channels.
+//
+// Spawn mode forks the whole machine from one invocation — this
+// process becomes rank 0 (the master) and re-executes itself once per
+// worker rank:
+//
+//	asmnode -in reads.fa -size 4 -transport tcp -spawn -out clusters.tsv
+//
+// Manual mode launches each rank by hand (possibly on different
+// machines for tcp), rendezvousing through a shared registry
+// directory or a static -peers list:
+//
+//	asmnode -in reads.fa -size 4 -rank 2 -registry /shared/reg
+//	asmnode -in reads.fa -size 4 -rank 1 -peers ,host1:9001,host2:9002,host3:9003 -listen :9001
+//
+// Every rank loads the same input and parameters (deterministic, so
+// nothing is shipped over the wire); rank 0 alone writes the cluster
+// assignment. Transport runs always use the fault-tolerant lease
+// protocol: a SIGKILLed worker is detected by heartbeat timeout and
+// its work is re-executed, and -kill-rank/-kill-after inject exactly
+// that failure for conformance testing.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/launch"
+	"repro/internal/obs"
+	"repro/internal/par/nettrans"
+	"repro/internal/report"
+)
+
+func fatal(a ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"asmnode:"}, a...)...)
+	os.Exit(1)
+}
+
+func main() {
+	in := flag.String("in", "", "input FASTA file (required)")
+	out := flag.String("out", "clusters.tsv", "output cluster assignment TSV (rank 0 only)")
+	size := flag.Int("size", 2, "total ranks in the machine")
+	rank := flag.Int("rank", 0, "this process's rank (manual mode)")
+	network := flag.String("transport", "tcp", "socket transport: tcp or unix")
+	spawn := flag.Bool("spawn", false, "fork all worker ranks from this process (which becomes rank 0)")
+	registry := flag.String("registry", "", "shared rendezvous directory (spawn mode creates one)")
+	peers := flag.String("peers", "", "comma-separated peer addresses, index = rank (alternative to -registry)")
+	listen := flag.String("listen", "", "listen address for this rank (default: ephemeral)")
+	epoch := flag.Uint64("epoch", 1, "job epoch guarding against stale incarnations")
+	liveness := flag.Duration("liveness", 0, "declare a silent peer dead after this long (0 = transport default)")
+	lease := flag.Duration("lease", 250*time.Millisecond, "master lease timeout for re-executing lost work")
+	psi := flag.Int("psi", 20, "minimum maximal-match length ψ")
+	w := flag.Int("w", 10, "GST bucket prefix length (≤ ψ)")
+	minOverlap := flag.Int("minoverlap", 40, "minimum overlap length")
+	minIdentity := flag.Float64("minidentity", 0.90, "minimum overlap identity")
+	killRank := flag.Int("kill-rank", 0, "spawn mode: SIGKILL this worker rank mid-run (0 disables)")
+	killAfter := flag.Duration("kill-after", 200*time.Millisecond, "spawn mode: delay before -kill-rank fires")
+	eventsOut := flag.String("events-out", "", "write this rank's events dump to FILE.rank<r> (merge with tracecheck -events)")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// A child re-executed by -spawn finds its identity in the
+	// environment and ignores the rank/rendezvous flags it inherited.
+	child, isChild, err := launch.FromEnv()
+	if isChild {
+		*rank = child.Rank
+		*size = child.Size
+		*network = child.Network
+		*registry = child.Registry
+		*epoch = child.Epoch
+		*spawn = false
+	} else if err != nil {
+		fatal(err)
+	}
+
+	var fleet *launch.Fleet
+	if *spawn {
+		*rank = 0
+		if *registry == "" {
+			dir, err := os.MkdirTemp("", "asmnode-registry-")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			*registry = dir
+		}
+		*epoch = launch.Epoch()
+		if fleet, err = launch.Spawn(*size, *network, *registry, *epoch); err != nil {
+			fatal(err)
+		}
+		defer fleet.Wait()
+		if *killRank > 0 {
+			if *killRank >= *size {
+				fatal(fmt.Sprintf("-kill-rank %d out of range for size %d", *killRank, *size))
+			}
+			f, r := fleet, *killRank
+			time.AfterFunc(*killAfter, func() {
+				fmt.Fprintf(os.Stderr, "asmnode: injecting SIGKILL into rank %d\n", r)
+				_ = f.Kill(r)
+			})
+		}
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	frags, err := repro.ReadFASTA(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	store := repro.NewStore(frags)
+
+	cfg := cluster.DefaultConfig()
+	cfg.Psi = *psi
+	cfg.W = *w
+	cfg.Criteria.MinOverlap = *minOverlap
+	cfg.Criteria.MinIdentity = *minIdentity
+
+	pcfg := cluster.DefaultParallelConfig(*size)
+	pcfg.FT = true // real processes genuinely die
+	pcfg.LeaseTimeout = *lease
+	tr := obs.NewTracer(*size, obs.DefaultRingCap)
+	pcfg.Trace = tr
+
+	t, err := buildTransport(*rank, *size, *network, *registry, *peers, *listen, *epoch, *liveness)
+	if err != nil {
+		fatal(err)
+	}
+	res, _, exit, err := cluster.ParallelRank(store, cfg, pcfg, *rank, t)
+	if cerr := t.Close(); cerr != nil && err == nil {
+		fmt.Fprintln(os.Stderr, "asmnode: transport close:", cerr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *eventsOut != "" {
+		path := fmt.Sprintf("%s.rank%d", *eventsOut, *rank)
+		ef, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteEvents(ef); err == nil {
+			err = ef.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "asmnode: rank %d wrote %s\n", *rank, path)
+	}
+
+	if *rank != 0 {
+		if !exit.OK {
+			fatal(fmt.Sprintf("rank %d died: %s", *rank, exit.Reason))
+		}
+		return
+	}
+
+	sum := res.Summarize()
+	tb := report.NewTable("Clustering summary", "metric", "value")
+	tb.AddRow("ranks (OS processes)", report.Int(int64(*size)))
+	tb.AddRow("transport", *network)
+	tb.AddRow("fragments", report.Int(int64(store.N())))
+	tb.AddRow("multi-fragment clusters", report.Int(int64(sum.NumClusters)))
+	tb.AddRow("singletons", report.Int(int64(sum.NumSingletons)))
+	tb.AddRow("pairs generated", report.Int(res.Stats.Generated))
+	tb.AddRow("pairs aligned", report.Int(res.Stats.Aligned))
+	tb.AddRow("workers lost", report.Int(res.Stats.WorkersLost))
+	tb.AddRow("pairs requeued", report.Int(res.Stats.Requeued))
+	tb.Fprint(os.Stdout)
+
+	of, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	bw := bufio.NewWriter(of)
+	labels := make([]int, store.N())
+	for _, g := range res.UF.Groups() {
+		for _, fid := range g {
+			labels[fid] = g[0]
+		}
+	}
+	for i := 0; i < store.N(); i++ {
+		fmt.Fprintf(bw, "%s\t%d\n", store.Fragment(i).Name, labels[i])
+	}
+	if err := bw.Flush(); err == nil {
+		err = of.Close()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// buildTransport wires this rank's socket endpoint from either a
+// static peer list or the registry directory.
+func buildTransport(rank, size int, network, registry, peers, listen string, epoch uint64, liveness time.Duration) (*nettrans.Transport, error) {
+	var plist []string
+	if peers != "" {
+		plist = strings.Split(peers, ",")
+		if len(plist) != size {
+			return nil, fmt.Errorf("-peers names %d ranks, -size is %d", len(plist), size)
+		}
+	}
+	if plist == nil && registry == "" {
+		return nil, fmt.Errorf("need -registry or a full -peers list (or -spawn)")
+	}
+	cfg := nettrans.Config{
+		Rank:        rank,
+		Size:        size,
+		Network:     network,
+		Listen:      listen,
+		Peers:       plist,
+		RegistryDir: registry,
+		Epoch:       epoch,
+	}
+	if liveness > 0 {
+		cfg.Liveness = liveness
+	}
+	return nettrans.New(cfg)
+}

@@ -30,8 +30,10 @@ import (
 	"repro"
 	"repro/internal/assembly"
 	"repro/internal/cluster"
+	"repro/internal/launch"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/preprocess"
 	"repro/internal/seq"
@@ -58,6 +60,7 @@ func main() {
 	deadline := flag.Duration("assembly-deadline", 0, "per-attempt assembly wall budget (0 = none)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace, /analyze and /debug/pprof on this host:port while running")
 	eventsOut := flag.String("events-out", "", "write the raw events dump to this file (input for traceanalyze)")
+	transport := flag.String("transport", "inproc", "run parallel clustering ranks as: inproc goroutines, or tcp / unix OS processes")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -65,6 +68,50 @@ func main() {
 	}
 	if *resume && *workdir == "" {
 		fail(fmt.Errorf("-resume requires -workdir"))
+	}
+
+	// Multi-process transport: this process is either the job root
+	// (becomes rank 0 and forks the workers) or a re-executed child
+	// that finds its rank in the environment. Every rank re-reads and
+	// re-preprocesses the same input deterministically; only rank 0
+	// assembles and writes output.
+	rank := 0
+	var fleet *launch.Fleet
+	var trans par.Transport
+	switch *transport {
+	case "inproc":
+	case "tcp", "unix":
+		if *ranks < 2 {
+			fail(fmt.Errorf("-transport %s requires -ranks ≥ 2", *transport))
+		}
+		if *faults != "" {
+			fail(fmt.Errorf("-faults is for the simulated in-process machine; use real process kills with -transport %s", *transport))
+		}
+		child, isChild, err := launch.FromEnv()
+		if err != nil {
+			fail(err)
+		}
+		registry, epoch := "", uint64(0)
+		if isChild {
+			rank, registry, epoch = child.Rank, child.Registry, child.Epoch
+			*obsAddr = "" // one observability server per job, owned by rank 0
+		} else {
+			if registry, err = os.MkdirTemp("", "asmpipeline-registry-"); err != nil {
+				fail(err)
+			}
+			defer os.RemoveAll(registry)
+			epoch = launch.Epoch()
+			if fleet, err = launch.Spawn(*ranks, *transport, registry, epoch); err != nil {
+				fail(err)
+			}
+			defer fleet.Wait()
+		}
+		if trans, err = launch.NewTransport(rank, *ranks, *transport, registry, epoch, 0); err != nil {
+			fail(err)
+		}
+		defer trans.Close()
+	default:
+		fail(fmt.Errorf("unknown -transport %q (inproc, tcp, unix)", *transport))
 	}
 
 	var tr *obs.Tracer
@@ -127,6 +174,11 @@ func main() {
 			}
 			cfg.Parallel.Faults = plan
 		}
+		if trans != nil {
+			cfg.Parallel.FT = true // real processes genuinely die
+			cfg.Transport = trans
+			cfg.TransportRank = rank
+		}
 	} else if *faults != "" {
 		fail(fmt.Errorf("-faults requires -ranks ≥ 2"))
 	}
@@ -147,6 +199,13 @@ func main() {
 	})
 	if err != nil {
 		fail(err)
+	}
+
+	if rank != 0 {
+		// Worker-rank process: clustering is done, the master owns
+		// all remaining phases and every output file.
+		writeEvents(tr, *eventsOut, rank, *transport)
+		return
 	}
 
 	summaryTable(len(frags), res, os.Stdout)
@@ -170,17 +229,28 @@ func main() {
 	}
 	fmt.Printf("wrote %d contigs to %s\n", len(contigFrags), *out)
 
-	if *eventsOut != "" {
-		ef, err := os.Create(*eventsOut)
-		if err != nil {
-			fail(err)
-		}
-		if err := tr.WriteEvents(ef); err == nil {
-			err = ef.Close()
-		}
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("wrote %s\n", *eventsOut)
+	writeEvents(tr, *eventsOut, 0, *transport)
+}
+
+// writeEvents dumps this process's tracer. Transport runs suffix the
+// path with the rank, one dump per OS process, so cross-rank analysis
+// can merge them afterwards (tracecheck -events a.rank0 a.rank1 ...).
+func writeEvents(tr *obs.Tracer, path string, rank int, transport string) {
+	if path == "" || tr == nil {
+		return
 	}
+	if transport != "inproc" {
+		path = fmt.Sprintf("%s.rank%d", path, rank)
+	}
+	ef, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := tr.WriteEvents(ef); err == nil {
+		err = ef.Close()
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "cluster", "benchmark workload: cluster or pipeline")
+	workload := flag.String("workload", "cluster", "benchmark workload: cluster, transport or pipeline")
 	ranks := flag.Int("ranks", 8, "simulated machine size")
 	iters := flag.Int("iters", 3, "timed iterations (fastest wins)")
 	out := flag.String("out", "", "write the measurement as a baseline file")

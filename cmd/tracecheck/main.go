@@ -1,31 +1,49 @@
-// Command tracecheck validates Chrome trace_event JSON files written
-// by -trace-out: each file must parse, contain events, carry the
+// Command tracecheck validates trace output.
+//
+// Default mode validates Chrome trace_event JSON files written by
+// -trace-out: each file must parse, contain events, carry the
 // required keys, and keep begin/end events balanced per track. It is
 // the Makefile's cheap stand-in for loading the file in Perfetto.
-// The validation logic lives in internal/obs/check so the simulation
-// harness and unit tests reuse it; this CLI only formats results.
-//
-// Usage:
 //
 //	tracecheck traces/fig5.trace.json traces/faults.trace.json
 //
+// With -events the arguments are raw events dumps (-events-out files)
+// instead: all dumps are merged into one machine-wide trace — a
+// multi-process transport run writes one dump per rank — and the
+// causal invariants run across the merged streams (monotone modeled
+// clocks, balanced spans, gap-free send sequences, exactly-once
+// receive matching). A rank no dump covers, e.g. a SIGKILLed process,
+// is treated as truncated and exempted, like a wrapped ring.
+//
+//	tracecheck -events ev.json.rank0 ev.json.rank1 ev.json.rank2
+//
+// The validation logic lives in internal/obs/check so the simulation
+// harness and unit tests reuse it; this CLI only formats results.
 // Exits non-zero if any file fails validation.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/obs/check"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>...")
+	events := flag.Bool("events", false, "arguments are raw events dumps: merge per-process files and run causal invariants across ranks")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>... | tracecheck -events <events.json>...")
 		os.Exit(2)
 	}
+	if *events {
+		checkEvents(flag.Args())
+		return
+	}
 	failed := false
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		sum, err := check.File(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
@@ -37,4 +55,28 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func checkEvents(paths []string) {
+	dumps := make([]*obs.Dump, 0, len(paths))
+	for _, path := range paths {
+		d, err := obs.ReadDumpFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		dumps = append(dumps, d)
+	}
+	merged, err := obs.MergeDumps(dumps...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	sum, err := check.Dump(merged, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: merged %d dump(s): %v\n", len(dumps), err)
+		os.Exit(1)
+	}
+	fmt.Printf("merged %d dump(s): ok — %d ranks, %d events, %d channels, %d recvs (%d seq-matched), %d rank(s) truncated\n",
+		len(dumps), sum.Ranks, sum.Events, sum.Channels, sum.RecvEvents, sum.SeqMatched, sum.Skipped)
 }

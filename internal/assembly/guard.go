@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/obs"
 	"repro/internal/seq"
 )
@@ -107,18 +108,15 @@ func AssembleClusterGuarded(store *seq.Store, id int, members []int, cfg Config,
 	if retries < 0 {
 		retries = 0
 	}
-	backoff := g.Backoff
-	if backoff <= 0 {
-		backoff = 10 * time.Millisecond
+	base := g.Backoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
 	}
+	bo := backoff.Policy{Base: base}
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
-			d := attempt - 1
-			if d > 6 {
-				d = 6
-			}
-			time.Sleep(backoff << d)
+			time.Sleep(bo.Delay(attempt-1, nil))
 			g.Trace.Emit(0, obs.EvRetry, 0, 0, int64(id), int64(attempt), 0)
 			g.Metrics.Counter("assembly_retries").Inc()
 		}

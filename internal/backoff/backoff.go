@@ -1,0 +1,97 @@
+// Package backoff is the one capped-exponential-backoff schedule the
+// reliability layers share. The reliable wire (retransmission charged
+// to the modeled clock), the assembly guard (real sleeps between
+// retry attempts) and the nettrans reconnect loop (real sleeps with
+// jitter between redials) all follow the same curve: attempt k waits
+// Base·2^min(k, MaxDoublings), optionally capped and jittered.
+// Centralizing it keeps the retry behaviour of every layer described
+// by one Policy instead of three hand-rolled shift loops.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// DefaultMaxDoublings caps the exponential at 64×Base, the historical
+// cap of both the wire retransmitter and the assembly guard.
+const DefaultMaxDoublings = 6
+
+// Policy is a capped exponential backoff schedule.
+type Policy struct {
+	// Base is the delay before the first retry (attempt 0).
+	Base time.Duration
+	// Cap, when positive, bounds every delay regardless of doubling.
+	Cap time.Duration
+	// MaxDoublings bounds the exponent; 0 means DefaultMaxDoublings.
+	// Negative means no doubling at all (constant Base delay).
+	MaxDoublings int
+	// Jitter, in [0, 1], randomizes each delay to
+	// d·(1−Jitter) … d·(1+Jitter) when an RNG is supplied. Zero (or a
+	// nil RNG) keeps the schedule fully deterministic — required on
+	// the modeled clock, where bit-identical stats are a contract.
+	Jitter float64
+}
+
+// Delay returns the wait before retry attempt k (0-based: attempt 0
+// is the pause before the first retry). rng may be nil, disabling
+// jitter.
+func (p Policy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	d := p.doublings(attempt)
+	delay := p.Base << d
+	if delay < p.Base { // shift overflow
+		delay = p.Cap
+	}
+	if p.Cap > 0 && delay > p.Cap {
+		delay = p.Cap
+	}
+	if p.Jitter > 0 && rng != nil && delay > 0 {
+		f := 1 + p.Jitter*(2*rng.Float64()-1)
+		delay = time.Duration(float64(delay) * f)
+		if p.Cap > 0 && delay > p.Cap {
+			delay = p.Cap
+		}
+	}
+	return delay
+}
+
+// Seconds returns Delay for attempt k as float seconds with no
+// jitter — the modeled-clock form the reliable wire charges.
+func (p Policy) Seconds(attempt int) float64 {
+	return p.Delay(attempt, nil).Seconds()
+}
+
+// doublings returns the bounded exponent for attempt k.
+func (p Policy) doublings(attempt int) int {
+	if p.MaxDoublings < 0 {
+		return 0
+	}
+	max := p.MaxDoublings
+	if max == 0 {
+		max = DefaultMaxDoublings
+	}
+	if attempt < 0 {
+		return 0
+	}
+	if attempt > max {
+		return max
+	}
+	return attempt
+}
+
+// Sleep waits Delay(attempt, rng), returning early (reporting false)
+// if stop closes first. A nil stop channel never interrupts.
+func (p Policy) Sleep(attempt int, rng *rand.Rand, stop <-chan struct{}) bool {
+	d := p.Delay(attempt, rng)
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

@@ -1,0 +1,91 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayDoublesAndCapsDoublings(t *testing.T) {
+	p := Policy{Base: time.Millisecond}
+	want := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond,
+		64 * time.Millisecond, 64 * time.Millisecond, 64 * time.Millisecond,
+	}
+	for k, w := range want {
+		if got := p.Delay(k, nil); got != w {
+			t.Errorf("attempt %d: got %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestDelayCap(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 25 * time.Millisecond}
+	if got := p.Delay(0, nil); got != 10*time.Millisecond {
+		t.Errorf("attempt 0: got %v", got)
+	}
+	if got := p.Delay(1, nil); got != 20*time.Millisecond {
+		t.Errorf("attempt 1: got %v", got)
+	}
+	for k := 2; k < 10; k++ {
+		if got := p.Delay(k, nil); got != 25*time.Millisecond {
+			t.Errorf("attempt %d: got %v, want cap", k, got)
+		}
+	}
+}
+
+func TestNegativeMaxDoublingsIsConstant(t *testing.T) {
+	p := Policy{Base: 3 * time.Millisecond, MaxDoublings: -1}
+	for k := 0; k < 5; k++ {
+		if got := p.Delay(k, nil); got != 3*time.Millisecond {
+			t.Errorf("attempt %d: got %v, want constant base", k, got)
+		}
+	}
+}
+
+func TestSecondsMatchesWireSchedule(t *testing.T) {
+	// The reliable wire's historical schedule: α·2^min(k,6).
+	alpha := 3 * time.Microsecond
+	p := Policy{Base: alpha}
+	for k := 0; k < 9; k++ {
+		d := k
+		if d > 6 {
+			d = 6
+		}
+		want := alpha.Seconds() * float64(int(1)<<d)
+		if got := p.Seconds(k); got != want {
+			t.Errorf("attempt %d: got %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestJitterBoundsAndDeterminismWithoutRNG(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Jitter: 0.5}
+	if got := p.Delay(0, nil); got != 100*time.Millisecond {
+		t.Errorf("nil rng must disable jitter, got %v", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		got := p.Delay(0, rng)
+		if got < 50*time.Millisecond || got > 150*time.Millisecond {
+			t.Fatalf("jittered delay %v outside ±50%% band", got)
+		}
+	}
+}
+
+func TestSleepStops(t *testing.T) {
+	p := Policy{Base: time.Hour}
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	if p.Sleep(0, nil, stop) {
+		t.Fatal("Sleep reported completion despite stop")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on stop")
+	}
+	if !(Policy{}).Sleep(0, nil, nil) {
+		t.Fatal("zero-delay Sleep must report completion")
+	}
+}

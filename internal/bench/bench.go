@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
 	"repro/internal/par"
+	"repro/internal/par/nettrans"
 	"repro/internal/pipeline"
 	"repro/internal/seq"
 	"repro/internal/simulate"
@@ -116,6 +117,55 @@ func Run(workload string, cfg Config) (*Metrics, error) {
 			_, _, err := cluster.Parallel(store, ccfg, pcfg)
 			return err
 		}
+	case "transport":
+		// The socket backend over loopback TCP: every rank runs its
+		// own nettrans endpoint and the full clustering protocol flows
+		// through real connections (framing, acks, heartbeats). Ranks
+		// share this process so one tracer covers the whole machine —
+		// the same measurement the other workloads take, now priced
+		// with the transport in the path.
+		store := seq.NewStore(frags)
+		ccfg := cluster.DefaultConfig()
+		epoch := uint64(0)
+		body = func(tr *obs.Tracer) error {
+			registry, err := os.MkdirTemp("", "bench-transport-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(registry)
+			epoch++
+			errs := make(chan error, cfg.Ranks)
+			for r := 0; r < cfg.Ranks; r++ {
+				go func(r int) {
+					t, err := nettrans.New(nettrans.Config{
+						Rank: r, Size: cfg.Ranks, Network: "tcp",
+						RegistryDir: registry, Epoch: epoch,
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					machine := par.DefaultConfig(cfg.Ranks)
+					machine.CompScale = cfg.Slowdown
+					machine.Trace = tr
+					pcfg := cluster.DefaultParallelConfig(cfg.Ranks)
+					pcfg.Machine = machine
+					pcfg.FT = true
+					_, _, _, err = cluster.ParallelRank(store, ccfg, pcfg, r, t)
+					if cerr := t.Close(); err == nil {
+						err = cerr
+					}
+					errs <- err
+				}(r)
+			}
+			var first error
+			for i := 0; i < cfg.Ranks; i++ {
+				if err := <-errs; err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		}
 	case "pipeline":
 		body = func(tr *obs.Tracer) error {
 			coreCfg := core.DefaultConfig()
@@ -129,7 +179,7 @@ func Run(workload string, cfg Config) (*Metrics, error) {
 			return err
 		}
 	default:
-		return nil, fmt.Errorf("bench: unknown workload %q (want cluster or pipeline)", workload)
+		return nil, fmt.Errorf("bench: unknown workload %q (want cluster, transport or pipeline)", workload)
 	}
 
 	m := &Metrics{Workload: workload, Ranks: cfg.Ranks, Iters: cfg.Iters}

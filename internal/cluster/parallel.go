@@ -48,6 +48,12 @@ type ParallelConfig struct {
 	// message pattern and modeled statistics are identical to the
 	// fault-unaware implementation.
 	Faults *par.FaultPlan
+	// FT forces the fault-tolerant (lease-based) protocol even with no
+	// injected fault plan. Multi-process transport runs set it: real
+	// processes genuinely die (OOM kill, SIGKILL, node loss), so the
+	// protocol must survive rank death even though nothing is being
+	// injected. Setting Faults implies FT.
+	FT bool
 	// LeaseTimeout is how long the master waits for a report from a
 	// worker with outstanding work before declaring it dead (fault
 	// mode only). Workers give up on a silent master after 4× this.
@@ -116,6 +122,9 @@ func (c ParallelConfig) withDefaults() ParallelConfig {
 	}
 	if c.Faults != nil {
 		c.Machine.Faults = c.Faults
+		c.FT = true
+	}
+	if c.FT {
 		// The lease protocol requires workers' sends to be
 		// non-blocking: a worker the master has already given up on
 		// (fired on lease expiry while merely slow) may Ssend one last
@@ -208,59 +217,30 @@ func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, Phase
 	}
 
 	result := &Result{N: store.N()}
-	gstSnaps := make([]par.Stats, pcfg.Ranks)
-	masterWork := 0.0
-	var masterErr error
+	outs := make([]rankOut, pcfg.Ranks)
 	mx := newClusterMetrics(pcfg.Metrics)
 	start := time.Now()
 
 	stats, exits := par.RunStatus(pcfg.Machine, func(c *par.Comm) {
-		// Phase 1: distributed GST over workers (rank 0 owns no buckets).
-		// Under a fault plan the build itself is survivable: a rank that
-		// dies mid-construction has its exchanges re-enumerated and its
-		// bucket range rebuilt by survivors (see pgst.Config.FT).
-		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseGST, 0, 0)
-		local := pgst.Build(c, store, pgst.Config{
-			W:          cfg.W,
-			MinLen:     cfg.Psi,
-			FirstOwner: 1,
-			BatchBytes: pcfg.BatchBytes,
-			Staged:     pcfg.Staged,
-			Seed:       12345,
-			FT:         pcfg.Faults != nil,
-		})
-		if pcfg.Faults != nil {
-			c.FTBarrier(10 * time.Millisecond)
-		} else {
-			c.Barrier()
-		}
-		c.TraceEvent(obs.EvPhaseExit, obs.PhaseGST, 0, 0)
-		gstSnaps[c.Rank()] = c.Snapshot()
-
-		// Phase 2: master–worker clustering.
-		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseCluster, 0, 0)
-		if c.Rank() == 0 {
-			c.TraceEvent(obs.EvPhaseEnter, obs.PhaseMaster, 0, 0)
-			uf, st, busy, err := runMaster(c, store, cfg, pcfg, resume, mx)
-			c.TraceEvent(obs.EvPhaseExit, obs.PhaseMaster, 0, 0)
-			result.UF = uf
-			result.Stats = st
-			masterWork = busy
-			masterErr = err
-		} else {
-			runWorker(c, store, local, cfg, pcfg, mx)
-		}
-		c.TraceEvent(obs.EvPhaseExit, obs.PhaseCluster, 0, 0)
+		clusterRankBody(c, store, cfg, pcfg, resume, mx, &outs[c.Rank()])
 	})
 	mx.publishRankStats(stats)
+
+	gstSnaps := make([]par.Stats, pcfg.Ranks)
+	for i := range outs {
+		gstSnaps[i] = outs[i].gstSnap
+	}
+	result.UF = outs[0].uf
+	result.Stats = outs[0].stats
+	masterWork := outs[0].masterWork
 
 	if !exits[0].OK {
 		return nil, PhaseStats{Exits: exits}, fmt.Errorf("cluster: master rank died: %s", exits[0].Reason)
 	}
-	if masterErr != nil {
-		return nil, PhaseStats{Exits: exits}, masterErr
+	if outs[0].masterErr != nil {
+		return nil, PhaseStats{Exits: exits}, outs[0].masterErr
 	}
-	if pcfg.Faults == nil {
+	if !pcfg.FT {
 		for r, e := range exits {
 			if !e.OK {
 				return nil, PhaseStats{Exits: exits}, fmt.Errorf("cluster: rank %d died without a fault plan: %s", r, e.Reason)
@@ -292,6 +272,116 @@ func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, Phase
 	result.Stats.GSTSeconds = ph.GST.MaxModeled
 	result.Stats.ClusterSeconds = ph.Cluster.MaxModeled
 	return result, ph, nil
+}
+
+// rankOut collects what one rank's body produces: the GST-phase
+// snapshot on every rank, and the clustering result on the master.
+type rankOut struct {
+	gstSnap    par.Stats
+	uf         *unionfind.UF
+	stats      Stats
+	masterWork float64
+	masterErr  error
+}
+
+// clusterRankBody is the SPMD body one rank executes — the same code
+// whether the rank is a goroutine of an in-process machine (Parallel)
+// or an OS process speaking to its peers through a transport
+// (ParallelRank).
+func clusterRankBody(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, resume *Checkpoint, mx clusterMetrics, out *rankOut) {
+	// Phase 1: distributed GST over workers (rank 0 owns no buckets).
+	// In FT mode the build itself is survivable: a rank that dies
+	// mid-construction has its exchanges re-enumerated and its bucket
+	// range rebuilt by survivors (see pgst.Config.FT).
+	c.TraceEvent(obs.EvPhaseEnter, obs.PhaseGST, 0, 0)
+	local := pgst.Build(c, store, pgst.Config{
+		W:          cfg.W,
+		MinLen:     cfg.Psi,
+		FirstOwner: 1,
+		BatchBytes: pcfg.BatchBytes,
+		Staged:     pcfg.Staged,
+		Seed:       12345,
+		FT:         pcfg.FT,
+	})
+	if pcfg.FT {
+		c.FTBarrier(10 * time.Millisecond)
+	} else {
+		c.Barrier()
+	}
+	c.TraceEvent(obs.EvPhaseExit, obs.PhaseGST, 0, 0)
+	out.gstSnap = c.Snapshot()
+
+	// Phase 2: master–worker clustering.
+	c.TraceEvent(obs.EvPhaseEnter, obs.PhaseCluster, 0, 0)
+	if c.Rank() == 0 {
+		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseMaster, 0, 0)
+		uf, st, busy, err := runMaster(c, store, cfg, pcfg, resume, mx)
+		c.TraceEvent(obs.EvPhaseExit, obs.PhaseMaster, 0, 0)
+		out.uf = uf
+		out.stats = st
+		out.masterWork = busy
+		out.masterErr = err
+	} else {
+		runWorker(c, store, local, cfg, pcfg, mx)
+	}
+	c.TraceEvent(obs.EvPhaseExit, obs.PhaseCluster, 0, 0)
+}
+
+// ParallelRank runs exactly one rank of the parallel clustering as
+// this process's share of a multi-process machine, with peers reached
+// through t. Rank 0 (the master) returns the clustering Result; other
+// ranks return a nil Result. Transport runs normally set pcfg.FT so
+// the protocol survives real process death.
+//
+// Because each process sees only its own rank, the returned Stats and
+// phase seconds describe this rank alone rather than a machine-wide
+// aggregate; cross-rank analysis merges the per-process trace dumps
+// instead.
+func ParallelRank(store *seq.Store, cfg Config, pcfg ParallelConfig, rank int, t par.Transport) (*Result, par.Stats, par.Exit, error) {
+	cfg = cfg.withDefaults()
+	pcfg = pcfg.withDefaults()
+	if pcfg.Ranks < 2 {
+		return nil, par.Stats{}, par.Exit{}, fmt.Errorf("cluster: parallel run needs at least 2 ranks, got %d", pcfg.Ranks)
+	}
+	if rank < 0 || rank >= pcfg.Ranks {
+		return nil, par.Stats{}, par.Exit{}, fmt.Errorf("cluster: rank %d out of range for %d ranks", rank, pcfg.Ranks)
+	}
+	var resume *Checkpoint
+	if len(pcfg.ResumeFrom) > 0 {
+		cp, err := DecodeCheckpoint(pcfg.ResumeFrom)
+		if err != nil {
+			return nil, par.Stats{}, par.Exit{}, err
+		}
+		if cp.N != store.N() {
+			return nil, par.Stats{}, par.Exit{}, fmt.Errorf("cluster: checkpoint is for %d fragments, store has %d", cp.N, store.N())
+		}
+		resume = cp
+	}
+
+	mx := newClusterMetrics(pcfg.Metrics)
+	var out rankOut
+	start := time.Now()
+	st, exit := par.RunRank(pcfg.Machine, rank, t, func(c *par.Comm) {
+		clusterRankBody(c, store, cfg, pcfg, resume, mx, &out)
+	})
+	mx.publishRankStats([]par.Stats{st})
+	if rank != 0 {
+		if !exit.OK && !pcfg.FT {
+			return nil, st, exit, fmt.Errorf("cluster: rank %d died: %s", rank, exit.Reason)
+		}
+		return nil, st, exit, nil
+	}
+	if !exit.OK {
+		return nil, st, exit, fmt.Errorf("cluster: master rank died: %s", exit.Reason)
+	}
+	if out.masterErr != nil {
+		return nil, st, exit, out.masterErr
+	}
+	result := &Result{N: store.N(), UF: out.uf, Stats: out.stats}
+	result.Stats.WallSeconds = time.Since(start).Seconds()
+	result.Stats.GSTSeconds = out.gstSnap.Modeled()
+	result.Stats.ClusterSeconds = subtractStats(st, out.gstSnap).Modeled()
+	return result, st, exit, nil
 }
 
 func subtractStats(a, b par.Stats) par.Stats {
@@ -331,7 +421,7 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 		c.ChargeCompute(sec)
 	}
 
-	ft := pcfg.Faults != nil
+	ft := pcfg.FT
 	lease := pcfg.LeaseTimeout
 	pollSlice := lease / 4
 	if pollSlice > 50*time.Millisecond {
@@ -734,7 +824,7 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 // can adopt dead ranks' GST portions (rebuilding them locally) and
 // gives up on a silent master instead of blocking forever.
 func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcfg ParallelConfig, mx clusterMetrics) {
-	ft := pcfg.Faults != nil
+	ft := pcfg.FT
 	pgCfg := pairgen.Config{
 		Psi:                  cfg.Psi,
 		NumFragments:         store.N(),

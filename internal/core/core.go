@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/assembly"
 	"repro/internal/cluster"
+	"repro/internal/par"
 	"repro/internal/preprocess"
 	"repro/internal/seq"
 )
@@ -40,6 +41,16 @@ type Config struct {
 	// SkipAssembly stops after clustering (the paper reports
 	// clustering and assembly separately).
 	SkipAssembly bool
+
+	// Transport, when non-nil, runs the parallel clustering as one
+	// rank of a multi-process machine: this process executes only
+	// TransportRank, reaching its peers through the transport (each
+	// rank is its own OS process). Worker ranks (TransportRank ≠ 0)
+	// stop after clustering with a nil Clustering result — only the
+	// master carries the partition forward into assembly.
+	Transport par.Transport
+	// TransportRank is this process's rank when Transport is set.
+	TransportRank int
 }
 
 // DefaultConfig returns a serial pipeline with paper-like parameters.
@@ -120,9 +131,19 @@ func Run(frags []*seq.Fragment, cfg Config) (*Result, error) {
 
 	if cfg.Parallel.Ranks >= 2 {
 		var err error
-		res.Clustering, res.Phases, err = cluster.Parallel(res.Store, cfg.Cluster, cfg.Parallel)
-		if err != nil {
-			return nil, err
+		if cfg.Transport != nil {
+			res.Clustering, _, _, err = cluster.ParallelRank(res.Store, cfg.Cluster, cfg.Parallel, cfg.TransportRank, cfg.Transport)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.TransportRank != 0 {
+				return res, nil // worker process: clustering only
+			}
+		} else {
+			res.Clustering, res.Phases, err = cluster.Parallel(res.Store, cfg.Cluster, cfg.Parallel)
+			if err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		res.Clustering = cluster.Serial(res.Store, cfg.Cluster)

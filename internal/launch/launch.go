@@ -1,0 +1,160 @@
+// Package launch turns a single binary into a multi-process SPMD
+// job. The parent process (rank 0) re-executes itself once per worker
+// rank with the same argument list plus a handful of environment
+// variables; each child detects those variables at startup, builds a
+// socket transport from them, and runs only its own rank. Because
+// every process parses the same flags, deterministic input loading
+// and preprocessing reproduce the identical fragment set in each
+// rank without shipping it over the wire.
+package launch
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/par/nettrans"
+)
+
+const (
+	rankEnv     = "ASM_SPMD_RANK"
+	sizeEnv     = "ASM_SPMD_SIZE"
+	networkEnv  = "ASM_SPMD_NETWORK"
+	registryEnv = "ASM_SPMD_REGISTRY"
+	epochEnv    = "ASM_SPMD_EPOCH"
+)
+
+// Child describes this process's role in a spawned SPMD job.
+type Child struct {
+	Rank     int
+	Size     int
+	Network  string // "tcp" or "unix"
+	Registry string // rendezvous registry directory
+	Epoch    uint64
+}
+
+// FromEnv reports whether this process was re-executed as a worker
+// rank, and with what parameters.
+func FromEnv() (Child, bool, error) {
+	rs := os.Getenv(rankEnv)
+	if rs == "" {
+		return Child{}, false, nil
+	}
+	var c Child
+	var err error
+	if c.Rank, err = strconv.Atoi(rs); err != nil {
+		return Child{}, false, fmt.Errorf("launch: bad %s=%q", rankEnv, rs)
+	}
+	if c.Size, err = strconv.Atoi(os.Getenv(sizeEnv)); err != nil {
+		return Child{}, false, fmt.Errorf("launch: bad %s=%q", sizeEnv, os.Getenv(sizeEnv))
+	}
+	if c.Epoch, err = strconv.ParseUint(os.Getenv(epochEnv), 10, 64); err != nil {
+		return Child{}, false, fmt.Errorf("launch: bad %s=%q", epochEnv, os.Getenv(epochEnv))
+	}
+	c.Network = os.Getenv(networkEnv)
+	c.Registry = os.Getenv(registryEnv)
+	if c.Registry == "" {
+		return Child{}, false, fmt.Errorf("launch: %s set but %s empty", rankEnv, registryEnv)
+	}
+	if c.Rank < 1 || c.Rank >= c.Size {
+		return Child{}, false, fmt.Errorf("launch: child rank %d out of range for size %d", c.Rank, c.Size)
+	}
+	return c, true, nil
+}
+
+// Transport builds this rank's socket endpoint. Liveness ≤ 0 keeps
+// the nettrans default.
+func (c Child) Transport(liveness time.Duration) (par.Transport, error) {
+	return NewTransport(c.Rank, c.Size, c.Network, c.Registry, c.Epoch, liveness)
+}
+
+// NewTransport builds a nettrans endpoint for one rank of a job.
+func NewTransport(rank, size int, network, registry string, epoch uint64, liveness time.Duration) (par.Transport, error) {
+	cfg := nettrans.Config{
+		Rank:        rank,
+		Size:        size,
+		Network:     network,
+		RegistryDir: registry,
+		Epoch:       epoch,
+	}
+	if liveness > 0 {
+		cfg.Liveness = liveness
+	}
+	return nettrans.New(cfg)
+}
+
+// Fleet is the set of worker-rank processes spawned by rank 0.
+type Fleet struct {
+	procs map[int]*exec.Cmd
+}
+
+// Spawn re-executes the current binary as ranks 1..size-1 of a job
+// rooted at this process (which becomes rank 0). Children inherit
+// the parent's arguments verbatim; their stdout is redirected to the
+// parent's stderr so rank 0 alone owns the job's stdout.
+func Spawn(size int, network, registry string, epoch uint64) (*Fleet, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("launch: resolve executable: %w", err)
+	}
+	f := &Fleet{procs: make(map[int]*exec.Cmd)}
+	for r := 1; r < size; r++ {
+		cmd := exec.Command(exe, os.Args[1:]...)
+		cmd.Env = append(os.Environ(),
+			rankEnv+"="+strconv.Itoa(r),
+			sizeEnv+"="+strconv.Itoa(size),
+			networkEnv+"="+network,
+			registryEnv+"="+registry,
+			epochEnv+"="+strconv.FormatUint(epoch, 10),
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			f.KillAll()
+			return nil, fmt.Errorf("launch: spawn rank %d: %w", r, err)
+		}
+		f.procs[r] = cmd
+	}
+	return f, nil
+}
+
+// Kill delivers SIGKILL to one worker rank — the failure-injection
+// primitive for conformance tests (a killed process cannot flush,
+// drain, or say goodbye).
+func (f *Fleet) Kill(rank int) error {
+	cmd, ok := f.procs[rank]
+	if !ok {
+		return fmt.Errorf("launch: no spawned process for rank %d", rank)
+	}
+	return cmd.Process.Signal(syscall.SIGKILL)
+}
+
+// KillAll forcibly terminates every spawned rank (cleanup path).
+func (f *Fleet) KillAll() {
+	for _, cmd := range f.procs {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}
+}
+
+// Wait reaps every spawned rank and returns the per-rank exit error
+// (nil for a clean exit). It must be called exactly once.
+func (f *Fleet) Wait() map[int]error {
+	out := make(map[int]error, len(f.procs))
+	for r, cmd := range f.procs {
+		out[r] = cmd.Wait()
+	}
+	return out
+}
+
+// Epoch derives a job epoch from the wall clock. Epochs distinguish
+// concurrent or successive jobs sharing a registry directory; they
+// need only be unique per registry, not globally.
+func Epoch() uint64 {
+	return uint64(time.Now().UnixNano())
+}

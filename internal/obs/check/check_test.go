@@ -258,3 +258,72 @@ func TestJSONCausalInvariants(t *testing.T) {
 		t.Errorf("truncated thread's seq gap rejected: %v", err)
 	}
 }
+
+// perProcessDumps runs a 2-rank machine but exports each rank's
+// stream as its own dump, the shape a multi-process transport run
+// leaves on disk.
+func perProcessDumps(t *testing.T) []*obs.Dump {
+	t.Helper()
+	tr := obs.NewTracer(2, 0)
+	cfg := par.DefaultConfig(2)
+	cfg.Trace = tr
+	par.Run(cfg, func(c *par.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("hello"))
+		} else {
+			c.Recv(0, 1)
+		}
+	})
+	full := tr.Dump()
+	var dumps []*obs.Dump
+	for r, rd := range full.Ranks {
+		d := &obs.Dump{Version: obs.DumpVersion}
+		for q := range full.Ranks {
+			if q == r {
+				d.Ranks = append(d.Ranks, rd)
+			} else {
+				d.Ranks = append(d.Ranks, obs.RankDump{Rank: q})
+			}
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps
+}
+
+func TestDumpMergedPerProcess(t *testing.T) {
+	dumps := perProcessDumps(t)
+	merged, err := obs.MergeDumps(dumps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Dump(merged, nil)
+	if err != nil {
+		t.Fatalf("merged per-process dumps rejected: %v", err)
+	}
+	if sum.Ranks != 2 || sum.SeqMatched == 0 {
+		t.Fatalf("unexpected summary: %+v", sum)
+	}
+}
+
+func TestDumpMergeMissingRankIsTruncated(t *testing.T) {
+	dumps := perProcessDumps(t)
+	// Drop rank 1's dump: its process was SIGKILLed before writing.
+	merged, err := obs.MergeDumps(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Dump(merged, nil)
+	if err != nil {
+		t.Fatalf("merge with a missing rank rejected: %v", err)
+	}
+	if sum.Skipped != 1 {
+		t.Fatalf("missing rank not marked truncated: %+v", sum)
+	}
+}
+
+func TestMergeDumpsRejectsDuplicateRank(t *testing.T) {
+	dumps := perProcessDumps(t)
+	if _, err := obs.MergeDumps(dumps[0], dumps[0]); err == nil {
+		t.Fatal("two dumps claiming rank 0 accepted")
+	}
+}

@@ -47,14 +47,45 @@ type StreamSummary struct {
 // per-rank balance checks, and any overflow disables the cross-rank
 // channel invariants — a truncated stream proves nothing either way.
 func Stream(tr *obs.Tracer, okRank func(rank int) bool) (StreamSummary, error) {
-	var s StreamSummary
 	if tr == nil {
-		return s, fmt.Errorf("no tracer")
+		return StreamSummary{}, fmt.Errorf("no tracer")
 	}
-	s.Ranks = tr.Ranks()
+	return streamOver(tr.Ranks(), tr.Events, tr.Dropped, okRank, true)
+}
+
+// Dump runs the Stream invariants over a loaded events dump — the
+// merged per-process form a multi-process transport run leaves behind
+// (see obs.MergeDumps). Ranks marked Dropped (truncated rings, or a
+// killed process whose dump never made it to disk) are exempt from
+// per-rank balance checks and disable the cross-rank matching, same
+// as in the live-tracer form. Because each process stamps events with
+// its own clock origin, the cross-rank wall-clock ordering check is
+// skipped; the clock-free invariants (receives never exceed sends per
+// channel, exactly-once (src, seq) matching) still run.
+func Dump(d *obs.Dump, okRank func(rank int) bool) (StreamSummary, error) {
+	if d == nil || len(d.Ranks) == 0 {
+		return StreamSummary{}, fmt.Errorf("no ranks in dump")
+	}
+	byRank := map[int]obs.RankDump{}
+	n := 0
+	for _, rd := range d.Ranks {
+		byRank[rd.Rank] = rd
+		if rd.Rank >= n {
+			n = rd.Rank + 1
+		}
+	}
+	return streamOver(n,
+		func(r int) []obs.Event { return byRank[r].Events },
+		func(r int) uint64 { return byRank[r].Dropped },
+		okRank, false)
+}
+
+func streamOver(ranks int, events func(int) []obs.Event, droppedOf func(int) uint64, okRank func(rank int) bool, sharedClock bool) (StreamSummary, error) {
+	var s StreamSummary
+	s.Ranks = ranks
 	anyDropped := false
 	for r := 0; r < s.Ranks; r++ {
-		if tr.Dropped(r) > 0 {
+		if droppedOf(r) > 0 {
 			anyDropped = true
 		}
 	}
@@ -75,9 +106,9 @@ func Stream(tr *obs.Tracer, okRank func(rank int) bool) (StreamSummary, error) {
 	var recvs []recvRef
 
 	for r := 0; r < s.Ranks; r++ {
-		evs := tr.Events(r)
+		evs := events(r)
 		s.Events += len(evs)
-		dropped := tr.Dropped(r) > 0
+		dropped := droppedOf(r) > 0
 		if dropped {
 			s.Skipped++
 		}
@@ -174,6 +205,9 @@ func Stream(tr *obs.Tracer, okRank func(rank int) bool) (StreamSummary, error) {
 		if len(recvs) > len(sends) {
 			return s, fmt.Errorf("channel %d→%d tag %d: %d receives but only %d sends",
 				ch.src, ch.dst, ch.tag, len(recvs), len(sends))
+		}
+		if !sharedClock {
+			continue // wall clocks from different processes don't compare
 		}
 		sort.Slice(sends, func(i, j int) bool { return sends[i] < sends[j] })
 		sort.Slice(recvs, func(i, j int) bool { return recvs[i] < recvs[j] })

@@ -68,6 +68,50 @@ func ReadDump(r io.Reader) (*Dump, error) {
 	return &d, nil
 }
 
+// MergeDumps combines per-process event dumps into one machine-wide
+// dump. Multi-process transport runs write one dump per rank, each
+// populating only its own stream; the merge takes, for every rank,
+// the unique non-empty stream across the inputs. A rank with traffic
+// in two dumps is ambiguous (two processes claimed the same rank) and
+// an error. A rank no dump covers — typically a process that was
+// SIGKILLed before it could write its dump — is filled with an empty
+// stream marked Dropped, which exempts it (and the cross-rank
+// matching that would need its sends) from the strict causal checks,
+// exactly as a truncated ring does.
+func MergeDumps(dumps ...*Dump) (*Dump, error) {
+	if len(dumps) == 0 {
+		return nil, fmt.Errorf("obs: no dumps to merge")
+	}
+	byRank := map[int]RankDump{}
+	ranks := 0
+	for i, d := range dumps {
+		for _, rd := range d.Ranks {
+			if rd.Rank < 0 {
+				return nil, fmt.Errorf("obs: dump %d: negative rank %d", i, rd.Rank)
+			}
+			if rd.Rank >= ranks {
+				ranks = rd.Rank + 1
+			}
+			if len(rd.Events) == 0 && rd.Dropped == 0 {
+				continue // a remote rank's empty stream says nothing
+			}
+			if prev, ok := byRank[rd.Rank]; ok && (len(prev.Events) > 0 || prev.Dropped > 0) {
+				return nil, fmt.Errorf("obs: rank %d has events in more than one dump", rd.Rank)
+			}
+			byRank[rd.Rank] = rd
+		}
+	}
+	m := &Dump{Version: DumpVersion}
+	for r := 0; r < ranks; r++ {
+		rd, ok := byRank[r]
+		if !ok {
+			rd = RankDump{Rank: r, Dropped: 1} // no dump: treat as truncated
+		}
+		m.Ranks = append(m.Ranks, rd)
+	}
+	return m, nil
+}
+
 // ReadDumpFile reads and parses one raw events dump file.
 func ReadDumpFile(path string) (*Dump, error) {
 	f, err := os.Open(path)

@@ -1,13 +1,13 @@
 package par
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"math/rand"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // FaultPlan is a deterministic, seedable schedule of injected faults,
@@ -174,38 +174,8 @@ func (c *Comm) checkSend(tag int) {
 	}
 }
 
-// Frame layout of the reliable-link envelope: a 4-byte little-endian
-// payload length followed by a 4-byte little-endian CRC32C
-// (Castagnoli) of the payload, then the payload itself.
-const frameHeader = 8
-
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
-
-// encodeFrame wraps payload in a length + CRC32C envelope.
-func encodeFrame(payload []byte) []byte {
-	f := make([]byte, frameHeader+len(payload))
-	binary.LittleEndian.PutUint32(f[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(f[4:8], crc32.Checksum(payload, crcTable))
-	copy(f[frameHeader:], payload)
-	return f
-}
-
-// decodeFrame verifies the envelope and returns the payload. ok is
-// false when the frame is truncated or fails its checksum.
-func decodeFrame(f []byte) (payload []byte, ok bool) {
-	if len(f) < frameHeader {
-		return nil, false
-	}
-	n := int(binary.LittleEndian.Uint32(f[0:4]))
-	if n != len(f)-frameHeader {
-		return nil, false
-	}
-	payload = f[frameHeader:]
-	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(f[4:8]) {
-		return nil, false
-	}
-	return payload, true
-}
+// The reliable-link envelope (length + CRC32C) is the wire package's
+// frame format — the same bytes nettrans writes onto real sockets.
 
 // corruptFrame injures a frame in place (bit flip) or by truncation,
 // drawing from the rank's deterministic RNG.
@@ -217,12 +187,6 @@ func corruptFrame(f []byte, rng *rand.Rand) []byte {
 	f[rng.Intn(len(f))] ^= byte(1 << rng.Intn(8))
 	return f
 }
-
-// backoff schedule for retransmission: capped exponential starting at
-// one link latency. Charged to the modeled clock only — the in-process
-// link needs no real waiting, and sleeping here could deadlock eager
-// collectives that post every send before receiving.
-const maxBackoffDoublings = 6 // cap at 64 α
 
 // deliverReliable is the reliable-link send path used when the plan
 // sets Retransmit: the frame may be dropped or corrupted in flight,
@@ -238,20 +202,20 @@ func (c *Comm) deliverReliable(dst int, e envelope) {
 	if maxRetries <= 0 {
 		maxRetries = 64
 	}
-	alpha := c.m.cfg.Alpha.Seconds()
+	// Capped exponential backoff starting at one link latency, charged
+	// to the modeled clock only — the in-process link needs no real
+	// waiting, and sleeping here could deadlock eager collectives that
+	// post every send before receiving. No jitter: modeled stats must
+	// stay bit-identical run to run.
+	bo := backoff.Policy{Base: c.m.cfg.Alpha}
 	for attempt := 0; ; attempt++ {
-		frame := encodeFrame(e.data)
+		frame := wire.EncodeFrame(e.data)
 		// The first transmission's α + n/β was charged by Send; each
 		// retransmission charges the frame again.
 		if attempt > 0 {
 			c.st.Retransmits++
 			c.chargeComm(len(frame))
-			// Backoff before the retry, modeled-clock only.
-			d := attempt - 1
-			if d > maxBackoffDoublings {
-				d = maxBackoffDoublings
-			}
-			c.st.CommModel += alpha * float64(int(1)<<d)
+			c.st.CommModel += bo.Seconds(attempt - 1)
 			c.trace(obs.EvRetransmit, int64(dst), int64(e.tag), int64(attempt))
 		}
 		if p.DropProb > 0 && c.fs.rng.Float64() < p.DropProb {
@@ -261,22 +225,22 @@ func (c *Comm) deliverReliable(dst int, e envelope) {
 			frame = corruptFrame(frame, c.fs.rng)
 			c.st.FramesCorrupted++
 			c.trace(obs.EvCorruptFrame, int64(dst), int64(e.tag), int64(len(frame)))
-			if payload, ok := decodeFrame(frame); ok {
+			if payload, ok := wire.DecodeFrame(frame); ok {
 				// Corruption missed anything vital (e.g. flipped a bit
 				// that truncation removed) — extraordinarily unlikely
 				// to pass CRC32C with a real payload, but if the frame
 				// still verifies, it delivers.
 				e.data = payload
-				c.m.boxes[dst].put(e)
+				c.m.put(dst, e)
 				return
 			}
 		} else {
-			payload, ok := decodeFrame(frame)
+			payload, ok := wire.DecodeFrame(frame)
 			if !ok {
 				panic("par: clean frame failed verification")
 			}
 			e.data = payload
-			c.m.boxes[dst].put(e)
+			c.m.put(dst, e)
 			return
 		}
 		if attempt+1 >= maxRetries {
@@ -304,16 +268,16 @@ func (c *Comm) deliver(dst int, e envelope) bool {
 		}
 		if p.Delay > 0 && p.DelayProb > 0 && c.fs.rng.Float64() < p.DelayProb {
 			c.trace(obs.EvFault, obs.FaultDelay, int64(dst), int64(e.tag))
-			box := c.m.boxes[dst]
-			c.m.delayed.Add(1)
+			m := c.m
+			m.delayed.Add(1)
 			time.AfterFunc(p.Delay, func() {
-				box.put(e)
-				c.m.delayed.Add(-1)
-				c.m.wakeAll()
+				m.put(dst, e)
+				m.delayed.Add(-1)
+				m.wakeAll()
 			})
 			return false
 		}
 	}
-	c.m.boxes[dst].put(e)
+	c.m.put(dst, e)
 	return false
 }

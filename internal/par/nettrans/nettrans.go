@@ -1,0 +1,913 @@
+package nettrans
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/par"
+	"repro/internal/wire"
+)
+
+// Config describes one rank's endpoint of a multi-process machine.
+type Config struct {
+	// Rank and Size identify this process within the machine.
+	Rank, Size int
+	// Network is "tcp" (loopback or real) or "unix".
+	Network string
+	// Listen is the address to listen on. Empty picks an ephemeral
+	// endpoint: 127.0.0.1:0 for tcp, a socket under RegistryDir for
+	// unix. The bound address is available from Addr.
+	Listen string
+	// Peers, when non-empty, is the static address of every rank
+	// (index = rank; this rank's own entry is ignored). When a peer's
+	// entry is empty the transport falls back to the registry.
+	Peers []string
+	// RegistryDir enables file-based rendezvous: every rank publishes
+	// its bound address there and looks peers up by polling. Required
+	// when Peers does not name every rank.
+	RegistryDir string
+	// Epoch guards against stale incarnations: handshakes and registry
+	// entries from a different epoch are rejected. The launcher picks
+	// one epoch per run (and per recovery restart).
+	Epoch uint64
+	// Heartbeat is the idle-connection keepalive interval (default
+	// 250ms).
+	Heartbeat time.Duration
+	// Liveness is how long a peer may stay completely silent before it
+	// is declared dead (default 5s). This — or an explicit crash
+	// goodbye — is the only way a peer dies; connection loss alone
+	// triggers reconnection, not failure.
+	Liveness time.Duration
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RendezvousTimeout bounds the wait for a peer's address to appear
+	// in the registry (default 30s).
+	RendezvousTimeout time.Duration
+	// DrainTimeout bounds Close's wait for in-flight messages to be
+	// acknowledged (default 5s).
+	DrainTimeout time.Duration
+	// MaxFrame bounds accepted frame payloads (default 256 MiB) so a
+	// corrupt length prefix cannot drive an allocation.
+	MaxFrame int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Network == "" {
+		c.Network = "tcp"
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 250 * time.Millisecond
+	}
+	if c.Liveness <= 0 {
+		c.Liveness = 5 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RendezvousTimeout <= 0 {
+		c.RendezvousTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 256 << 20
+	}
+	return c
+}
+
+// safeConn serializes frame writes on one connection (the acceptor's
+// read loop, match callbacks and heartbeat ticker all write acks on
+// the same socket).
+type safeConn struct {
+	mu   sync.Mutex
+	c    net.Conn
+	mf   int
+	wdl  time.Duration
+	dead atomic.Bool
+}
+
+func newSafeConn(c net.Conn, maxFrame int, writeDeadline time.Duration) *safeConn {
+	return &safeConn{c: c, mf: maxFrame, wdl: writeDeadline}
+}
+
+func (s *safeConn) write(f frame) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead.Load() {
+		return errors.New("nettrans: connection closed")
+	}
+	s.c.SetWriteDeadline(time.Now().Add(s.wdl))
+	return writeFrame(s.c, f)
+}
+
+func (s *safeConn) read() (frame, error) {
+	return readFrame(s.c, s.mf)
+}
+
+func (s *safeConn) close() {
+	if s.dead.CompareAndSwap(false, true) {
+		s.c.Close()
+	}
+}
+
+// outMsg is one queued outbound envelope awaiting acknowledgement.
+type outMsg struct {
+	env par.Envelope
+	ack chan struct{} // rendezvous completion; nil for eager sends
+}
+
+// peer is all per-remote-rank state: the outbound queue this rank's
+// dialer connection drains, and the inbound bookkeeping the acceptor
+// side maintains for deduplication and match acknowledgements.
+type peer struct {
+	rank int
+
+	// Outbound (we dial them): guarded by mu.
+	mu       sync.Mutex
+	sendq    []outMsg // unacked envelopes in sequence order
+	unsent   int      // index of first entry not yet written on the current connection
+	pending  map[uint64]chan struct{}
+	acked    uint64 // highest cumulatively acknowledged sequence number
+	curOut   *safeConn
+	dead     bool
+	finished bool
+	reason   string
+	notify   chan struct{} // wakes the writer (capacity 1)
+
+	// Inbound (they dial us): guarded by inMu.
+	inMu          sync.Mutex
+	lastDelivered uint64 // dedupe horizon: highest sequence delivered
+	curIn         *safeConn
+	pendingMacks  []uint64 // match-acks owed while disconnected
+
+	lastHeard atomic.Int64 // unix nanos of the last frame from this peer
+}
+
+func (p *peer) heard() { p.lastHeard.Store(time.Now().UnixNano()) }
+
+// gone reports whether the peer needs no further outbound effort.
+func (p *peer) gone() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead || p.finished
+}
+
+// Transport is the socket implementation of par.Transport. One
+// Transport hosts one rank; New binds the listener and publishes the
+// address, Attach (called by par.RunRank) starts the mesh.
+type Transport struct {
+	cfg  Config
+	ln   net.Listener
+	addr string
+	sink par.Sink
+
+	peers []*peer // index = rank; nil at our own rank
+
+	mu       sync.Mutex
+	closed   bool
+	attached bool
+	crashed  bool // CrashNotify ran: Close must not send a clean goodbye
+	done     chan struct{}
+	wg       sync.WaitGroup
+	drained  *sync.Cond
+}
+
+// New binds this rank's listener and publishes its address. The
+// transport does not dial or accept until Attach.
+func New(cfg Config) (*Transport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Size < 1 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("nettrans: rank %d out of range for size %d", cfg.Rank, cfg.Size)
+	}
+	if cfg.Network != "tcp" && cfg.Network != "unix" {
+		return nil, fmt.Errorf("nettrans: unsupported network %q", cfg.Network)
+	}
+	listen := cfg.Listen
+	if listen == "" {
+		switch cfg.Network {
+		case "tcp":
+			listen = "127.0.0.1:0"
+		case "unix":
+			if cfg.RegistryDir == "" {
+				return nil, errors.New("nettrans: unix network needs -listen or a registry dir")
+			}
+			listen = fmt.Sprintf("%s/sock-%d-%d", cfg.RegistryDir, cfg.Epoch, cfg.Rank)
+		}
+	}
+	ln, err := net.Listen(cfg.Network, listen)
+	if err != nil {
+		return nil, fmt.Errorf("nettrans: listen: %w", err)
+	}
+	t := &Transport{
+		cfg:   cfg,
+		ln:    ln,
+		addr:  ln.Addr().String(),
+		peers: make([]*peer, cfg.Size),
+		done:  make(chan struct{}),
+	}
+	t.drained = sync.NewCond(&t.mu)
+	for r := 0; r < cfg.Size; r++ {
+		if r == cfg.Rank {
+			continue
+		}
+		p := &peer{rank: r, pending: make(map[uint64]chan struct{}), notify: make(chan struct{}, 1)}
+		p.heard() // silence is measured from transport start
+		t.peers[r] = p
+	}
+	if cfg.RegistryDir != "" {
+		if err := publishAddr(cfg.RegistryDir, cfg.Rank, cfg.Network, t.addr, cfg.Epoch); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *Transport) Addr() string { return t.addr }
+
+// Attach starts the mesh: the accept loop, one dialer per peer, and
+// the liveness monitor.
+func (t *Transport) Attach(sink par.Sink) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("nettrans: transport closed")
+	}
+	if t.attached {
+		t.mu.Unlock()
+		return errors.New("nettrans: already attached")
+	}
+	t.attached = true
+	t.sink = sink
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go t.acceptLoop()
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.wg.Add(1)
+		go t.dialLoop(p)
+	}
+	t.wg.Add(1)
+	go t.monitor()
+	return nil
+}
+
+func (t *Transport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// Deliver queues e for its destination; the per-peer writer ships it.
+// It never blocks on the network.
+func (t *Transport) Deliver(e par.Envelope, matched chan struct{}) error {
+	if e.Dst < 0 || e.Dst >= len(t.peers) || t.peers[e.Dst] == nil {
+		return fmt.Errorf("nettrans: deliver to invalid rank %d", e.Dst)
+	}
+	if t.isClosed() {
+		return errors.New("nettrans: transport closed")
+	}
+	p := t.peers[e.Dst]
+	p.mu.Lock()
+	if p.dead || p.finished {
+		// The in-process rule: a message to a dead rank vanishes, and
+		// its rendezvous ack releases immediately so the sender cannot
+		// wedge. A cleanly-finished peer gets the same treatment — it
+		// will never receive again.
+		p.mu.Unlock()
+		if matched != nil {
+			close(matched)
+		}
+		return nil
+	}
+	p.sendq = append(p.sendq, outMsg{env: e, ack: matched})
+	if matched != nil {
+		p.pending[e.Seq] = matched
+	}
+	p.mu.Unlock()
+	wake(p.notify)
+	return nil
+}
+
+// Probe reports whether rank r is believed alive. Cleanly-finished
+// peers are alive: finishing the SPMD body is not a failure.
+func (t *Transport) Probe(r int) bool {
+	if r == t.cfg.Rank {
+		return true
+	}
+	if r < 0 || r >= len(t.peers) || t.peers[r] == nil {
+		return false
+	}
+	p := t.peers[r]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.dead
+}
+
+// CrashNotify announces this rank's own death to every peer, so they
+// fail-stop promptly instead of waiting out the liveness timeout. For
+// peers with no live connection it attempts one direct dial — the
+// dying rank's last words. Best-effort: an unreachable peer finds out
+// via timeout. After CrashNotify, Close will not send the clean
+// goodbye (a crashed rank must never be mistaken for a finished one).
+func (t *Transport) CrashNotify(reason string) {
+	t.mu.Lock()
+	t.crashed = true
+	t.mu.Unlock()
+	f := frame{Kind: kBye, Crashed: true, Reason: reason}
+	for _, p := range t.peers {
+		if p == nil || p.gone() {
+			continue
+		}
+		p.mu.Lock()
+		out := p.curOut
+		p.mu.Unlock()
+		p.inMu.Lock()
+		in := p.curIn
+		p.inMu.Unlock()
+		if out == nil && in == nil {
+			if sc, _, err := t.connect(p); err == nil {
+				sc.write(f)
+				sc.close()
+			}
+			continue
+		}
+		if out != nil {
+			out.write(f)
+		}
+		if in != nil && in != out {
+			in.write(f)
+		}
+	}
+}
+
+func (t *Transport) sayBye(f frame) {
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		out := p.curOut
+		p.mu.Unlock()
+		if out != nil {
+			out.write(f)
+		}
+		p.inMu.Lock()
+		in := p.curIn
+		p.inMu.Unlock()
+		if in != nil && in != out {
+			in.write(f)
+		}
+	}
+}
+
+// Close drains the outbound queues (bounded by DrainTimeout), says a
+// clean goodbye, and tears the mesh down. A cleanly-closed rank is not
+// reported dead to its peers.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	crashed := t.crashed
+	if !crashed {
+		// Drain: wait until every peer's queue is fully acknowledged
+		// (or the peer is gone), so the last messages of a finishing
+		// rank are not lost with the sockets. A crashed rank skips
+		// this — fail-stop means its unsent messages die with it.
+		deadline := time.Now().Add(t.cfg.DrainTimeout)
+		timer := time.AfterFunc(t.cfg.DrainTimeout, func() {
+			t.mu.Lock()
+			t.drained.Broadcast()
+			t.mu.Unlock()
+		})
+		for !t.drainedLocked() && time.Now().Before(deadline) {
+			t.drained.Wait()
+		}
+		timer.Stop()
+	}
+	t.closed = true
+	t.mu.Unlock()
+
+	if !crashed {
+		t.sayBye(frame{Kind: kBye})
+	}
+	close(t.done)
+	t.ln.Close()
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		out := p.curOut
+		for _, ch := range p.pending {
+			close(ch)
+		}
+		p.pending = map[uint64]chan struct{}{}
+		p.mu.Unlock()
+		if out != nil {
+			out.close()
+		}
+		p.inMu.Lock()
+		in := p.curIn
+		p.inMu.Unlock()
+		if in != nil {
+			in.close()
+		}
+		wake(p.notify)
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// drainedLocked reports whether every live peer's queue is empty and
+// every rendezvous acknowledged. Caller holds t.mu.
+func (t *Transport) drainedLocked() bool {
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.mu.Lock()
+		ok := p.dead || p.finished || (len(p.sendq) == 0 && len(p.pending) == 0)
+		p.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDrained wakes a Close blocked in drain.
+func (t *Transport) checkDrained() {
+	t.mu.Lock()
+	t.drained.Broadcast()
+	t.mu.Unlock()
+}
+
+// declareDead fail-stops a peer: its queue is dropped, every pending
+// rendezvous releases, and the runtime's dead-rank machinery fires.
+func (t *Transport) declareDead(p *peer, reason string) {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	p.reason = reason
+	p.sendq = nil
+	p.unsent = 0
+	for _, ch := range p.pending {
+		close(ch)
+	}
+	p.pending = map[uint64]chan struct{}{}
+	out := p.curOut
+	p.mu.Unlock()
+	if out != nil {
+		out.close()
+	}
+	wake(p.notify)
+	t.checkDrained()
+	t.sink.PeerDead(p.rank, reason)
+}
+
+// markFinished records a clean goodbye: stop dialing, release pending
+// rendezvous sends (the peer will never match them), but do not report
+// a death — a finished rank is not a failed rank.
+func (t *Transport) markFinished(p *peer) {
+	p.mu.Lock()
+	if p.dead || p.finished {
+		p.mu.Unlock()
+		return
+	}
+	p.finished = true
+	p.sendq = nil
+	p.unsent = 0
+	for _, ch := range p.pending {
+		close(ch)
+	}
+	p.pending = map[uint64]chan struct{}{}
+	out := p.curOut
+	p.mu.Unlock()
+	if out != nil {
+		out.close()
+	}
+	wake(p.notify)
+	t.checkDrained()
+}
+
+// monitor is the failure detector: a peer that has been completely
+// silent — no data, acks or heartbeats on any connection — for longer
+// than the liveness timeout is declared dead.
+func (t *Transport) monitor() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.done:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		for _, p := range t.peers {
+			if p == nil || p.gone() {
+				continue
+			}
+			if silent := now.Sub(time.Unix(0, p.lastHeard.Load())); silent > t.cfg.Liveness {
+				t.declareDead(p, fmt.Sprintf("liveness timeout: silent for %v", silent.Round(time.Millisecond)))
+			}
+		}
+	}
+}
+
+// resolve finds rank r's address from the static peer list or the
+// registry.
+func (t *Transport) resolve(r int) (string, error) {
+	if r < len(t.cfg.Peers) && t.cfg.Peers[r] != "" {
+		return t.cfg.Peers[r], nil
+	}
+	if t.cfg.RegistryDir == "" {
+		return "", fmt.Errorf("nettrans: no address for rank %d and no registry", r)
+	}
+	return waitAddr(t.cfg.RegistryDir, r, t.cfg.Epoch, time.Now().Add(t.cfg.RendezvousTimeout), t.done)
+}
+
+// dialLoop maintains this rank's outbound connection to one peer:
+// dial, handshake, resume from the peer's acknowledged sequence
+// number, pump the queue; on any connection error, reconnect with
+// capped jittered backoff. It exits when the peer is dead or finished
+// or the transport closes.
+func (t *Transport) dialLoop(p *peer) {
+	defer t.wg.Done()
+	bo := backoff.Policy{Base: 25 * time.Millisecond, Cap: time.Second, MaxDoublings: backoff.DefaultMaxDoublings, Jitter: 0.25}
+	rng := rand.New(rand.NewSource(int64(t.cfg.Rank)<<32 ^ int64(p.rank) ^ time.Now().UnixNano()))
+	attempt := 0
+	for {
+		if t.isClosed() || p.gone() {
+			return
+		}
+		sc, lastSeq, err := t.connect(p)
+		if err != nil {
+			if !bo.Sleep(attempt, rng, t.done) {
+				return
+			}
+			attempt++
+			continue
+		}
+		attempt = 0
+		t.runOutbound(p, sc, lastSeq)
+		sc.close()
+	}
+}
+
+// connect dials the peer and performs the hello/welcome handshake,
+// returning the connection and the peer's cumulative delivery horizon
+// to resume from.
+func (t *Transport) connect(p *peer) (*safeConn, uint64, error) {
+	addr, err := t.resolve(p.rank)
+	if err != nil {
+		return nil, 0, err
+	}
+	c, err := net.DialTimeout(t.cfg.Network, addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	sc := newSafeConn(c, t.cfg.MaxFrame, t.cfg.Liveness)
+	hello := frame{Kind: kHello, Src: t.cfg.Rank, Dst: p.rank, Size: t.cfg.Size, Epoch: t.cfg.Epoch}
+	if err := sc.write(hello); err != nil {
+		sc.close()
+		return nil, 0, err
+	}
+	c.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout))
+	w, err := sc.read()
+	c.SetReadDeadline(time.Time{})
+	if err != nil {
+		sc.close()
+		return nil, 0, err
+	}
+	if w.Kind != kWelcome || w.Epoch != t.cfg.Epoch {
+		sc.close()
+		return nil, 0, fmt.Errorf("nettrans: bad welcome from rank %d", p.rank)
+	}
+	return sc, w.Seq, nil
+}
+
+// runOutbound owns one live outbound connection: a reader goroutine
+// consumes acks, match-acks and heartbeats while the writer drains the
+// queue (resending everything past the peer's acknowledged horizon)
+// and keeps the connection warm with heartbeats. Returns on connection
+// error or shutdown.
+func (t *Transport) runOutbound(p *peer, sc *safeConn, lastSeq uint64) {
+	p.mu.Lock()
+	if p.dead || p.finished {
+		p.mu.Unlock()
+		return
+	}
+	p.curOut = sc
+	t.pruneAckedLocked(p, lastSeq)
+	p.unsent = 0 // retransmit everything unacknowledged on the fresh connection
+	p.mu.Unlock()
+	t.checkDrained()
+
+	connDone := make(chan struct{})
+	var readErr atomic.Bool
+	go func() {
+		defer close(connDone)
+		for {
+			f, err := sc.read()
+			if err != nil {
+				readErr.Store(true)
+				return
+			}
+			p.heard()
+			switch f.Kind {
+			case kAck:
+				p.mu.Lock()
+				t.pruneAckedLocked(p, f.Seq)
+				p.mu.Unlock()
+				t.checkDrained()
+			case kMatchAck:
+				p.mu.Lock()
+				if ch, ok := p.pending[f.Seq]; ok {
+					delete(p.pending, f.Seq)
+					close(ch)
+				}
+				p.mu.Unlock()
+				t.checkDrained()
+			case kHeartbeat:
+			case kBye:
+				if f.Crashed {
+					t.declareDead(p, "peer crashed: "+f.Reason)
+				} else {
+					t.markFinished(p)
+				}
+				return
+			}
+		}
+	}()
+
+	hb := time.NewTicker(t.cfg.Heartbeat)
+	defer hb.Stop()
+	for {
+		// Ship everything queued but not yet written on this connection.
+		for {
+			p.mu.Lock()
+			if p.dead || p.finished || p.unsent >= len(p.sendq) {
+				p.mu.Unlock()
+				break
+			}
+			m := p.sendq[p.unsent]
+			p.unsent++
+			p.mu.Unlock()
+			f := frame{Kind: kData, Src: m.env.Src, Dst: m.env.Dst, Tag: m.env.Tag, Seq: m.env.Seq, Sync: m.env.Sync, Data: m.env.Data}
+			if err := sc.write(f); err != nil {
+				t.clearCurOut(p, sc)
+				return
+			}
+		}
+		if p.gone() {
+			t.clearCurOut(p, sc)
+			return
+		}
+		select {
+		case <-t.done:
+			t.clearCurOut(p, sc)
+			return
+		case <-connDone:
+			t.clearCurOut(p, sc)
+			return
+		case <-p.notify:
+		case <-hb.C:
+			if err := sc.write(frame{Kind: kHeartbeat}); err != nil {
+				t.clearCurOut(p, sc)
+				return
+			}
+		}
+		if readErr.Load() {
+			t.clearCurOut(p, sc)
+			return
+		}
+	}
+}
+
+func (t *Transport) clearCurOut(p *peer, sc *safeConn) {
+	p.mu.Lock()
+	if p.curOut == sc {
+		p.curOut = nil
+	}
+	p.mu.Unlock()
+}
+
+// pruneAckedLocked drops queue entries the peer has cumulatively
+// acknowledged as delivered. A rendezvous entry leaves the queue when
+// delivered (it sits safely in the peer's mailbox and is never resent)
+// but its completion channel stays pending until the match-ack.
+// Caller holds p.mu.
+func (t *Transport) pruneAckedLocked(p *peer, acked uint64) {
+	if acked <= p.acked {
+		return
+	}
+	p.acked = acked
+	i := 0
+	for i < len(p.sendq) && p.sendq[i].env.Seq <= acked {
+		i++
+	}
+	if i > 0 {
+		p.sendq = append([]outMsg(nil), p.sendq[i:]...)
+		p.unsent -= i
+		if p.unsent < 0 {
+			p.unsent = 0
+		}
+	}
+}
+
+// acceptLoop admits inbound connections from peers.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.handleInbound(c)
+	}
+}
+
+// handleInbound serves one accepted connection: validate the hello,
+// welcome the peer with its resume horizon, then deliver data frames
+// (deduplicated) and acknowledge them. The read loop runs until the
+// connection drops; delivery order on one connection is FIFO, so the
+// runtime sees exactly the in-process ordering guarantees.
+func (t *Transport) handleInbound(c net.Conn) {
+	defer t.wg.Done()
+	sc := newSafeConn(c, t.cfg.MaxFrame, t.cfg.Liveness)
+	c.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout))
+	hello, err := sc.read()
+	c.SetReadDeadline(time.Time{})
+	if err != nil {
+		sc.close()
+		return
+	}
+	if err := checkHello(hello, t.cfg.Rank, t.cfg.Size, t.cfg.Epoch); err != nil {
+		sc.close()
+		return
+	}
+	p := t.peers[hello.Src]
+	p.heard()
+
+	p.inMu.Lock()
+	old := p.curIn
+	p.curIn = sc
+	welcome := frame{Kind: kWelcome, Epoch: t.cfg.Epoch, Seq: p.lastDelivered}
+	macks := p.pendingMacks
+	p.pendingMacks = nil
+	p.inMu.Unlock()
+	if old != nil {
+		old.close()
+	}
+	if sc.write(welcome) != nil {
+		t.clearCurIn(p, sc)
+		sc.close()
+		return
+	}
+	// Match-acks owed from before the reconnect flush first, so the
+	// sender's rendezvous completions are never lost to a dropped
+	// connection.
+	for _, seq := range macks {
+		if sc.write(frame{Kind: kMatchAck, Seq: seq}) != nil {
+			t.clearCurIn(p, sc)
+			sc.close()
+			return
+		}
+	}
+
+	// Keep the reply direction warm too: the dialer measures our
+	// liveness from these frames when it has nothing to send.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	go func() {
+		tick := time.NewTicker(t.cfg.Heartbeat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-tick.C:
+				if sc.write(frame{Kind: kHeartbeat}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	for {
+		f, err := sc.read()
+		if err != nil {
+			t.clearCurIn(p, sc)
+			sc.close()
+			return
+		}
+		p.heard()
+		switch f.Kind {
+		case kData:
+			p.inMu.Lock()
+			fresh := f.Seq > p.lastDelivered
+			if fresh {
+				p.lastDelivered = f.Seq
+			}
+			p.inMu.Unlock()
+			if fresh {
+				env := par.Envelope{Src: f.Src, Dst: f.Dst, Tag: f.Tag, Seq: f.Seq, Data: f.Data, Sync: f.Sync}
+				var matched func()
+				if f.Sync {
+					seq := f.Seq
+					matched = func() { t.sendMack(p, seq) }
+				}
+				t.sink.Deliver(env, matched)
+			}
+			// Cumulative ack — covers duplicates too, in case the
+			// original ack was lost with a connection.
+			p.inMu.Lock()
+			ackSeq := p.lastDelivered
+			p.inMu.Unlock()
+			if sc.write(frame{Kind: kAck, Seq: ackSeq}) != nil {
+				t.clearCurIn(p, sc)
+				sc.close()
+				return
+			}
+		case kHeartbeat:
+		case kBye:
+			t.clearCurIn(p, sc)
+			if f.Crashed {
+				t.declareDead(p, "peer crashed: "+f.Reason)
+			} else {
+				t.markFinished(p)
+			}
+			sc.close()
+			return
+		}
+	}
+}
+
+func (t *Transport) clearCurIn(p *peer, sc *safeConn) {
+	p.inMu.Lock()
+	if p.curIn == sc {
+		p.curIn = nil
+	}
+	p.inMu.Unlock()
+}
+
+// sendMack reports a rendezvous match back to the sender, on the
+// current connection if one is up, otherwise queued for the flush that
+// follows the next handshake.
+func (t *Transport) sendMack(p *peer, seq uint64) {
+	p.inMu.Lock()
+	sc := p.curIn
+	if sc == nil {
+		p.pendingMacks = append(p.pendingMacks, seq)
+		p.inMu.Unlock()
+		return
+	}
+	p.inMu.Unlock()
+	if sc.write(frame{Kind: kMatchAck, Seq: seq}) != nil {
+		p.inMu.Lock()
+		p.pendingMacks = append(p.pendingMacks, seq)
+		p.inMu.Unlock()
+	}
+}
+
+// wake signals a capacity-1 notification channel without blocking.
+func wake(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// writeFrame/readFrame put protocol frames inside the wire package's
+// length + CRC32C envelope — the identical bytes the in-process
+// reliable link frames and corrupts in simulation.
+func writeFrame(c net.Conn, f frame) error {
+	return wire.WriteFrame(c, encodeFrame(f))
+}
+
+func readFrame(c net.Conn, maxLen int) (frame, error) {
+	p, err := wire.ReadFrame(c, maxLen)
+	if err != nil {
+		return frame{}, err
+	}
+	return decodeFrame(p)
+}

@@ -1,0 +1,371 @@
+package nettrans
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []frame{
+		{Kind: kHello, Src: 3, Dst: 0, Size: 8, Epoch: 42},
+		{Kind: kWelcome, Epoch: 42, Seq: 17},
+		{Kind: kData, Src: 1, Dst: 2, Tag: -12, Seq: 99, Sync: true, Data: []byte("payload")},
+		{Kind: kData, Src: 0, Dst: 1, Tag: 7, Seq: 1, Data: nil},
+		{Kind: kAck, Seq: 5},
+		{Kind: kMatchAck, Seq: 6},
+		{Kind: kHeartbeat},
+		{Kind: kBye, Crashed: true, Reason: "test crash"},
+		{Kind: kBye},
+	}
+	for _, f := range frames {
+		got, err := decodeFrame(encodeFrame(f))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", f, err)
+		}
+		if got.Kind != f.Kind || got.Src != f.Src || got.Dst != f.Dst || got.Size != f.Size ||
+			got.Epoch != f.Epoch || got.Seq != f.Seq || got.Tag != f.Tag || got.Sync != f.Sync ||
+			got.Crashed != f.Crashed || got.Reason != f.Reason || !bytes.Equal(got.Data, f.Data) {
+			t.Fatalf("round trip: got %+v, want %+v", got, f)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},                               // unknown kind
+		{99},                              // unknown kind
+		{kHello},                          // truncated hello
+		{kData, 2, 4},                     // truncated data
+		append(encodeFrame(frame{Kind: kHeartbeat}), 0xff), // trailing bytes
+		{kAck, 0x80},                      // truncated uvarint
+		{kBye, 2},                         // invalid bool
+	}
+	for i, p := range cases {
+		if _, err := decodeFrame(p); err == nil {
+			t.Errorf("case %d (% x): decode accepted malformed frame", i, p)
+		}
+	}
+}
+
+func TestCheckHello(t *testing.T) {
+	good := frame{Kind: kHello, Src: 1, Dst: 0, Size: 4, Epoch: 9}
+	if err := checkHello(good, 0, 4, 9); err != nil {
+		t.Fatalf("good hello rejected: %v", err)
+	}
+	bad := []frame{
+		{Kind: kData, Src: 1, Dst: 0, Size: 4, Epoch: 9},  // wrong kind
+		{Kind: kHello, Src: 1, Dst: 2, Size: 4, Epoch: 9}, // wrong destination
+		{Kind: kHello, Src: 1, Dst: 0, Size: 5, Epoch: 9}, // wrong world size
+		{Kind: kHello, Src: 0, Dst: 0, Size: 4, Epoch: 9}, // self-dial
+		{Kind: kHello, Src: 9, Dst: 0, Size: 4, Epoch: 9}, // rank out of range
+		{Kind: kHello, Src: 1, Dst: 0, Size: 4, Epoch: 8}, // stale epoch
+	}
+	for i, f := range bad {
+		if err := checkHello(f, 0, 4, 9); err == nil {
+			t.Errorf("case %d: bad hello %+v accepted", i, f)
+		}
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, _, ok, err := readAddr(dir, 0); err != nil || ok {
+		t.Fatalf("unpublished rank: ok=%v err=%v", ok, err)
+	}
+	if err := publishAddr(dir, 0, "tcp", "127.0.0.1:9999", 3); err != nil {
+		t.Fatal(err)
+	}
+	net, addr, epoch, ok, err := readAddr(dir, 0)
+	if err != nil || !ok || net != "tcp" || addr != "127.0.0.1:9999" || epoch != 3 {
+		t.Fatalf("readAddr: %q %q %d ok=%v err=%v", net, addr, epoch, ok, err)
+	}
+	// Re-publish (a recovered incarnation) overwrites atomically.
+	if err := publishAddr(dir, 0, "tcp", "127.0.0.1:8888", 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := waitAddr(dir, 0, 4, time.Now().Add(time.Second), nil)
+	if err != nil || got != "127.0.0.1:8888" {
+		t.Fatalf("waitAddr: %q err=%v", got, err)
+	}
+	// Waiting for an epoch that never appears times out.
+	if _, err := waitAddr(dir, 0, 99, time.Now().Add(50*time.Millisecond), nil); err == nil {
+		t.Fatal("waitAddr accepted stale epoch")
+	}
+}
+
+// world builds n connected transports sharing a registry directory.
+func world(t *testing.T, n int, network string, tune func(*Config)) []*Transport {
+	t.Helper()
+	dir := t.TempDir()
+	ts := make([]*Transport, n)
+	for r := 0; r < n; r++ {
+		cfg := Config{
+			Rank: r, Size: n, Network: network, RegistryDir: dir, Epoch: 1,
+			Heartbeat: 50 * time.Millisecond, Liveness: 10 * time.Second,
+			DrainTimeout: 3 * time.Second,
+		}
+		if tune != nil {
+			tune(&cfg)
+		}
+		tr, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(rank %d): %v", r, err)
+		}
+		ts[r] = tr
+		t.Cleanup(func() { tr.Close() })
+	}
+	return ts
+}
+
+// runWorld runs one par.RunRank per transport concurrently and
+// returns per-rank exits. Each rank closes its transport after its
+// body returns, as a real per-process launcher would.
+func runWorld(t *testing.T, ts []*Transport, body func(c *par.Comm)) []par.Exit {
+	t.Helper()
+	n := len(ts)
+	exits := make([]par.Exit, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, exits[r] = par.RunRank(par.Config{Ranks: n}, r, ts[r], body)
+			ts[r].Close()
+		}(r)
+	}
+	wg.Wait()
+	return exits
+}
+
+func TestPointToPointTCP(t *testing.T) {
+	ts := world(t, 2, "tcp", nil)
+	exits := runWorld(t, ts, func(c *par.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []byte("hello from zero"))
+			m := c.Recv(1, 6)
+			if string(m.Data) != "hello from one" {
+				panic("rank 0 got " + string(m.Data))
+			}
+		} else {
+			m := c.Recv(0, 5)
+			if string(m.Data) != "hello from zero" {
+				panic("rank 1 got " + string(m.Data))
+			}
+			c.Send(0, 6, []byte("hello from one"))
+		}
+	})
+	for r, e := range exits {
+		if !e.OK {
+			t.Fatalf("rank %d: %+v", r, e)
+		}
+	}
+}
+
+func TestRendezvousSsend(t *testing.T) {
+	ts := world(t, 2, "tcp", nil)
+	var order []string
+	var mu sync.Mutex
+	note := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+	exits := runWorld(t, ts, func(c *par.Comm) {
+		if c.Rank() == 0 {
+			c.Ssend(1, 3, []byte("sync payload"))
+			note("ssend returned")
+		} else {
+			time.Sleep(200 * time.Millisecond) // let the Ssend arrive unmatched
+			note("receiving")
+			m := c.Recv(0, 3)
+			if string(m.Data) != "sync payload" {
+				panic("bad payload")
+			}
+		}
+	})
+	for r, e := range exits {
+		if !e.OK {
+			t.Fatalf("rank %d: %+v", r, e)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "receiving" {
+		t.Fatalf("Ssend completed before the receive matched: %v", order)
+	}
+}
+
+func TestCollectivesFourRanksUnix(t *testing.T) {
+	ts := world(t, 4, "unix", nil)
+	exits := runWorld(t, ts, func(c *par.Comm) {
+		sum := c.Allreduce(int64(c.Rank()+1), par.Sum)
+		if sum != 10 {
+			panic(fmt.Sprintf("rank %d: allreduce got %d, want 10", c.Rank(), sum))
+		}
+		out := make([][]byte, c.Size())
+		for i := range out {
+			out[i] = []byte{byte(c.Rank()), byte(i)}
+		}
+		in := c.AlltoallvStaged(out)
+		for src, b := range in {
+			if len(b) != 2 || b[0] != byte(src) || b[1] != byte(c.Rank()) {
+				panic(fmt.Sprintf("rank %d: bad alltoallv cell from %d: %v", c.Rank(), src, b))
+			}
+		}
+	})
+	for r, e := range exits {
+		if !e.OK {
+			t.Fatalf("rank %d: %+v", r, e)
+		}
+	}
+}
+
+func TestReconnectResumesWithoutDuplicates(t *testing.T) {
+	ts := world(t, 2, "tcp", nil)
+	const n = 200
+	exits := runWorld(t, ts, func(c *par.Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 1, []byte{byte(i), byte(i >> 8)})
+				if i == n/2 {
+					// Sever rank 0's outbound connection mid-stream;
+					// the dialer must reconnect and resume from the
+					// last ack without duplicating delivery.
+					p := ts[0].peers[1]
+					p.mu.Lock()
+					sc := p.curOut
+					p.mu.Unlock()
+					if sc != nil {
+						sc.close()
+					}
+				}
+			}
+			done := c.Recv(1, 2)
+			if string(done.Data) != "ok" {
+				panic("receiver failed: " + string(done.Data))
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				m := c.Recv(0, 1)
+				got := int(m.Data[0]) | int(m.Data[1])<<8
+				if got != i {
+					c.Send(0, 2, []byte(fmt.Sprintf("message %d arrived as %d", i, got)))
+					return
+				}
+			}
+			c.Send(0, 2, []byte("ok"))
+		}
+	})
+	for r, e := range exits {
+		if !e.OK {
+			t.Fatalf("rank %d: %+v", r, e)
+		}
+	}
+}
+
+func TestCrashNotifyTriggersFailStop(t *testing.T) {
+	ts := world(t, 2, "tcp", nil)
+	exits := runWorld(t, ts, func(c *par.Comm) {
+		if c.Rank() == 1 {
+			c.Send(0, 1, []byte("alive"))
+			panic("deliberate crash")
+		}
+		c.Recv(1, 1)
+		// The peer now dies; a blocking Recv must cascade instead of
+		// hanging, exactly like the in-process dead-rank rule.
+		c.Recv(1, 1)
+	})
+	if exits[0].OK {
+		t.Fatal("rank 0 should have cascaded on the dead peer")
+	}
+	if exits[1].OK {
+		t.Fatal("rank 1 should have crashed")
+	}
+	if ts[0].Probe(1) {
+		t.Fatal("rank 0 still believes rank 1 is alive")
+	}
+}
+
+func TestLivenessTimeoutDetectsSilentPeer(t *testing.T) {
+	// Rank 1 never attaches (its process "hangs" before starting);
+	// rank 0 must declare it dead by liveness timeout and cascade out
+	// of the blocking Recv rather than hang.
+	dir := t.TempDir()
+	mk := func(r int) *Transport {
+		tr, err := New(Config{
+			Rank: r, Size: 2, Network: "tcp", RegistryDir: dir, Epoch: 1,
+			Heartbeat: 25 * time.Millisecond, Liveness: 500 * time.Millisecond,
+			DrainTimeout: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		return tr
+	}
+	t0 := mk(0)
+	_ = mk(1) // published but never attached: silent forever
+	start := time.Now()
+	_, exit := par.RunRank(par.Config{Ranks: 2}, 0, t0, func(c *par.Comm) {
+		c.Recv(1, 1)
+	})
+	if exit.OK {
+		t.Fatal("rank 0 returned OK despite dead peer")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("failure detection took %v", elapsed)
+	}
+}
+
+func TestCleanFinishIsNotDeath(t *testing.T) {
+	ts := world(t, 2, "tcp", nil)
+	var sawDead bool
+	exits := runWorld(t, ts, func(c *par.Comm) {
+		if c.Rank() == 1 {
+			c.Send(0, 1, []byte("bye"))
+			return // finishes early and closes cleanly
+		}
+		c.Recv(1, 1)
+		// Give rank 1 time to close; a clean goodbye must not mark it
+		// dead.
+		time.Sleep(300 * time.Millisecond)
+		sawDead = c.RankDead(1)
+	})
+	for r, e := range exits {
+		if !e.OK {
+			t.Fatalf("rank %d: %+v", r, e)
+		}
+	}
+	if sawDead {
+		t.Fatal("cleanly-finished rank was reported dead")
+	}
+}
+
+func TestDrainDeliversTrailingSends(t *testing.T) {
+	// A rank that fires off eager sends and immediately closes must
+	// not lose them: Close drains until the peer acks.
+	ts := world(t, 2, "tcp", nil)
+	exits := runWorld(t, ts, func(c *par.Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 50; i++ {
+				c.Send(1, 1, []byte{byte(i)})
+			}
+			return
+		}
+		time.Sleep(100 * time.Millisecond) // rank 0 is already closing
+		for i := 0; i < 50; i++ {
+			m := c.Recv(0, 1)
+			if m.Data[0] != byte(i) {
+				panic(fmt.Sprintf("message %d arrived as %d", i, m.Data[0]))
+			}
+		}
+	})
+	for r, e := range exits {
+		if !e.OK {
+			t.Fatalf("rank %d: %+v", r, e)
+		}
+	}
+}

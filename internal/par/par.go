@@ -317,12 +317,17 @@ func (mb *mailbox) consume(e envelope) {
 	}
 }
 
-// machine is the shared state of one Run.
+// machine is the shared state of one Run. In the default in-process
+// mode every rank's mailbox is live and trans is nil; under RunRank
+// exactly one rank (local) is hosted here and traffic to every other
+// rank routes through the transport.
 type machine struct {
 	cfg     Config
 	boxes   []*mailbox
 	crashed []atomic.Bool // rank died (fault kill, panic, or cascade)
 	delayed atomic.Int64  // fault-delayed messages still in flight
+	trans   Transport     // nil: all ranks are in-process goroutines
+	local   int           // the one locally-hosted rank when trans != nil
 }
 
 // markCrashed records a rank death and wakes every blocked rank so
@@ -465,7 +470,7 @@ func (c *Comm) Ssend(dst, tag int, data []byte) {
 	c.st.BytesSent += len(data)
 	c.chargeComm(len(data))
 	c.traceSeq(obs.EvSsendBegin, int64(dst), int64(tag), int64(len(data)), seq)
-	c.m.boxes[dst].put(envelope{src: c.rank, tag: tag, seq: seq, data: data, ack: ack})
+	c.m.put(dst, envelope{src: c.rank, tag: tag, seq: seq, data: data, ack: ack})
 	start := time.Now()
 	<-ack
 	c.st.Blocked += time.Since(start)
@@ -557,7 +562,7 @@ func (c *Comm) SendRecv(dst int, data []byte, src, tag int) Message {
 	seq := c.seq
 	ack := make(chan struct{})
 	c.traceSeq(obs.EvSsendBegin, int64(dst), int64(tag), int64(len(data)), seq)
-	c.m.boxes[dst].put(envelope{src: c.rank, tag: tag, seq: seq, data: data, ack: ack})
+	c.m.put(dst, envelope{src: c.rank, tag: tag, seq: seq, data: data, ack: ack})
 	c.st.MsgsSent++
 	c.st.BytesSent += len(data)
 	c.chargeComm(len(data))

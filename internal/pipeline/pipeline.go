@@ -49,6 +49,11 @@ func InputHash(frags []*seq.Fragment) string {
 // loading their artifacts, which yields byte-identical contigs to an
 // uninterrupted run.
 func Run(frags []*seq.Fragment, cfg Config) (*core.Result, error) {
+	if cfg.Core.Transport != nil && cfg.Core.TransportRank != 0 {
+		// Worker-rank processes never touch the manifest: only the
+		// master journals phases, so a resumed run sees one writer.
+		return core.Run(frags, cfg.Core)
+	}
 	m, err := openManifest(cfg.Workdir, InputHash(frags), cfg.Flags, cfg.Resume)
 	if err != nil {
 		return nil, err
@@ -88,7 +93,11 @@ func Run(frags []*seq.Fragment, cfg Config) (*core.Result, error) {
 		res.Clustering = cp.Result()
 	} else {
 		if ccfg.Parallel.Ranks >= 2 {
-			res.Clustering, res.Phases, err = cluster.Parallel(res.Store, ccfg.Cluster, ccfg.Parallel)
+			if ccfg.Transport != nil {
+				res.Clustering, _, _, err = cluster.ParallelRank(res.Store, ccfg.Cluster, ccfg.Parallel, ccfg.TransportRank, ccfg.Transport)
+			} else {
+				res.Clustering, res.Phases, err = cluster.Parallel(res.Store, ccfg.Cluster, ccfg.Parallel)
+			}
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,11 @@
+// Package transconf is the transport conformance suite: the same
+// partition and causal-trace oracles the simulation harness runs
+// against the in-process machine, executed against every transport
+// backend — in-process goroutines, and TCP / Unix-socket ranks
+// running as real OS processes (the test binary re-executes itself as
+// the worker ranks). One case SIGKILLs a worker process mid-phase and
+// requires the lease protocol to recover the canonical partition.
+//
+// The package holds no production code; the suite lives in its tests
+// (run via `make transport-conformance`, which is part of `make ci`).
+package transconf

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The reliable-link envelope every framed payload travels in: a
+// 4-byte little-endian payload length, a 4-byte little-endian CRC32C
+// (Castagnoli) of the payload, then the payload itself. The in-process
+// reliable link frames each message this way before injecting seeded
+// corruption, and the nettrans socket backend writes the identical
+// envelope onto real connections — one format, one verifier, whether
+// the corruption is simulated or a genuinely flaky network.
+const FrameHeader = 8
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrFrameTooLarge is returned by ReadFrame when the length prefix
+// exceeds the caller's limit — a corrupt or hostile header must not
+// drive an allocation.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// EncodeFrame wraps payload in a length + CRC32C envelope.
+func EncodeFrame(payload []byte) []byte {
+	f := make([]byte, FrameHeader+len(payload))
+	binary.LittleEndian.PutUint32(f[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(f[4:8], crc32.Checksum(payload, crcTable))
+	copy(f[FrameHeader:], payload)
+	return f
+}
+
+// DecodeFrame verifies a complete envelope and returns the payload
+// (aliasing f). ok is false when the frame is truncated, missized, or
+// fails its checksum.
+func DecodeFrame(f []byte) (payload []byte, ok bool) {
+	if len(f) < FrameHeader {
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(f[0:4]))
+	if n != len(f)-FrameHeader {
+		return nil, false
+	}
+	payload = f[FrameHeader:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(f[4:8]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// WriteFrame writes payload as one envelope to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	_, err := w.Write(EncodeFrame(payload))
+	return err
+}
+
+// ReadFrame reads one envelope from r and returns the verified
+// payload. maxLen bounds the accepted payload size; a header claiming
+// more fails with ErrFrameTooLarge before any payload allocation. A
+// checksum mismatch fails: on a stream transport a corrupt frame
+// desynchronizes everything after it, so the connection must be torn
+// down and the reliability layer above resent from the last ack.
+func ReadFrame(r io.Reader, maxLen int) ([]byte, error) {
+	var hdr [FrameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	if n < 0 || (maxLen > 0 && n > maxLen) {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, uint32(n))
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, errors.New("wire: frame checksum mismatch")
+	}
+	return payload, nil
+}
