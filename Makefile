@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke transport-conformance ci
+.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke transport-conformance obs-live-smoke ci
 
 all: build
 
@@ -95,6 +95,9 @@ bench-check:
 	$(GO) run ./cmd/benchrun -workload cluster -check BENCH_cluster.json
 	$(GO) run ./cmd/benchrun -workload transport -ranks 4 -check BENCH_transport.json
 	$(GO) run ./cmd/benchrun -workload pipeline -check BENCH_pipeline.json
+	# Collector-on run against the collector-off baseline: live
+	# telemetry streaming must cost less than the noise gates.
+	$(GO) run ./cmd/benchrun -workload transport -ranks 4 -collector -check BENCH_transport.json
 
 # Transport conformance: the sim partition and causal-trace oracles
 # against every transport backend under the race detector — in-process
@@ -104,6 +107,14 @@ bench-check:
 # recovery to the canonical partition.
 transport-conformance:
 	$(GO) test -race -v -run TestConformance ./internal/transconf
+
+# Live telemetry smoke: a 4-process TCP run streams deltas to a run
+# collector which must be ready mid-run, survive a SIGKILLed worker
+# (marking it dead while the job recovers), serve a final merged trace
+# byte-identical to merging the per-process dumps, and produce a live
+# causal analysis equal to the post-hoc one.
+obs-live-smoke:
+	$(GO) test -v -run TestObsLive ./internal/transconf
 
 # Causal-analysis smoke: replay one sim case with its raw events dump,
 # stitch the causal DAG and print the critical path; a malformed DAG
@@ -115,4 +126,4 @@ analyze-smoke:
 	$(GO) run ./cmd/tracecheck $(ANALYZE_TMP)/case3.crit.json
 	rm -rf $(ANALYZE_TMP)
 
-ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke transport-conformance bench-check
+ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke transport-conformance obs-live-smoke bench-check

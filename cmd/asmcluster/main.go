@@ -23,6 +23,7 @@ import (
 	"repro/internal/launch"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/collector"
 	"repro/internal/par"
 	"repro/internal/report"
 )
@@ -41,6 +42,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace JSON of the run to this file (load in ui.perfetto.dev)")
 	eventsOut := flag.String("events-out", "", "write the raw events dump to this file (input for traceanalyze)")
 	transport := flag.String("transport", "inproc", "run parallel ranks as: inproc goroutines, or tcp / unix OS processes")
+	collectorAddr := flag.String("collector", "", "run a live telemetry collector on this host:port; every rank streams health, metrics and trace deltas to it (poll with asmtop)")
+	collectorLinger := flag.Duration("collector-linger", 2*time.Second, "keep the collector serving this long after the run completes so pollers observe the final state")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -51,6 +54,9 @@ func main() {
 	// the workers; a re-executed child finds its rank in the
 	// environment, clusters, and exits without writing output.
 	rank := 0
+	registry, epoch := "", uint64(0)
+	colURL := ""
+	var colSrv *obs.Server
 	var fleet *launch.Fleet
 	var trans par.Transport
 	switch *transport {
@@ -69,10 +75,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "asmcluster:", err)
 			os.Exit(1)
 		}
-		registry, epoch := "", uint64(0)
 		if isChild {
 			rank, registry, epoch = child.Rank, child.Registry, child.Epoch
-			*obsAddr = "" // one observability server per job, owned by rank 0
+			// The parent decides per-rank observability: children listen
+			// on the ephemeral address it forwarded (or not at all) and
+			// stream to the collector it started.
+			*obsAddr = child.ObsAddr
+			colURL = child.Collector
 		} else {
 			if registry, err = os.MkdirTemp("", "asmcluster-registry-"); err != nil {
 				fmt.Fprintln(os.Stderr, "asmcluster:", err)
@@ -80,7 +89,21 @@ func main() {
 			}
 			defer os.RemoveAll(registry)
 			epoch = launch.Epoch()
-			if fleet, err = launch.Spawn(*ranks, *transport, registry, epoch); err != nil {
+			if *collectorAddr != "" {
+				_, colSrv, colURL, err = launch.StartCollector(collector.Config{Ranks: *ranks, Job: "asmcluster"}, *collectorAddr, registry, epoch)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "asmcluster:", err)
+					os.Exit(1)
+				}
+				defer func() { time.Sleep(*collectorLinger); colSrv.Close() }()
+				fmt.Printf("collector on %s (/status /ranks /healthz /readyz /analyze/live /events)\n", colURL)
+			}
+			childObs := ""
+			if *obsAddr != "" {
+				childObs = "127.0.0.1:0" // per-rank ephemeral server, address published to the registry
+			}
+			tel := launch.Telemetry{ObsAddr: childObs, Collector: colURL}
+			if fleet, err = launch.Spawn(*ranks, *transport, registry, epoch, tel); err != nil {
 				fmt.Fprintln(os.Stderr, "asmcluster:", err)
 				os.Exit(1)
 			}
@@ -96,20 +119,46 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *collectorAddr != "" && trans == nil {
+		// In-process machine: one collector, one reporter covering all
+		// ranks (the single tracer spans the whole run).
+		var err error
+		_, colSrv, colURL, err = launch.StartCollector(collector.Config{Ranks: *ranks, Job: "asmcluster"}, *collectorAddr, "", 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster:", err)
+			os.Exit(1)
+		}
+		defer func() { time.Sleep(*collectorLinger); colSrv.Close() }()
+		fmt.Printf("collector on %s (/status /ranks /healthz /readyz /analyze/live /events)\n", colURL)
+	}
+
 	var tr *obs.Tracer
 	var reg *obs.Registry
-	if *obsAddr != "" || *traceOut != "" || *eventsOut != "" {
+	if *obsAddr != "" || *traceOut != "" || *eventsOut != "" || colURL != "" {
 		tr = obs.NewTracer(*ranks, obs.DefaultRingCap)
 		reg = obs.NewRegistry()
 	}
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg, tr, analyze.Endpoint(tr))
+		srv, err := launch.ServeRankObs(*obsAddr, rank, reg, tr, registry, epoch, analyze.Endpoint(tr))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "asmcluster:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Printf("observability server on http://%s (/metrics /trace /timeline /analyze /debug/pprof)\n", srv.Addr)
+		if rank == 0 {
+			fmt.Printf("observability server on http://%s (/metrics /trace /timeline /analyze /debug/pprof)\n", srv.Addr)
+		}
+	}
+	var rep *collector.Reporter
+	if colURL != "" {
+		covers := []int{rank}
+		if trans == nil {
+			covers = launch.AllRanks(*ranks)
+		}
+		rep = collector.StartReporter(collector.ReporterConfig{
+			URL: colURL, Rank: rank, Covers: covers, Job: "asmcluster",
+			Tracer: tr, Registry: reg,
+		})
 	}
 
 	f, err := os.Open(*in)
@@ -153,6 +202,7 @@ func main() {
 			res, _, perr = cluster.Parallel(store, cfg, pcfg)
 		}
 		if perr != nil {
+			rep.Close(nil, false, perr.Error())
 			fmt.Fprintln(os.Stderr, "asmcluster:", perr)
 			os.Exit(1)
 		}
@@ -167,13 +217,20 @@ func main() {
 		// One dump per OS process; merge with tracecheck -events.
 		*eventsOut = fmt.Sprintf("%s.rank%d", *eventsOut, rank)
 	}
+	// One tracer snapshot shared by the events file and the reporter's
+	// final flush, so the collector's merged trace is byte-identical to
+	// merging the dump files.
+	var dump *obs.Dump
+	if tr != nil {
+		dump = tr.Dump()
+	}
 	if rank != 0 {
 		// Worker-rank process: the master owns every output file
 		// except this rank's own events dump.
 		if *eventsOut != "" {
 			ef, err := os.Create(*eventsOut)
 			if err == nil {
-				if err = tr.WriteEvents(ef); err == nil {
+				if err = dump.WriteJSON(ef); err == nil {
 					err = ef.Close()
 				}
 			}
@@ -182,6 +239,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		rep.Close(dump, true, "")
 		return
 	}
 
@@ -241,7 +299,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "asmcluster:", err)
 			os.Exit(1)
 		}
-		if err := tr.WriteEvents(ef); err == nil {
+		if err := dump.WriteJSON(ef); err == nil {
 			err = ef.Close()
 		}
 		if err != nil {
@@ -250,4 +308,5 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *eventsOut)
 	}
+	rep.Close(dump, true, "")
 }

@@ -35,6 +35,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/launch"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/obs/collector"
 	"repro/internal/par/nettrans"
 	"repro/internal/report"
 )
@@ -64,6 +66,10 @@ func main() {
 	killRank := flag.Int("kill-rank", 0, "spawn mode: SIGKILL this worker rank mid-run (0 disables)")
 	killAfter := flag.Duration("kill-after", 200*time.Millisecond, "spawn mode: delay before -kill-rank fires")
 	eventsOut := flag.String("events-out", "", "write this rank's events dump to FILE.rank<r> (merge with tracecheck -events)")
+	obsAddr := flag.String("obs-addr", "", "serve this rank's /metrics, /trace, /analyze and /debug/pprof on this host:port; spawn mode gives every child an ephemeral server published to the registry")
+	traceOut := flag.String("trace-out", "", "write this rank's Chrome trace JSON to FILE.rank<r> (load in ui.perfetto.dev)")
+	collectorAddr := flag.String("collector", "", "live telemetry collector: a host:port to serve on (spawn mode), or an http:// URL of a running collector to stream to (manual mode)")
+	collectorLinger := flag.Duration("collector-linger", 2*time.Second, "keep the collector serving this long after the run completes so pollers observe the final state")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -80,8 +86,20 @@ func main() {
 		*registry = child.Registry
 		*epoch = child.Epoch
 		*spawn = false
+		*obsAddr = child.ObsAddr
+		*collectorAddr = child.Collector
 	} else if err != nil {
 		fatal(err)
+	}
+
+	// Resolve the collector URL this rank streams to: an http:// value
+	// is a running collector (manual mode / forwarded by the parent);
+	// anything else is a listen address the spawn parent serves on.
+	colURL := ""
+	if strings.HasPrefix(*collectorAddr, "http://") || strings.HasPrefix(*collectorAddr, "https://") {
+		colURL = *collectorAddr
+	} else if *collectorAddr != "" && !*spawn {
+		fatal("-collector", *collectorAddr, "is a listen address; that needs -spawn (manual ranks take the collector's http:// URL)")
 	}
 
 	var fleet *launch.Fleet
@@ -96,7 +114,21 @@ func main() {
 			*registry = dir
 		}
 		*epoch = launch.Epoch()
-		if fleet, err = launch.Spawn(*size, *network, *registry, *epoch); err != nil {
+		if *collectorAddr != "" && colURL == "" {
+			var colSrv *obs.Server
+			_, colSrv, colURL, err = launch.StartCollector(collector.Config{Ranks: *size, Job: "asmnode"}, *collectorAddr, *registry, *epoch)
+			if err != nil {
+				fatal(err)
+			}
+			defer func() { time.Sleep(*collectorLinger); colSrv.Close() }()
+			fmt.Printf("collector on %s (/status /ranks /healthz /readyz /analyze/live /events)\n", colURL)
+		}
+		childObs := ""
+		if *obsAddr != "" {
+			childObs = "127.0.0.1:0" // per-rank ephemeral server, address published to the registry
+		}
+		tel := launch.Telemetry{ObsAddr: childObs, Collector: colURL}
+		if fleet, err = launch.Spawn(*size, *network, *registry, *epoch, tel); err != nil {
 			fatal(err)
 		}
 		defer fleet.Wait()
@@ -133,10 +165,29 @@ func main() {
 	pcfg.FT = true // real processes genuinely die
 	pcfg.LeaseTimeout = *lease
 	tr := obs.NewTracer(*size, obs.DefaultRingCap)
+	reg := obs.NewRegistry()
 	pcfg.Trace = tr
+	pcfg.Metrics = reg
+
+	if *obsAddr != "" {
+		srv, err := launch.ServeRankObs(*obsAddr, *rank, reg, tr, *registry, *epoch, analyze.Endpoint(tr))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "asmnode: rank %d observability server on http://%s\n", *rank, srv.Addr)
+	}
+	var rep *collector.Reporter
+	if colURL != "" {
+		rep = collector.StartReporter(collector.ReporterConfig{
+			URL: colURL, Rank: *rank, Job: "asmnode",
+			Tracer: tr, Registry: reg,
+		})
+	}
 
 	t, err := buildTransport(*rank, *size, *network, *registry, *peers, *listen, *epoch, *liveness)
 	if err != nil {
+		rep.Close(nil, false, err.Error())
 		fatal(err)
 	}
 	res, _, exit, err := cluster.ParallelRank(store, cfg, pcfg, *rank, t)
@@ -144,16 +195,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "asmnode: transport close:", cerr)
 	}
 	if err != nil {
+		rep.Close(nil, false, err.Error())
 		fatal(err)
 	}
 
+	// One tracer snapshot shared by the events file and the reporter's
+	// final flush, so the collector's merged trace is byte-identical to
+	// merging the per-rank dump files.
+	dump := tr.Dump()
 	if *eventsOut != "" {
 		path := fmt.Sprintf("%s.rank%d", *eventsOut, *rank)
 		ef, err := os.Create(path)
 		if err != nil {
 			fatal(err)
 		}
-		if err := tr.WriteEvents(ef); err == nil {
+		if err := dump.WriteJSON(ef); err == nil {
 			err = ef.Close()
 		}
 		if err != nil {
@@ -161,6 +217,21 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "asmnode: rank %d wrote %s\n", *rank, path)
 	}
+	if *traceOut != "" {
+		path := fmt.Sprintf("%s.rank%d", *traceOut, *rank)
+		tf, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChromeTrace(tf); err == nil {
+			err = tf.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "asmnode: rank %d wrote %s\n", *rank, path)
+	}
+	rep.Close(dump, exit.OK, exit.Reason)
 
 	if *rank != 0 {
 		if !exit.OK {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/launch"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/collector"
 	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/preprocess"
@@ -61,6 +62,8 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace, /analyze and /debug/pprof on this host:port while running")
 	eventsOut := flag.String("events-out", "", "write the raw events dump to this file (input for traceanalyze)")
 	transport := flag.String("transport", "inproc", "run parallel clustering ranks as: inproc goroutines, or tcp / unix OS processes")
+	collectorAddr := flag.String("collector", "", "run a live telemetry collector on this host:port; every rank streams health, metrics and trace deltas to it (poll with asmtop)")
+	collectorLinger := flag.Duration("collector-linger", 2*time.Second, "keep the collector serving this long after the run completes so pollers observe the final state")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -76,6 +79,9 @@ func main() {
 	// re-preprocesses the same input deterministically; only rank 0
 	// assembles and writes output.
 	rank := 0
+	registry, epoch := "", uint64(0)
+	colURL := ""
+	var colSrv *obs.Server
 	var fleet *launch.Fleet
 	var trans par.Transport
 	switch *transport {
@@ -91,17 +97,33 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		registry, epoch := "", uint64(0)
 		if isChild {
 			rank, registry, epoch = child.Rank, child.Registry, child.Epoch
-			*obsAddr = "" // one observability server per job, owned by rank 0
+			// The parent decides per-rank observability: children listen
+			// on the ephemeral address it forwarded (or not at all) and
+			// stream to the collector it started.
+			*obsAddr = child.ObsAddr
+			colURL = child.Collector
 		} else {
 			if registry, err = os.MkdirTemp("", "asmpipeline-registry-"); err != nil {
 				fail(err)
 			}
 			defer os.RemoveAll(registry)
 			epoch = launch.Epoch()
-			if fleet, err = launch.Spawn(*ranks, *transport, registry, epoch); err != nil {
+			if *collectorAddr != "" {
+				_, colSrv, colURL, err = launch.StartCollector(collector.Config{Ranks: *ranks, Job: "asmpipeline"}, *collectorAddr, registry, epoch)
+				if err != nil {
+					fail(err)
+				}
+				defer func() { time.Sleep(*collectorLinger); colSrv.Close() }()
+				fmt.Printf("collector on %s (/status /ranks /healthz /readyz /analyze/live /events)\n", colURL)
+			}
+			childObs := ""
+			if *obsAddr != "" {
+				childObs = "127.0.0.1:0" // per-rank ephemeral server, address published to the registry
+			}
+			tel := launch.Telemetry{ObsAddr: childObs, Collector: colURL}
+			if fleet, err = launch.Spawn(*ranks, *transport, registry, epoch, tel); err != nil {
 				fail(err)
 			}
 			defer fleet.Wait()
@@ -114,19 +136,44 @@ func main() {
 		fail(fmt.Errorf("unknown -transport %q (inproc, tcp, unix)", *transport))
 	}
 
+	if *collectorAddr != "" && trans == nil {
+		// In-process machine: one collector, one reporter covering all
+		// ranks (the single tracer spans the whole run).
+		var err error
+		_, colSrv, colURL, err = launch.StartCollector(collector.Config{Ranks: *ranks, Job: "asmpipeline"}, *collectorAddr, "", 0)
+		if err != nil {
+			fail(err)
+		}
+		defer func() { time.Sleep(*collectorLinger); colSrv.Close() }()
+		fmt.Printf("collector on %s (/status /ranks /healthz /readyz /analyze/live /events)\n", colURL)
+	}
+
 	var tr *obs.Tracer
 	var reg *obs.Registry
-	if *obsAddr != "" || *eventsOut != "" {
+	if *obsAddr != "" || *eventsOut != "" || colURL != "" {
 		tr = obs.NewTracer(*ranks, obs.DefaultRingCap)
 		reg = obs.NewRegistry()
 	}
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, reg, tr, analyze.Endpoint(tr))
+		srv, err := launch.ServeRankObs(*obsAddr, rank, reg, tr, registry, epoch, analyze.Endpoint(tr))
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
-		fmt.Printf("observability server on http://%s (/metrics /trace /timeline /analyze /debug/pprof)\n", srv.Addr)
+		if rank == 0 {
+			fmt.Printf("observability server on http://%s (/metrics /trace /timeline /analyze /debug/pprof)\n", srv.Addr)
+		}
+	}
+	var rep *collector.Reporter
+	if colURL != "" {
+		covers := []int{rank}
+		if trans == nil {
+			covers = launch.AllRanks(*ranks)
+		}
+		rep = collector.StartReporter(collector.ReporterConfig{
+			URL: colURL, Rank: rank, Covers: covers, Job: "asmpipeline",
+			Tracer: tr, Registry: reg,
+		})
 	}
 
 	f, err := os.Open(*in)
@@ -198,13 +245,22 @@ func main() {
 			*psi, *w, *ranks, *mask, *qual != "", *seed),
 	})
 	if err != nil {
+		rep.Close(nil, false, err.Error())
 		fail(err)
 	}
 
+	// One tracer snapshot shared by the events file and the reporter's
+	// final flush, so the collector's merged trace is byte-identical to
+	// merging the dump files.
+	var dump *obs.Dump
+	if tr != nil {
+		dump = tr.Dump()
+	}
 	if rank != 0 {
 		// Worker-rank process: clustering is done, the master owns
 		// all remaining phases and every output file.
-		writeEvents(tr, *eventsOut, rank, *transport)
+		writeEvents(dump, *eventsOut, rank, *transport)
+		rep.Close(dump, true, "")
 		return
 	}
 
@@ -229,14 +285,15 @@ func main() {
 	}
 	fmt.Printf("wrote %d contigs to %s\n", len(contigFrags), *out)
 
-	writeEvents(tr, *eventsOut, 0, *transport)
+	writeEvents(dump, *eventsOut, 0, *transport)
+	rep.Close(dump, true, "")
 }
 
-// writeEvents dumps this process's tracer. Transport runs suffix the
-// path with the rank, one dump per OS process, so cross-rank analysis
-// can merge them afterwards (tracecheck -events a.rank0 a.rank1 ...).
-func writeEvents(tr *obs.Tracer, path string, rank int, transport string) {
-	if path == "" || tr == nil {
+// writeEvents writes one process's events dump. Transport runs suffix
+// the path with the rank, one dump per OS process, so cross-rank
+// analysis can merge them afterwards (tracecheck -events a.rank0 ...).
+func writeEvents(d *obs.Dump, path string, rank int, transport string) {
+	if path == "" || d == nil {
 		return
 	}
 	if transport != "inproc" {
@@ -246,7 +303,7 @@ func writeEvents(tr *obs.Tracer, path string, rank int, transport string) {
 	if err != nil {
 		fail(err)
 	}
-	if err := tr.WriteEvents(ef); err == nil {
+	if err := d.WriteJSON(ef); err == nil {
 		err = ef.Close()
 	}
 	if err != nil {

@@ -1,0 +1,211 @@
+// Command asmtop is a live text dashboard for a running assembly job.
+// It polls a run collector's /status endpoint (started with the
+// -collector flag of asmnode, asmcluster or asmpipeline) and renders
+// one row per rank: health state, heartbeat lag, current phase, event
+// and traffic counters, and the idle share and straggler flag from the
+// collector's incremental causal analysis.
+//
+// Usage:
+//
+//	asmtop http://127.0.0.1:9090
+//	asmtop -registry /shared/reg        # discover the URL from the job's rendezvous directory
+//	asmtop -once -plain http://...      # one snapshot, no screen clearing (scripts, logs)
+//
+// asmtop exits 0 once the run reports complete with an OK verdict,
+// 1 when it completes failed, and 2 when the collector cannot be
+// reached before any status was observed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs/collector"
+	"repro/internal/par/nettrans"
+)
+
+func main() {
+	interval := flag.Duration("interval", 500*time.Millisecond, "poll interval")
+	once := flag.Bool("once", false, "print one snapshot and exit")
+	plain := flag.Bool("plain", false, "append snapshots instead of redrawing the screen")
+	polls := flag.Int("n", 0, "stop after this many polls (0 = until the run completes)")
+	registry := flag.String("registry", "", "discover the collector URL from this rendezvous registry directory")
+	discoverWait := flag.Duration("discover-wait", 5*time.Second, "how long to wait for the registry to name a collector")
+	flag.Parse()
+
+	url := flag.Arg(0)
+	if url == "" && *registry != "" {
+		var err error
+		url, err = nettrans.WaitService(*registry, "collector", 0, time.Now().Add(*discoverWait))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmtop:", err)
+			os.Exit(2)
+		}
+	}
+	if url == "" {
+		fmt.Fprintln(os.Stderr, "usage: asmtop [flags] http://collector-host:port  (or -registry DIR)")
+		os.Exit(2)
+	}
+	url = strings.TrimSuffix(url, "/")
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	seen := false
+	for n := 0; ; n++ {
+		st, err := poll(client, url)
+		if err != nil {
+			if !seen {
+				fmt.Fprintln(os.Stderr, "asmtop:", err)
+				os.Exit(2)
+			}
+			// The collector went away after we saw it live — the job
+			// process exited. Whatever we last rendered stands.
+			fmt.Printf("collector gone (%v)\n", err)
+			os.Exit(0)
+		}
+		seen = true
+		if !*plain && !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(os.Stdout, st)
+		if st.Complete {
+			if st.ExitOK {
+				os.Exit(0)
+			}
+			os.Exit(1)
+		}
+		if *once || (*polls > 0 && n+1 >= *polls) {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func poll(client *http.Client, url string) (*collector.Status, error) {
+	resp, err := client.Get(url + "/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("%s/status returned %s", url, resp.Status)
+	}
+	var st collector.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decode /status: %w", err)
+	}
+	return &st, nil
+}
+
+// render draws one status snapshot. Split out from main so tests can
+// feed it synthetic statuses.
+func render(w io.Writer, st *collector.Status) {
+	verdict := "running"
+	if st.Complete {
+		verdict = "complete ok"
+		if !st.ExitOK {
+			verdict = "complete FAILED"
+		}
+	}
+	job := st.Job
+	if job == "" {
+		job = "?"
+	}
+	fmt.Fprintf(w, "asmtop — job %s  up %5.1fs  ranks %d/%d  reports %d  events %d  [%s]\n",
+		job, st.UptimeSec, st.SeenRanks, st.ExpectRanks, st.Reports, st.EventsTotal, verdict)
+	if lv := st.Live; lv != nil {
+		fmt.Fprintf(w, "live: makespan %.2fs  comm %.2fs  comp %.2fs  idle %.2fs  slowest r%d",
+			lv.MakespanSec, lv.CommSec, lv.CompSec, lv.IdleSec, lv.SlowestRank)
+		if lv.Unmatched > 0 {
+			fmt.Fprintf(w, "  unmatched %d", lv.Unmatched)
+		}
+		if lv.Error != "" {
+			fmt.Fprintf(w, "  analysis error: %s", lv.Error)
+		}
+		fmt.Fprintln(w)
+		for _, s := range lv.Stragglers {
+			fmt.Fprintf(w, "straggler: rank %d in %s — %.2fs vs %.2fs mean (×%.2f)\n",
+				s.Rank, s.Phase, s.Sec, s.MeanSec, s.Imbalance)
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%4s  %-7s  %6s  %7s  %-14s  %7s  %14s  %14s  %5s  %5s  %s\n",
+		"RANK", "STATE", "PID", "LAG", "PHASE", "EVENTS", "SENT", "RECV", "IDLE%", "RETX", "FLAGS")
+	ranks := append([]collector.RankStatus(nil), st.Ranks...)
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i].Rank < ranks[j].Rank })
+	for _, r := range ranks {
+		lag := "-"
+		if r.LagMs >= 0 {
+			lag = fmt.Sprintf("%dms", r.LagMs)
+		}
+		phase := r.Phase
+		if phase == "" {
+			phase = "·"
+		}
+		var flags []string
+		if r.Straggler {
+			flags = append(flags, "STRAGGLER")
+		}
+		if r.Faults > 0 {
+			flags = append(flags, fmt.Sprintf("faults=%d", r.Faults))
+		}
+		if r.Drops > 0 {
+			flags = append(flags, fmt.Sprintf("drops=%d", r.Drops))
+		}
+		if r.LeaseExpires > 0 {
+			flags = append(flags, fmt.Sprintf("lease-exp=%d", r.LeaseExpires))
+		}
+		if r.Checkpoints > 0 {
+			flags = append(flags, fmt.Sprintf("ckpt=%d", r.Checkpoints))
+		}
+		if r.ExitReason != "" {
+			flags = append(flags, r.ExitReason)
+		}
+		fmt.Fprintf(w, "%4d  %-7s  %6s  %7s  %-14s  %7d  %14s  %14s  %5s  %5d  %s\n",
+			r.Rank, r.State, orDash(r.PID), lag, phase, r.Events,
+			traffic(r.MsgsSent, r.BytesSent), traffic(r.MsgsRecv, r.BytesRecv),
+			pct(r.IdlePct, r.TotalSec > 0), r.Retransmits, strings.Join(flags, " "))
+	}
+}
+
+func orDash(pid int) string {
+	if pid == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", pid)
+}
+
+func pct(v float64, known bool) string {
+	if !known {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", v) // IdlePct is already 0–100
+}
+
+// traffic renders "messages/bytes" compactly (e.g. "412/1.3MB").
+func traffic(msgs, bytes int64) string {
+	return fmt.Sprintf("%d/%s", msgs, humanBytes(bytes))
+}
+
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -24,9 +24,10 @@ func main() {
 	out := flag.String("out", "", "write the measurement as a baseline file")
 	check := flag.String("check", "", "compare against this baseline file; exit 1 on regression")
 	slowdown := flag.Float64("slowdown", 1, "multiply modeled compute charges (inject a slowdown)")
+	withCollector := flag.Bool("collector", false, "stream telemetry to a live collector while measuring (prove the overhead is under the gates)")
 	flag.Parse()
 
-	m, err := bench.Run(*workload, bench.Config{Ranks: *ranks, Iters: *iters, Slowdown: *slowdown})
+	m, err := bench.Run(*workload, bench.Config{Ranks: *ranks, Iters: *iters, Slowdown: *slowdown, Collector: *withCollector})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)

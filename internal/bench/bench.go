@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/collector"
 	"repro/internal/par"
 	"repro/internal/par/nettrans"
 	"repro/internal/pipeline"
@@ -68,6 +69,12 @@ type Config struct {
 	// CompScale); 1 is natural speed. Used to prove bench-check
 	// detects an injected regression.
 	Slowdown float64
+	// Collector streams telemetry to a live run collector for the
+	// whole timed region, exactly as a production run under asmtop
+	// would. Checking a collector-on run against a collector-off
+	// baseline proves the streaming overhead stays under the noise
+	// gates.
+	Collector bool
 }
 
 func (c Config) withDefaults() Config {
@@ -186,6 +193,28 @@ func Run(workload string, cfg Config) (*Metrics, error) {
 	var lastTracer *obs.Tracer
 	for i := 0; i < cfg.Iters; i++ {
 		tr := obs.NewTracer(cfg.Ranks, obs.DefaultRingCap)
+		var rep *collector.Reporter
+		var srv *obs.Server
+		if cfg.Collector {
+			// One reporter covers the whole shared-process machine, as
+			// an in-process production run would. Setup and the final
+			// flush stay outside the timed region; the periodic delta
+			// streaming — the cost a live run actually pays — is in it.
+			col := collector.New(collector.Config{Ranks: cfg.Ranks, Job: "bench-" + workload})
+			var err error
+			srv, err = col.Serve("127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("bench %s: collector: %w", workload, err)
+			}
+			covers := make([]int, cfg.Ranks)
+			for r := range covers {
+				covers[r] = r
+			}
+			rep = collector.StartReporter(collector.ReporterConfig{
+				URL: "http://" + srv.Addr, Rank: 0, Covers: covers,
+				Job: "bench-" + workload, Tracer: tr,
+			})
+		}
 		var ms0, ms1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
@@ -195,6 +224,12 @@ func Run(workload string, cfg Config) (*Metrics, error) {
 		}
 		ns := time.Since(t0).Nanoseconds()
 		runtime.ReadMemStats(&ms1)
+		if rep != nil {
+			if err := rep.Close(tr.Dump(), true, ""); err != nil {
+				return nil, fmt.Errorf("bench %s: collector flush: %w", workload, err)
+			}
+			srv.Close()
+		}
 		allocs := ms1.Mallocs - ms0.Mallocs
 		if i == 0 || ns < m.NsPerOp {
 			m.NsPerOp = ns

@@ -72,11 +72,11 @@ func decodePairs(r *wire.Reader) ([]pairgen.Pair, error) {
 	ps := make([]pairgen.Pair, n)
 	for i := range ps {
 		ps[i] = pairgen.Pair{
-			ASid:     int32(r.Int()),
-			BSid:     int32(r.Int()),
-			APos:     int32(r.Int()),
-			BPos:     int32(r.Int()),
-			MatchLen: int32(r.Int()),
+			ASid:     r.Int32(),
+			BSid:     r.Int32(),
+			APos:     r.Int32(),
+			BPos:     r.Int32(),
+			MatchLen: r.Int32(),
 		}
 	}
 	return ps, r.Err()
@@ -114,8 +114,8 @@ func decodeReport(b []byte) (rep report, err error) {
 	rep.results = make([]alignResult, n)
 	for i := range rep.results {
 		rep.results[i] = alignResult{
-			fa:       int32(r.Int()),
-			fb:       int32(r.Int()),
+			fa:       r.Int32(),
+			fb:       r.Int32(),
 			accepted: r.Bool(),
 		}
 	}

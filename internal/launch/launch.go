@@ -21,11 +21,15 @@ import (
 )
 
 const (
-	rankEnv     = "ASM_SPMD_RANK"
-	sizeEnv     = "ASM_SPMD_SIZE"
-	networkEnv  = "ASM_SPMD_NETWORK"
-	registryEnv = "ASM_SPMD_REGISTRY"
-	epochEnv    = "ASM_SPMD_EPOCH"
+	rankEnv      = "ASM_SPMD_RANK"
+	sizeEnv      = "ASM_SPMD_SIZE"
+	networkEnv   = "ASM_SPMD_NETWORK"
+	registryEnv  = "ASM_SPMD_REGISTRY"
+	epochEnv     = "ASM_SPMD_EPOCH"
+	obsEnv       = "ASM_SPMD_OBS"       // per-rank obs server listen addr ("" = off)
+	collectorEnv = "ASM_SPMD_COLLECTOR" // run collector base URL
+	eventsEnv    = "ASM_SPMD_EVENTS"    // events-dump base path (rank suffix added)
+	traceEnv     = "ASM_SPMD_TRACE"     // Chrome-trace base path (rank suffix added)
 )
 
 // Child describes this process's role in a spawned SPMD job.
@@ -35,6 +39,45 @@ type Child struct {
 	Network  string // "tcp" or "unix"
 	Registry string // rendezvous registry directory
 	Epoch    uint64
+
+	// Telemetry wiring inherited from the parent. ObsAddr is this
+	// rank's own observability listen address (parents pass an
+	// ephemeral ":0"-style address so every rank is individually
+	// scrapeable; the rank publishes the bound address back into the
+	// registry). Collector is the run collector's base URL. EventsOut
+	// and TraceOut are dump-path bases the rank suffixes with its
+	// rank number. All empty when the parent ran without telemetry.
+	ObsAddr   string
+	Collector string
+	EventsOut string
+	TraceOut  string
+}
+
+// Telemetry is the optional observability wiring Spawn forwards to
+// every child rank through the environment.
+type Telemetry struct {
+	ObsAddr   string // children listen here (use "127.0.0.1:0" for per-rank ephemeral ports)
+	Collector string // run collector base URL children report to
+	EventsOut string // events-dump base path (children append .rank<r>)
+	TraceOut  string // Chrome-trace base path (children append .rank<r>)
+}
+
+// env renders the telemetry wiring as environment entries.
+func (t Telemetry) env() []string {
+	var out []string
+	if t.ObsAddr != "" {
+		out = append(out, obsEnv+"="+t.ObsAddr)
+	}
+	if t.Collector != "" {
+		out = append(out, collectorEnv+"="+t.Collector)
+	}
+	if t.EventsOut != "" {
+		out = append(out, eventsEnv+"="+t.EventsOut)
+	}
+	if t.TraceOut != "" {
+		out = append(out, traceEnv+"="+t.TraceOut)
+	}
+	return out
 }
 
 // FromEnv reports whether this process was re-executed as a worker
@@ -60,6 +103,10 @@ func FromEnv() (Child, bool, error) {
 	if c.Registry == "" {
 		return Child{}, false, fmt.Errorf("launch: %s set but %s empty", rankEnv, registryEnv)
 	}
+	c.ObsAddr = os.Getenv(obsEnv)
+	c.Collector = os.Getenv(collectorEnv)
+	c.EventsOut = os.Getenv(eventsEnv)
+	c.TraceOut = os.Getenv(traceEnv)
 	if c.Rank < 1 || c.Rank >= c.Size {
 		return Child{}, false, fmt.Errorf("launch: child rank %d out of range for size %d", c.Rank, c.Size)
 	}
@@ -95,11 +142,16 @@ type Fleet struct {
 // Spawn re-executes the current binary as ranks 1..size-1 of a job
 // rooted at this process (which becomes rank 0). Children inherit
 // the parent's arguments verbatim; their stdout is redirected to the
-// parent's stderr so rank 0 alone owns the job's stdout.
-func Spawn(size int, network, registry string, epoch uint64) (*Fleet, error) {
+// parent's stderr so rank 0 alone owns the job's stdout. An optional
+// Telemetry argument forwards observability wiring to every child.
+func Spawn(size int, network, registry string, epoch uint64, tel ...Telemetry) (*Fleet, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("launch: resolve executable: %w", err)
+	}
+	var telEnv []string
+	for _, t := range tel {
+		telEnv = append(telEnv, t.env()...)
 	}
 	f := &Fleet{procs: make(map[int]*exec.Cmd)}
 	for r := 1; r < size; r++ {
@@ -111,6 +163,7 @@ func Spawn(size int, network, registry string, epoch uint64) (*Fleet, error) {
 			registryEnv+"="+registry,
 			epochEnv+"="+strconv.FormatUint(epoch, 10),
 		)
+		cmd.Env = append(cmd.Env, telEnv...)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

@@ -35,6 +35,14 @@ import (
 type Options struct {
 	// TopSpans is how many slowest phase spans to report (default 10).
 	TopSpans int
+
+	// Partial says the dump is a mid-run prefix of an ongoing run (the
+	// collector's live view): a receive whose matching send has not
+	// been streamed yet is tolerated — counted in Report.Unmatched and
+	// analyzed without its message edge (its idle attribution is a
+	// lower bound until the sender's stream catches up) — instead of
+	// rejecting the dump as corrupt.
+	Partial bool
 }
 
 // Report is the full analysis of one traced run. It contains only
@@ -318,7 +326,7 @@ func Analyze(d *obs.Dump, opt Options) (*Report, error) {
 				n.msgPred = sid
 			} else {
 				rep.Unmatched++
-				if src >= 0 && src < nranks && dropped[src] == 0 && !anyDropped {
+				if !opt.Partial && src >= 0 && src < nranks && dropped[src] == 0 && !anyDropped {
 					return nil, fmt.Errorf("analyze: rank %d recv of (src=%d seq=%d) has no matching send and no events were dropped",
 						n.rank, src, e.Seq)
 				}

@@ -1,0 +1,152 @@
+package analyze
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Incremental is the streaming entry point to the causal analysis:
+// per-rank event batches are appended as they arrive from the
+// collector's delta stream, and Report re-derives the full analysis
+// over everything received so far. Recomputation is memoized — a
+// Report call recomputes only when new data arrived since the cached
+// report, and at most once per MinInterval — so a dashboard polling at
+// a few hertz amortizes the DAG pass instead of paying it per poll.
+//
+// Mid-run reports run in Partial mode: receives whose sends have not
+// been streamed yet carry no message edge, so idle attribution is a
+// lower bound that tightens as the lagging streams catch up. Once
+// every rank's authoritative final dump replaces its streamed prefix
+// (Replace), the report is exactly the post-hoc Analyze of the merged
+// dump.
+type Incremental struct {
+	opt Options
+
+	mu       sync.Mutex
+	perRank  map[int][]obs.Event
+	dropped  map[int]uint64
+	gen      uint64 // bumped by every mutation
+	events   int
+	cachedAt uint64 // generation the cached report was computed at
+	cached   *Report
+	cachedT  time.Time
+	err      error
+
+	// MinInterval rate-limits recomputation (default 250ms; negative
+	// disables the limit — tests want every Report fresh).
+	MinInterval time.Duration
+	now         func() time.Time
+}
+
+// NewIncremental returns an empty incremental analysis. Partial mode
+// is forced on: a live prefix is partial by definition.
+func NewIncremental(opt Options) *Incremental {
+	opt.Partial = true
+	return &Incremental{
+		opt:     opt,
+		perRank: map[int][]obs.Event{},
+		dropped: map[int]uint64{},
+		now:     time.Now,
+	}
+}
+
+// Append adds a batch of rank's events in stream order.
+func (inc *Incremental) Append(rank int, evs []obs.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	inc.perRank[rank] = append(inc.perRank[rank], evs...)
+	inc.events += len(evs)
+	inc.gen++
+}
+
+// AddDropped records that n more of rank's events were evicted before
+// they could be streamed; the rank's stream is truncated from here on.
+func (inc *Incremental) AddDropped(rank int, n uint64) {
+	if n == 0 {
+		return
+	}
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	inc.dropped[rank] += n
+	inc.gen++
+}
+
+// Replace swaps rank's accumulated stream for an authoritative one —
+// the rank's final-flush dump — so the post-run report matches the
+// post-hoc analysis of the merged dump exactly.
+func (inc *Incremental) Replace(rank int, evs []obs.Event, dropped uint64) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	inc.events += len(evs) - len(inc.perRank[rank])
+	inc.perRank[rank] = evs
+	inc.dropped[rank] = dropped
+	inc.gen++
+	// An authoritative dump bypasses the rate limit: the very next
+	// Report reflects it, so a poll right after the run completes never
+	// sees a stale mid-run analysis.
+	inc.cachedT = time.Time{}
+}
+
+// EventCount returns the number of events accumulated so far.
+func (inc *Incremental) EventCount() int {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.events
+}
+
+// Dump snapshots the accumulated streams as an obs.Dump (rank slices
+// are shared, not copied; treat the result as read-only).
+func (inc *Incremental) Dump() *obs.Dump {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.dumpLocked()
+}
+
+func (inc *Incremental) dumpLocked() *obs.Dump {
+	ranks := make([]int, 0, len(inc.perRank))
+	for r := range inc.perRank {
+		ranks = append(ranks, r)
+	}
+	for r := range inc.dropped {
+		if _, ok := inc.perRank[r]; !ok {
+			ranks = append(ranks, r)
+		}
+	}
+	sort.Ints(ranks)
+	d := &obs.Dump{Version: obs.DumpVersion}
+	for _, r := range ranks {
+		d.Ranks = append(d.Ranks, obs.RankDump{
+			Rank:    r,
+			Dropped: inc.dropped[r],
+			Events:  inc.perRank[r],
+		})
+	}
+	return d
+}
+
+// Report returns the analysis of everything streamed so far. The
+// cached report is reused when nothing changed, or when the last
+// recompute was under MinInterval ago.
+func (inc *Incremental) Report() (*Report, error) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	interval := inc.MinInterval
+	if interval == 0 {
+		interval = 250 * time.Millisecond
+	}
+	fresh := inc.cachedAt == inc.gen
+	if (inc.cached != nil || inc.err != nil) && (fresh || (interval > 0 && inc.now().Sub(inc.cachedT) < interval)) {
+		return inc.cached, inc.err
+	}
+	d := inc.dumpLocked()
+	inc.cachedAt = inc.gen
+	inc.cachedT = inc.now()
+	inc.cached, inc.err = Analyze(d, inc.opt)
+	return inc.cached, inc.err
+}

@@ -1,0 +1,107 @@
+package analyze
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestPartialToleratesUnmatchedRecv: in Partial mode a recv whose send
+// has not been streamed yet is counted, not fatal; strict mode keeps
+// rejecting it.
+func TestPartialToleratesUnmatchedRecv(t *testing.T) {
+	d := &obs.Dump{Version: obs.DumpVersion, Ranks: []obs.RankDump{{
+		Rank: 1,
+		Events: []obs.Event{
+			{Kind: obs.EvRecvBegin, Rank: 1, Comp: 1, A: 0, B: 7},
+			{Kind: obs.EvRecvEnd, Rank: 1, Comm: 2, Comp: 1, A: 0, B: 7, C: 10, Seq: 1},
+		},
+	}}}
+	if _, err := Analyze(d, Options{}); err == nil {
+		t.Fatal("strict mode accepted an unmatched recv")
+	}
+	rep, err := Analyze(d, Options{Partial: true})
+	if err != nil {
+		t.Fatalf("partial mode: %v", err)
+	}
+	if rep.Unmatched != 1 {
+		t.Fatalf("Unmatched = %d, want 1", rep.Unmatched)
+	}
+}
+
+// TestIncrementalConvergesToPostHoc: streaming a run in interleaved
+// batches — receives arriving before their sends — and then replacing
+// each rank's stream with its final dump yields a report identical to
+// the one-shot post-hoc Analyze.
+func TestIncrementalConvergesToPostHoc(t *testing.T) {
+	d := handScript(t)
+	want, err := Analyze(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inc := NewIncremental(Options{})
+	inc.MinInterval = -1 // recompute on every Report
+
+	// Stream rank 1 first (its recv's send has not arrived yet), in
+	// two batches, then rank 0.
+	r1 := d.Ranks[1].Events
+	inc.Append(1, r1[:1])
+	inc.Append(1, r1[1:])
+	mid, err := inc.Report()
+	if err != nil {
+		t.Fatalf("mid-stream report: %v", err)
+	}
+	if mid.Unmatched != 1 {
+		t.Fatalf("mid-stream Unmatched = %d, want 1", mid.Unmatched)
+	}
+	inc.Append(0, d.Ranks[0].Events)
+
+	got, err := inc.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Unmatched != 0 {
+		t.Fatalf("converged Unmatched = %d, want 0", got.Unmatched)
+	}
+	// The streamed prefix already is the whole run here, so the report
+	// must match post-hoc exactly — Partial only relaxes validation.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("incremental report diverges from post-hoc:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// Replace with the authoritative dumps (idempotent here) and check
+	// the equality survives, plus the memoization: same generation,
+	// same pointer back.
+	for _, rd := range d.Ranks {
+		inc.Replace(rd.Rank, rd.Events, rd.Dropped)
+	}
+	got2, err := inc.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("report after Replace diverges from post-hoc")
+	}
+	got3, _ := inc.Report()
+	if got3 != got2 {
+		t.Fatal("unchanged generation should return the cached report")
+	}
+	if inc.EventCount() != len(d.Ranks[0].Events)+len(d.Ranks[1].Events) {
+		t.Fatalf("EventCount = %d", inc.EventCount())
+	}
+}
+
+// TestIncrementalEmpty: a report over nothing is valid and empty.
+func TestIncrementalEmpty(t *testing.T) {
+	inc := NewIncremental(Options{})
+	inc.MinInterval = -1
+	rep, err := inc.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanSec != 0 || len(rep.RankTotals) != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+}

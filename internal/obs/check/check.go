@@ -20,11 +20,12 @@ type Summary struct {
 	Faults     int // fault-model instants (retransmit, corrupt, retry, quarantine)
 	Unclosed   int // spans left open at end of file
 	SeqMatched int // receives matched to their send by (src, seq)
+	Runs       int // run segments (a send seq restarting at 1 marks a new run)
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("%d events, %d tracks, %d spans, %d instants (%d fault-model), %d unclosed, %d seq-matched recvs",
-		s.Events, s.Tracks, s.Spans, s.Instants, s.Faults, s.Unclosed, s.SeqMatched)
+	return fmt.Sprintf("%d events, %d tracks, %d spans, %d instants (%d fault-model), %d unclosed, %d seq-matched recvs, %d run(s)",
+		s.Events, s.Tracks, s.Spans, s.Instants, s.Faults, s.Unclosed, s.SeqMatched, s.Runs)
 }
 
 type traceFile struct {
@@ -84,6 +85,14 @@ var faultKinds = map[string]bool{
 // are gap-free (unless its thread_name metadata records dropped
 // events), and within a pid every received (src, seq) matches a send
 // some thread carried, at most once.
+//
+// A file may concatenate several machine runs (sweep experiments
+// record every run of a sweep into one tracer): a thread's send seq
+// restarting at 1 marks a run boundary, and seqs must be gap-free
+// within each run segment. Because sweep points can run different
+// rank counts, (src, seq) is not unique across segments, so the
+// exactly-once receive matching is skipped for multi-run files —
+// single-run files keep the full causal strictness.
 func JSON(data []byte) (Summary, error) {
 	var s Summary
 	var tf traceFile
@@ -108,6 +117,8 @@ func JSON(data []byte) (Summary, error) {
 		id  msgID
 	}
 	lastSeq := map[track]uint64{}
+	restarts := map[track]int{}      // run boundaries seen on this thread
+	multiRun := false                // any thread restarted its seqs
 	droppedTrack := map[track]bool{} // this thread's ring was truncated
 	droppedPid := map[int]bool{}     // any thread in pid truncated
 	sent := map[pidMsg]bool{}
@@ -149,6 +160,13 @@ func JSON(data []byte) (Summary, error) {
 			s.Spans++
 			if (e.Name == "send" || e.Name == "ssend") && e.Args.Seq != nil && *e.Args.Seq > 0 {
 				seq := *e.Args.Seq
+				if seq == 1 && lastSeq[k] > 0 {
+					// The transport counts sends from 1 per run, so a
+					// restart means a new run began on this thread.
+					restarts[k]++
+					multiRun = true
+					lastSeq[k] = 0
+				}
 				if seq <= lastSeq[k] {
 					return s, fmt.Errorf("event %d: pid=%d tid=%d send seq %d after %d (not increasing)",
 						i, k.pid, k.tid, seq, lastSeq[k])
@@ -184,9 +202,24 @@ func JSON(data []byte) (Summary, error) {
 	// Exactly-once matching per pid: every received (src, seq) was
 	// sent, and consumed at most once. Truncated pids are exempt —
 	// the matching send may have been evicted.
+	s.Runs = 1
+	for _, n := range restarts {
+		if n+1 > s.Runs {
+			s.Runs = n + 1
+		}
+	}
 	consumed := map[pidMsg]bool{}
 	for _, rc := range recvs {
 		if droppedPid[rc.key.pid] {
+			continue
+		}
+		if multiRun {
+			// Runs with different rank counts reuse (src, seq), so
+			// exactly-once matching is undecidable across segments;
+			// count the receives that do find a send.
+			if sent[rc.key] {
+				s.SeqMatched++
+			}
 			continue
 		}
 		if !sent[rc.key] {

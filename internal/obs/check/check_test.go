@@ -259,6 +259,54 @@ func TestJSONCausalInvariants(t *testing.T) {
 	}
 }
 
+func TestJSONMultiRunTrace(t *testing.T) {
+	// A sweep experiment records several machine runs — here with
+	// different rank counts, like fig5's proc sweep — into one tracer.
+	// Each run's send seqs restart at 1; the checker must segment at
+	// the restarts instead of rejecting the file.
+	tr := obs.NewTracer(4, 0)
+	for _, p := range []int{2, 4, 2} {
+		cfg := par.DefaultConfig(p)
+		cfg.Trace = tr
+		par.Run(cfg, func(c *par.Comm) {
+			if c.Rank() == 0 {
+				for d := 1; d < c.Size(); d++ {
+					c.Send(d, 1, []byte("sweep"))
+				}
+			} else {
+				c.Recv(0, 1)
+			}
+		})
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := JSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("multi-run trace rejected: %v", err)
+	}
+	if sum.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", sum.Runs)
+	}
+	if sum.SeqMatched == 0 {
+		t.Error("no seq-matched receives across run segments")
+	}
+
+	// Segmentation must not weaken the within-run checks: a gap after
+	// a restart is still a gap.
+	gapAfterRestart := `{"traceEvents":[
+		{"name":"send","ph":"B","ts":1,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":1}},
+		{"name":"send","ph":"E","ts":2,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":1}},
+		{"name":"send","ph":"B","ts":3,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":1}},
+		{"name":"send","ph":"E","ts":4,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":1}},
+		{"name":"send","ph":"B","ts":5,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":3}},
+		{"name":"send","ph":"E","ts":6,"pid":1,"tid":0,"args":{"dst":1,"tag":7,"seq":3}}]}`
+	if _, err := JSON([]byte(gapAfterRestart)); err == nil {
+		t.Error("seq gap inside the second run segment accepted")
+	}
+}
+
 // perProcessDumps runs a 2-rank machine but exports each rank's
 // stream as its own dump, the shape a multi-process transport run
 // leaves on disk.

@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -22,8 +25,10 @@ type Server struct {
 	// Addr is the actual listen address (useful with ":0").
 	Addr string
 
-	srv *http.Server
-	ln  net.Listener
+	srv  *http.Server
+	ln   net.Listener
+	once sync.Once
+	err  error
 }
 
 // Endpoint is an extra HTTP route a caller mounts on the
@@ -98,10 +103,39 @@ func Serve(addr string, reg *Registry, tr *Tracer, extra ...Endpoint) (*Server, 
 	return s, nil
 }
 
-// Close stops the server and releases the listener.
+// Close stops the server immediately, dropping in-flight requests,
+// and releases the listener. Safe to call more than once and after
+// Shutdown.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	s.once.Do(func() {
+		s.err = s.srv.Close()
+		// srv.Close closes the tracked listener too; closing again is
+		// belt and braces for the window before Serve registered it.
+		if cerr := s.ln.Close(); s.err == nil && cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+			s.err = cerr
+		}
+	})
+	return s.err
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to finish (a final scrape in progress completes), bounded
+// by ctx. After Shutdown returns, the listener is released; a later
+// Close is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	var err error
+	s.once.Do(func() {
+		err = s.srv.Shutdown(ctx)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			err = s.srv.Close() // drain timed out: drop what's left
+		}
+		s.err = err
+	})
+	return err
 }

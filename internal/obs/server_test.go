@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func get(t *testing.T, url string) (int, []byte) {
@@ -63,6 +65,40 @@ func TestServerEndpoints(t *testing.T) {
 	if code != 404 {
 		t.Fatalf("/nope: code %d, want 404", code)
 	}
+}
+
+// TestServerShutdown: Shutdown and Close are idempotent, release the
+// port (a second server can bind the same address), and a closed
+// server refuses connections.
+func TestServerShutdown(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr
+	if code, _ := get(t, "http://"+addr+"/metrics"); code != 200 {
+		t.Fatalf("/metrics before shutdown: code %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("request succeeded against a shut-down server")
+	}
+	// The listener is truly gone: the exact address can be rebound.
+	srv2, err := Serve(addr, nil, nil)
+	if err != nil {
+		t.Fatalf("rebind %s after shutdown: %v", addr, err)
+	}
+	srv2.Close()
 }
 
 // TestServerNilSources: a server with no registry or tracer still

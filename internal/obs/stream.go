@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Streaming telemetry primitives: the delta encoding a per-rank
+// process uses to ship its tracer and registry state to a run-scoped
+// collector (internal/obs/collector) incrementally, instead of one
+// monolithic dump after the run.
+//
+// Two streams exist per rank:
+//
+//   - events: the tracer ring is an append-only log per rank (next is
+//     the count of events ever emitted), so a cursor — the reader's
+//     position in that log — makes "everything since last time" exact:
+//     EventsSince returns the retained suffix past the cursor and how
+//     many events wraparound evicted before the reader got to them.
+//
+//   - metrics: CaptureMetrics snapshots a registry into a MetricsState;
+//     Delta diffs two states into the (usually tiny) set of changed
+//     entries; Apply replays a delta onto an accumulated state. For any
+//     op sequence, applying every delta in order reproduces the final
+//     state exactly (the round-trip property the collector depends on).
+
+// EventsSince returns rank's events at log positions >= cursor that
+// are still retained, the new cursor (pass it back next call), and how
+// many events in [cursor, next) were evicted by ring wraparound before
+// this read. A fresh reader starts at cursor 0.
+func (t *Tracer) EventsSince(rank int, cursor uint64) (events []Event, next uint64, lost uint64) {
+	if t == nil || rank >= t.Ranks() {
+		return nil, cursor, 0
+	}
+	r := t.ring(rank)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if cursor > n {
+		// A cursor from a different tracer incarnation; restart.
+		cursor = n
+	}
+	capU := uint64(len(r.buf))
+	start := cursor
+	if n > capU && start < n-capU {
+		lost = n - capU - start
+		start = n - capU
+	}
+	if start < n {
+		events = make([]Event, 0, n-start)
+		for i := start; i < n; i++ {
+			events = append(events, r.buf[i%capU])
+		}
+	}
+	return events, n, lost
+}
+
+// HistState is one histogram's cumulative state: per-bucket counts
+// (the last entry is the overflow bucket) and the observation sum.
+type HistState struct {
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+}
+
+// MetricsState is a registry's full cumulative state, the replayable
+// form of Snapshot. Counters and histograms are monotone; gauges are
+// last-write-wins.
+type MetricsState struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Hists    map[string]HistState `json:"hists,omitempty"`
+}
+
+// NewMetricsState returns an empty state ready for Apply.
+func NewMetricsState() *MetricsState {
+	return &MetricsState{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistState{},
+	}
+}
+
+// CaptureMetrics snapshots a registry into a MetricsState. A nil
+// registry captures as the empty state.
+func CaptureMetrics(r *Registry) *MetricsState {
+	s := NewMetricsState()
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistState{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.bounds)+1),
+			Sum:    h.Sum(),
+		}
+		for i := range hs.Counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Hists[name] = hs
+	}
+	return s
+}
+
+// HistDelta is one histogram's increment since the previous state.
+// Bounds ride along only on the histogram's first appearance.
+type HistDelta struct {
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+}
+
+// MetricsDelta is the changed-entries diff between two MetricsStates:
+// counter and histogram entries are increments, gauge entries are
+// absolute values. Unchanged metrics are omitted entirely.
+type MetricsDelta struct {
+	Counters map[string]int64     `json:"counters,omitempty"`
+	Gauges   map[string]int64     `json:"gauges,omitempty"`
+	Hists    map[string]HistDelta `json:"hists,omitempty"`
+}
+
+// Empty reports whether the delta carries no changes.
+func (d *MetricsDelta) Empty() bool {
+	return d == nil || (len(d.Counters) == 0 && len(d.Gauges) == 0 && len(d.Hists) == 0)
+}
+
+// Delta diffs cur against prev (prev may be nil: everything is new).
+func (cur *MetricsState) Delta(prev *MetricsState) *MetricsDelta {
+	d := &MetricsDelta{}
+	for name, v := range cur.Counters {
+		var old int64
+		if prev != nil {
+			old = prev.Counters[name]
+		}
+		if v != old {
+			if d.Counters == nil {
+				d.Counters = map[string]int64{}
+			}
+			d.Counters[name] = v - old
+		}
+	}
+	for name, v := range cur.Gauges {
+		old, had := int64(0), false
+		if prev != nil {
+			old, had = prev.Gauges[name]
+		}
+		if !had || v != old {
+			if d.Gauges == nil {
+				d.Gauges = map[string]int64{}
+			}
+			d.Gauges[name] = v
+		}
+	}
+	for name, hs := range cur.Hists {
+		var old HistState
+		var had bool
+		if prev != nil {
+			old, had = prev.Hists[name]
+		}
+		changed := !had
+		hd := HistDelta{Counts: make([]int64, len(hs.Counts)), Sum: hs.Sum - old.Sum}
+		if !had {
+			hd.Bounds = hs.Bounds
+		}
+		for i, c := range hs.Counts {
+			var oc int64
+			if had && i < len(old.Counts) {
+				oc = old.Counts[i]
+			}
+			hd.Counts[i] = c - oc
+			if hd.Counts[i] != 0 {
+				changed = true
+			}
+		}
+		if changed {
+			if d.Hists == nil {
+				d.Hists = map[string]HistDelta{}
+			}
+			d.Hists[name] = hd
+		}
+	}
+	return d
+}
+
+// Apply replays one delta onto the accumulated state.
+func (s *MetricsState) Apply(d *MetricsDelta) error {
+	if d == nil {
+		return nil
+	}
+	for name, inc := range d.Counters {
+		s.Counters[name] += inc
+	}
+	for name, v := range d.Gauges {
+		s.Gauges[name] = v
+	}
+	for name, hd := range d.Hists {
+		hs, ok := s.Hists[name]
+		if !ok {
+			hs = HistState{Bounds: hd.Bounds, Counts: make([]int64, len(hd.Counts))}
+		}
+		if len(hd.Counts) != len(hs.Counts) {
+			return fmt.Errorf("obs: histogram %q delta has %d buckets, state has %d", name, len(hd.Counts), len(hs.Counts))
+		}
+		for i, c := range hd.Counts {
+			hs.Counts[i] += c
+		}
+		hs.Sum += hd.Sum
+		s.Hists[name] = hs
+	}
+	return nil
+}
+
+// Snapshot renders the state in the same flat expvar shape as
+// Registry.Snapshot (minus uptime), so a collector can serve
+// reconstructed per-rank metrics with the familiar layout.
+func (s *MetricsState) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if s == nil {
+		return out
+	}
+	for name, v := range s.Counters {
+		out[name] = v
+	}
+	for name, v := range s.Gauges {
+		out[name] = v
+	}
+	for name, hs := range s.Hists {
+		buckets := make([]histBucket, 0, len(hs.Counts))
+		for i, c := range hs.Counts {
+			if i < len(hs.Bounds) {
+				buckets = append(buckets, histBucket{Le: hs.Bounds[i], Count: c})
+			} else {
+				buckets = append(buckets, histBucket{Le: "+Inf", Count: c})
+			}
+		}
+		var count int64
+		for _, c := range hs.Counts {
+			count += c
+		}
+		out[name] = map[string]any{"count": count, "sum": hs.Sum, "buckets": buckets}
+	}
+	return out
+}
+
+// CounterNames returns the state's counter names, sorted — a
+// deterministic iteration helper for renderers.
+func (s *MetricsState) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

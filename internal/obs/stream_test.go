@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestEventsSinceCursor: reading the log in arbitrary chunk sizes
+// through a cursor reproduces exactly what a single Events read sees.
+func TestEventsSinceCursor(t *testing.T) {
+	tr := newTestTracer(1, 64)
+	for i := 0; i < 40; i++ {
+		tr.Emit(0, EvClusterMerge, 0, 0, int64(i), int64(i+1), 0)
+	}
+	var got []Event
+	var cursor uint64
+	for {
+		evs, next, lost := tr.EventsSince(0, cursor)
+		if lost != 0 {
+			t.Fatalf("lost %d events without wraparound", lost)
+		}
+		got = append(got, evs...)
+		if next == cursor {
+			break
+		}
+		cursor = next
+		// Interleave more emissions with reads.
+		if len(got) < 60 {
+			for i := 0; i < 10; i++ {
+				tr.Emit(0, EvClusterMerge, 0, 0, int64(len(got)+i), 0, 0)
+			}
+		}
+	}
+	want := tr.Events(0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cursor walk diverged: got %d events, want %d", len(got), len(want))
+	}
+}
+
+// TestEventsSinceWraparound: a slow reader loses exactly the events
+// the ring evicted, and gets the retained suffix.
+func TestEventsSinceWraparound(t *testing.T) {
+	const capN, emitted = 8, 20
+	tr := newTestTracer(1, capN)
+	for i := 0; i < emitted; i++ {
+		tr.Emit(0, EvClusterMerge, 0, 0, int64(i), 0, 0)
+	}
+	evs, next, lost := tr.EventsSince(0, 0)
+	if next != emitted {
+		t.Fatalf("next = %d, want %d", next, emitted)
+	}
+	if lost != emitted-capN {
+		t.Fatalf("lost = %d, want %d", lost, emitted-capN)
+	}
+	if len(evs) != capN || evs[0].A != emitted-capN || evs[capN-1].A != emitted-1 {
+		t.Fatalf("retained suffix wrong: %+v", evs)
+	}
+
+	// A cursor beyond the log (tracer restarted) clamps, not panics.
+	evs, next, lost = tr.EventsSince(0, 10_000)
+	if len(evs) != 0 || next != emitted || lost != 0 {
+		t.Fatalf("clamped read: events %d next %d lost %d", len(evs), next, lost)
+	}
+}
+
+// TestMetricsDeltaRoundTrip is the property the collector depends on:
+// for a random op sequence, replaying every interval delta (through a
+// JSON round-trip, as on the wire) onto an empty state reproduces the
+// final registry snapshot exactly.
+func TestMetricsDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reg := NewRegistry()
+	replica := NewMetricsState()
+	bounds := []float64{1, 10, 100}
+
+	prev := (*MetricsState)(nil)
+	for round := 0; round < 60; round++ {
+		for op := 0; op < rng.Intn(20); op++ {
+			name := string(rune('a' + rng.Intn(6)))
+			switch rng.Intn(3) {
+			case 0:
+				// Nonzero increments: a counter born at zero produces no
+				// delta entry, so the replica would (correctly) not know
+				// it exists yet — which DeepEqual would flag.
+				reg.Counter("ctr_" + name).Add(int64(rng.Intn(50)) + 1)
+			case 1:
+				reg.Gauge("g_" + name).Set(int64(rng.Intn(1000) - 500))
+			case 2:
+				// Integer-valued observations keep float sums exact, so
+				// the equality check below has no tolerance to tune.
+				reg.Histogram("h_"+name, bounds).Observe(float64(rng.Intn(200)))
+			}
+		}
+		cur := CaptureMetrics(reg)
+		d := cur.Delta(prev)
+		prev = cur
+
+		wire, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back MetricsDelta
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatal(err)
+		}
+		if err := replica.Apply(&back); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	final := CaptureMetrics(reg)
+	if !reflect.DeepEqual(replica, final) {
+		t.Fatalf("replayed deltas diverge from final state:\nreplica: %+v\nfinal:   %+v", replica, final)
+	}
+	// And the rendered form matches the expvar-shaped snapshot too.
+	if !reflect.DeepEqual(replica.Snapshot(), final.Snapshot()) {
+		t.Fatal("Snapshot() of replica differs from final state's")
+	}
+}
+
+// TestMetricsDeltaEmpty: no changes, no payload.
+func TestMetricsDeltaEmpty(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Add(2)
+	a := CaptureMetrics(reg)
+	if d := a.Delta(nil); d.Empty() {
+		t.Fatal("first delta should carry the counter")
+	}
+	b := CaptureMetrics(reg)
+	if d := b.Delta(a); !d.Empty() {
+		t.Fatalf("unchanged registry produced delta %+v", d)
+	}
+	var nilDelta *MetricsDelta
+	if !nilDelta.Empty() {
+		t.Fatal("nil delta should be empty")
+	}
+	if err := NewMetricsState().Apply(nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -432,8 +432,8 @@ func redistribute(c *par.Comm, st *seq.Store, local []keyedSuffix, splitters []s
 		r := wire.NewReader(buf)
 		for r.Remaining() > 0 {
 			key := seq.Kmer(r.Uint())
-			sid := int32(r.Int())
-			pos := int32(r.Int())
+			sid := r.Int32()
+			pos := r.Int32()
 			prev := int8(r.Int())
 			mine = append(mine, keyedSuffix{key, suffixtree.Suffix{Sid: sid, Pos: pos, Prev: prev}})
 		}
@@ -617,7 +617,7 @@ func fetchFragments(c *par.Comm, st *seq.Store, buckets [][]suffixtree.Suffix, b
 	for _, buf := range resps {
 		r := wire.NewReader(buf)
 		for r.Remaining() > 0 {
-			fid := int32(r.Int())
+			fid := r.Int32()
 			cache[fid] = r.Bytes()
 		}
 	}

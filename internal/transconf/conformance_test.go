@@ -14,18 +14,21 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/obs/check"
+	"repro/internal/obs/collector"
 	"repro/internal/par/nettrans"
 	"repro/internal/seq"
 	"repro/internal/simulate"
 )
 
 // Child-process environment: when set, the test binary is one worker
-// rank of a conformance job instead of the test driver.
+// rank of a conformance job instead of the test driver. envCollector
+// additionally points the rank at a live telemetry collector.
 const (
-	envRank     = "TRANSCONF_RANK"
-	envSize     = "TRANSCONF_SIZE"
-	envNet      = "TRANSCONF_NET"
-	envRegistry = "TRANSCONF_REGISTRY"
+	envRank      = "TRANSCONF_RANK"
+	envSize      = "TRANSCONF_SIZE"
+	envNet       = "TRANSCONF_NET"
+	envRegistry  = "TRANSCONF_REGISTRY"
+	envCollector = "TRANSCONF_COLLECTOR"
 )
 
 // Timing constants are sized for the race detector's ~10x slowdown: a
@@ -89,7 +92,10 @@ func dumpPath(registry string, rank int) string {
 }
 
 // childMain is one worker rank: regenerate the workload, cluster
-// through the socket transport, leave an events dump for the driver.
+// through the socket transport, leave an events dump for the driver —
+// and, when envCollector names a collector, stream telemetry to it
+// while running and final-flush the same dump snapshot the dump file
+// gets (the byte-equivalence the live smoke test asserts).
 func childMain() {
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "transconf child:", err)
@@ -102,8 +108,16 @@ func childMain() {
 	registry := os.Getenv(envRegistry)
 	store := seq.NewStore(workload())
 	tr := obs.NewTracer(jobSize, 1<<16)
+	var rep *collector.Reporter
+	if colURL := os.Getenv(envCollector); colURL != "" {
+		rep = collector.StartReporter(collector.ReporterConfig{
+			URL: colURL, Rank: rank, Job: "transconf",
+			Interval: 50 * time.Millisecond, Tracer: tr,
+		})
+	}
 	t, err := newTransport(rank, os.Getenv(envNet), registry)
 	if err != nil {
+		rep.Close(nil, false, err.Error())
 		die(err)
 	}
 	_, _, exit, err := cluster.ParallelRank(store, cluster.DefaultConfig(), jobParallelConfig(tr), rank, t)
@@ -111,18 +125,21 @@ func childMain() {
 		err = cerr
 	}
 	if err != nil {
+		rep.Close(nil, false, err.Error())
 		die(err)
 	}
+	d := tr.Dump()
 	f, err := os.Create(dumpPath(registry, rank))
 	if err != nil {
 		die(err)
 	}
-	if err := tr.WriteEvents(f); err == nil {
+	if err := d.WriteJSON(f); err == nil {
 		err = f.Close()
 	}
 	if err != nil {
 		die(err)
 	}
+	rep.Close(d, exit.OK, exit.Reason)
 	if !exit.OK {
 		die(fmt.Errorf("rank %d did not finish OK: %s", rank, exit.Reason))
 	}
@@ -134,20 +151,14 @@ func serialLabels(store *seq.Store) []int {
 	return cluster.PartitionLabels(cluster.Serial(store, cluster.DefaultConfig()))
 }
 
-// runJob drives one multi-process clustering job: worker ranks are
-// re-executions of this test binary, rank 0 runs in-test. killRank,
-// when ≥ 1, is SIGKILLed killAfter into the run. It returns the
-// master's partition labels, the run statistics, and the merged
-// per-process event dump (the killed rank's dump is missing, which
-// the merge marks as truncated).
-func runJob(t *testing.T, network string, killRank int, killAfter time.Duration) ([]int, cluster.Stats, *obs.Dump) {
+// spawnChildren re-executes this test binary as worker ranks
+// 1..jobSize-1, with cleanup that reaps whatever is still running.
+func spawnChildren(t *testing.T, network, registry string, extraEnv ...string) map[int]*exec.Cmd {
 	t.Helper()
-	registry := t.TempDir()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
-
 	children := make(map[int]*exec.Cmd, jobSize-1)
 	for r := 1; r < jobSize; r++ {
 		cmd := exec.Command(exe, "-transconf-child")
@@ -157,6 +168,7 @@ func runJob(t *testing.T, network string, killRank int, killAfter time.Duration)
 			envNet+"="+network,
 			envRegistry+"="+registry,
 		)
+		cmd.Env = append(cmd.Env, extraEnv...)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
@@ -172,6 +184,19 @@ func runJob(t *testing.T, network string, killRank int, killAfter time.Duration)
 			_ = cmd.Wait()
 		}
 	})
+	return children
+}
+
+// runJob drives one multi-process clustering job: worker ranks are
+// re-executions of this test binary, rank 0 runs in-test. killRank,
+// when ≥ 1, is SIGKILLed killAfter into the run. It returns the
+// master's partition labels, the run statistics, and the merged
+// per-process event dump (the killed rank's dump is missing, which
+// the merge marks as truncated).
+func runJob(t *testing.T, network string, killRank int, killAfter time.Duration) ([]int, cluster.Stats, *obs.Dump) {
+	t.Helper()
+	registry := t.TempDir()
+	children := spawnChildren(t, network, registry)
 
 	if killRank >= 1 {
 		cmd := children[killRank]

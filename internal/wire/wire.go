@@ -11,6 +11,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // Buffer accumulates an encoded message.
@@ -127,6 +128,18 @@ func (r *Reader) Int() int {
 	}
 	r.off += n
 	return int(v)
+}
+
+// Int32 decodes a signed varint and rejects values outside the int32
+// range: a silent int32 truncation would re-encode to different
+// bytes, breaking the format's unique-encoding property (fuzz-found).
+func (r *Reader) Int32() int32 {
+	v := r.Int()
+	if r.err == nil && (v < math.MinInt32 || v > math.MaxInt32) {
+		r.fail("varint %d out of int32 range", v)
+		return 0
+	}
+	return int32(v)
 }
 
 // Bool decodes a boolean. Only 0 and 1 are valid encodings.

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -189,5 +190,24 @@ func TestReset(t *testing.T) {
 	w.PutUint(2)
 	if NewReader(w.Bytes()).Uint() != 2 {
 		t.Error("reuse after reset failed")
+	}
+}
+
+func TestInt32Range(t *testing.T) {
+	for _, v := range []int{0, 1, -1, math.MaxInt32, math.MinInt32} {
+		w := NewBuffer(8)
+		w.PutInt(v)
+		r := NewReader(w.Bytes())
+		if got := r.Int32(); got != int32(v) || r.Err() != nil {
+			t.Errorf("Int32 round-trip of %d: got %d, err %v", v, got, r.Err())
+		}
+	}
+	for _, v := range []int{math.MaxInt32 + 1, math.MinInt32 - 1, math.MaxInt64} {
+		w := NewBuffer(16)
+		w.PutInt(v)
+		r := NewReader(w.Bytes())
+		if got := r.Int32(); got != 0 || r.Err() == nil {
+			t.Errorf("Int32 of out-of-range %d: got %d, err %v (want error)", v, got, r.Err())
+		}
 	}
 }
