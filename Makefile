@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke transport-conformance obs-live-smoke ci
+.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke transport-conformance obs-live-smoke service-smoke ci
 
 all: build
 
@@ -116,6 +116,15 @@ transport-conformance:
 obs-live-smoke:
 	$(GO) test -v -run TestObsLive ./internal/transconf
 
+# Assembly-as-a-service smoke: a real asmserve-style server (the test
+# binary re-executes itself as both the server and its job runners) is
+# SIGKILLed mid-job and restarted on the same directory; the journal
+# must replay, the job must resume to byte-identical contigs, a repeat
+# submission must hit the cache, and a poison job must be quarantined
+# after its retry budget without disturbing healthy jobs.
+service-smoke:
+	$(GO) test -v -run 'TestServiceSmoke|TestPoisonJobQuarantined|TestHangDeadlineAndQueueFull|TestDrainRequeuesAndRestartCompletes' ./internal/jobs
+
 # Causal-analysis smoke: replay one sim case with its raw events dump,
 # stitch the causal DAG and print the critical path; a malformed DAG
 # (unmatched message edge, cycle, CP != makespan) fails the target.
@@ -126,4 +135,4 @@ analyze-smoke:
 	$(GO) run ./cmd/tracecheck $(ANALYZE_TMP)/case3.crit.json
 	rm -rf $(ANALYZE_TMP)
 
-ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke transport-conformance obs-live-smoke bench-check
+ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke transport-conformance obs-live-smoke service-smoke bench-check

@@ -161,6 +161,35 @@ func main() {
 		})
 	}
 
+	// Graceful interrupt: flush whatever telemetry exists (trace and
+	// events dumps, reporter final flush with an "interrupted" verdict),
+	// stop spawned worker ranks, and drain the collector before exiting.
+	launch.OnSignal(func(sig os.Signal) {
+		var dump *obs.Dump
+		if tr != nil {
+			dump = tr.Dump()
+		}
+		rep.Close(dump, false, "interrupted: "+sig.String())
+		if dump != nil && *eventsOut != "" {
+			if ef, err := os.Create(*eventsOut + ".interrupted"); err == nil {
+				dump.WriteJSON(ef)
+				ef.Close()
+			}
+		}
+		if tr != nil && *traceOut != "" {
+			if tf, err := os.Create(*traceOut + ".interrupted"); err == nil {
+				tr.WriteChromeTrace(tf)
+				tf.Close()
+			}
+		}
+		if fleet != nil {
+			fleet.KillAll()
+		}
+		if colSrv != nil {
+			colSrv.Close()
+		}
+	})
+
 	f, err := os.Open(*in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "asmcluster:", err)

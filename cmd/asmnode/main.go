@@ -185,6 +185,29 @@ func main() {
 		})
 	}
 
+	// Graceful interrupt: flush this rank's dumps and deliver the
+	// reporter's final report with an "interrupted" verdict; the spawn
+	// parent also takes its worker ranks down with it.
+	launch.OnSignal(func(sig os.Signal) {
+		dump := tr.Dump()
+		rep.Close(dump, false, "interrupted: "+sig.String())
+		if *eventsOut != "" {
+			if ef, err := os.Create(fmt.Sprintf("%s.rank%d.interrupted", *eventsOut, *rank)); err == nil {
+				dump.WriteJSON(ef)
+				ef.Close()
+			}
+		}
+		if *traceOut != "" {
+			if tf, err := os.Create(fmt.Sprintf("%s.rank%d.interrupted", *traceOut, *rank)); err == nil {
+				tr.WriteChromeTrace(tf)
+				tf.Close()
+			}
+		}
+		if fleet != nil {
+			fleet.KillAll()
+		}
+	})
+
 	t, err := buildTransport(*rank, *size, *network, *registry, *peers, *listen, *epoch, *liveness)
 	if err != nil {
 		rep.Close(nil, false, err.Error())

@@ -176,6 +176,26 @@ func main() {
 		})
 	}
 
+	// Graceful interrupt: flush the telemetry that exists so far (events
+	// dump, reporter final flush with an "interrupted" verdict), stop
+	// spawned worker ranks, and drain the collector before exiting.
+	launch.OnSignal(func(sig os.Signal) {
+		var dump *obs.Dump
+		if tr != nil {
+			dump = tr.Dump()
+		}
+		rep.Close(dump, false, "interrupted: "+sig.String())
+		if *eventsOut != "" && dump != nil {
+			writeEvents(dump, *eventsOut, rank, *transport)
+		}
+		if fleet != nil {
+			fleet.KillAll()
+		}
+		if colSrv != nil {
+			colSrv.Close()
+		}
+	})
+
 	f, err := os.Open(*in)
 	if err != nil {
 		fail(err)

@@ -10,6 +10,7 @@
 //	asmtop http://127.0.0.1:9090
 //	asmtop -registry /shared/reg        # discover the URL from the job's rendezvous directory
 //	asmtop -once -plain http://...      # one snapshot, no screen clearing (scripts, logs)
+//	asmtop -retry 30s http://...        # ride out transient collector outages with backoff
 //
 // asmtop exits 0 once the run reports complete with an OK verdict,
 // 1 when it completes failed, and 2 when the collector cannot be
@@ -21,12 +22,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/obs/collector"
 	"repro/internal/par/nettrans"
 )
@@ -38,6 +41,7 @@ func main() {
 	polls := flag.Int("n", 0, "stop after this many polls (0 = until the run completes)")
 	registry := flag.String("registry", "", "discover the collector URL from this rendezvous registry directory")
 	discoverWait := flag.Duration("discover-wait", 5*time.Second, "how long to wait for the registry to name a collector")
+	retry := flag.Duration("retry", 0, "keep retrying transient collector errors for this long (0 = fail fast)")
 	flag.Parse()
 
 	url := flag.Arg(0)
@@ -59,10 +63,24 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: 5 * time.Second}
+	// Transient-error policy: within the -retry window since the last
+	// successful poll, connection errors back off and retry (the
+	// collector may be restarting, or the job between attempts);
+	// outside it they are terminal as before.
+	pol := backoff.Policy{Base: 100 * time.Millisecond, Cap: time.Second, Jitter: 0.2}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	lastOK := time.Now()
+	failed := 0
 	seen := false
 	for n := 0; ; n++ {
 		st, err := poll(client, url)
 		if err != nil {
+			if *retry > 0 && time.Since(lastOK) < *retry {
+				fmt.Fprintf(os.Stderr, "asmtop: %v (retrying for %s)\n", err, (*retry - time.Since(lastOK)).Round(time.Second))
+				time.Sleep(pol.Delay(failed, rng))
+				failed++
+				continue
+			}
 			if !seen {
 				fmt.Fprintln(os.Stderr, "asmtop:", err)
 				os.Exit(2)
@@ -73,6 +91,8 @@ func main() {
 			os.Exit(0)
 		}
 		seen = true
+		failed = 0
+		lastOK = time.Now()
 		if !*plain && !*once {
 			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
 		}

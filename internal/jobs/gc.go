@@ -1,0 +1,58 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// gcLoop periodically sweeps terminal jobs past their retention
+// window: intermediate artifacts (pipeline workdir, input, progress
+// and collector markers) are removed and the reclaim is journaled;
+// cached results (contigs + report + runner log) survive so repeat
+// submissions stay instant.
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.GCInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.draining:
+			return
+		case <-tick.C:
+			s.sweep()
+		}
+	}
+}
+
+func (s *Server) sweep() {
+	cutoff := s.now().Add(-s.cfg.Retain).UnixNano()
+	s.mu.Lock()
+	var due []*Job
+	for _, job := range s.jobs {
+		if job.State.Terminal() && !job.GCed && job.FinishedAt > 0 && job.FinishedAt < cutoff {
+			due = append(due, job)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, job := range due {
+		dir := s.jobDir(job.ID)
+		failed := false
+		for _, name := range []string{workDir, inputFile, progressFile, collectorFile} {
+			if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+				s.logf("gc: job %s: %v", job.ID, err)
+				failed = true
+			}
+		}
+		if failed {
+			continue // retry next sweep; journal only completed reclaims
+		}
+		s.mu.Lock()
+		if !job.GCed { // re-check under lock; sweep may race a restart
+			s.applyLocked(Record{Op: OpGC, Job: job.ID})
+		}
+		s.mu.Unlock()
+		s.logf("gc: job %s intermediates reclaimed", job.ID)
+	}
+}

@@ -1,0 +1,252 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// scriptJournal drives a plausible multi-job history through the
+// Journal API and returns the written records.
+func scriptJournal(t *testing.T, path string, seed int64) []Record {
+	t.Helper()
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replays %d records", len(recs))
+	}
+	defer j.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	app := func(r Record) {
+		t.Helper()
+		if _, err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := Spec{}.withDefaults()
+	var ids []string
+	for i := 0; i < 6; i++ {
+		key := IdempotencyKey([]byte(fmt.Sprintf("input-%d-%d", seed, i)), spec)
+		id := jobID(key)
+		ids = append(ids, id)
+		app(Record{Op: OpSubmit, Job: id, Key: key, Spec: &spec})
+	}
+	// Random interleaving of lifecycle steps per job.
+	for step := 0; step < 40; step++ {
+		id := ids[rng.Intn(len(ids))]
+		// Re-derive current state by replaying what we wrote so far —
+		// the test's model IS the replay function.
+		jobs, _, err := replayFile(t, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := jobs[id]
+		switch job.State {
+		case StateQueued:
+			if job.Attempts >= 3 {
+				app(Record{Op: OpQuarantine, Job: id, Err: "retry budget exhausted"})
+			} else {
+				app(Record{Op: OpStart, Job: id, Attempt: job.Attempts + 1, PID: 1000 + step})
+			}
+		case StateRunning:
+			switch rng.Intn(3) {
+			case 0:
+				app(Record{Op: OpDone, Job: id})
+			case 1:
+				app(Record{Op: OpFail, Job: id, Err: "injected"})
+			case 2:
+				app(Record{Op: OpRequeue, Job: id, Reason: "drain"})
+			}
+		case StateDone, StateQuarantined:
+			if !job.GCed {
+				app(Record{Op: OpGC, Job: id})
+			}
+		}
+	}
+	_, final, err := OpenJournalReadOnly(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final
+}
+
+// OpenJournalReadOnly re-reads a journal without holding it open.
+func OpenJournalReadOnly(path string) (*Journal, []Record, error) {
+	j, recs, err := OpenJournal(path)
+	if j != nil {
+		j.Close()
+	}
+	return j, recs, err
+}
+
+func replayFile(t *testing.T, path string) (map[string]*Job, map[string]string, error) {
+	t.Helper()
+	_, recs, err := OpenJournalReadOnly(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	jobs, byKey, err := Replay(recs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return jobs, byKey, nil
+}
+
+// TestJournalCrashPointsReplayConsistently is the crash-safety
+// property: truncate the journal at EVERY byte offset (a crash mid-
+// append can stop anywhere) and require that recovery (a) succeeds,
+// (b) replays exactly the longest whole-record prefix — no lost, no
+// duplicated, no reordered jobs — and (c) yields a consistent state
+// machine for every job.
+func TestJournalCrashPointsReplayConsistently(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "journal")
+	fullRecs := scriptJournal(t, full, 7)
+	b, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fullRecs) < 25 {
+		t.Fatalf("script produced only %d records", len(fullRecs))
+	}
+
+	crash := filepath.Join(dir, "crash")
+	for cut := 0; cut <= len(b); cut++ {
+		if err := os.WriteFile(crash, b[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j, recs, err := OpenJournal(crash)
+		if err != nil {
+			t.Fatalf("cut=%d: recovery failed: %v", cut, err)
+		}
+		j.Close()
+		// (b) exact prefix: seqs are 1..k with k the largest whole
+		// record that fits in the cut.
+		for i, r := range recs {
+			if r.Seq != uint64(i)+1 {
+				t.Fatalf("cut=%d: record %d has seq %d", cut, i, r.Seq)
+			}
+			got, _ := json.Marshal(r)
+			want, _ := json.Marshal(fullRecs[i])
+			if !bytes.Equal(got, want) {
+				t.Fatalf("cut=%d: record %d differs from original:\n%s\n%s", cut, i, got, want)
+			}
+		}
+		if len(recs) > 0 && cut == len(b) && len(recs) != len(fullRecs) {
+			t.Fatalf("full journal replays %d of %d records", len(recs), len(fullRecs))
+		}
+		// (c) consistent state machine, every submit present exactly once.
+		jobs, byKey, err := Replay(recs)
+		if err != nil {
+			t.Fatalf("cut=%d: replay: %v", cut, err)
+		}
+		submits := map[string]int{}
+		for _, r := range recs {
+			if r.Op == OpSubmit {
+				submits[r.Job]++
+			}
+		}
+		if len(jobs) != len(submits) {
+			t.Fatalf("cut=%d: %d jobs from %d submits", cut, len(jobs), len(submits))
+		}
+		for id, n := range submits {
+			if n != 1 {
+				t.Fatalf("cut=%d: job %s submitted %d times", cut, id, n)
+			}
+			job := jobs[id]
+			if job == nil {
+				t.Fatalf("cut=%d: acknowledged job %s lost", cut, id)
+			}
+			if byKey[job.Key] != id {
+				t.Fatalf("cut=%d: idempotency index lost %s", cut, id)
+			}
+			switch job.State {
+			case StateQueued, StateRunning, StateDone, StateQuarantined:
+			default:
+				t.Fatalf("cut=%d: job %s in invalid state %q", cut, id, job.State)
+			}
+		}
+		// (a+) recovery truncated the torn tail: appending now must
+		// produce a journal that parses cleanly again.
+		j2, recs2, err := OpenJournal(crash)
+		if err != nil {
+			t.Fatalf("cut=%d: reopen after recovery: %v", cut, err)
+		}
+		if len(recs2) != len(recs) {
+			t.Fatalf("cut=%d: recovery not idempotent (%d then %d records)", cut, len(recs), len(recs2))
+		}
+		if last := len(recs2); last > 0 && recs2[last-1].Op == OpSubmit {
+			// Appending after recovery continues the sequence cleanly.
+			if _, err := j2.Append(Record{Op: OpStart, Job: recs2[last-1].Job, Attempt: 1, PID: 1}); err != nil {
+				t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+			}
+		}
+		j2.Close()
+	}
+}
+
+// TestJournalRejectsMidFileCorruption: a flipped byte in a record that
+// is followed by valid ones must fail recovery loudly (acknowledged
+// work would otherwise vanish), not be silently truncated.
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal")
+	scriptJournal(t, path, 11)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the middle of the file.
+	b[len(b)/3] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil {
+		t.Fatal("mid-file corruption recovered silently")
+	}
+}
+
+// TestJournalSurvivesReopenAppend: sequences continue across open/
+// close cycles (the restart path).
+func TestJournalSurvivesReopenAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	spec := Spec{}.withDefaults()
+	key := IdempotencyKey([]byte("x"), spec)
+	id := jobID(key)
+
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(Record{Op: OpSubmit, Job: id, Key: key, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j, recs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+	if _, err := j.Append(Record{Op: OpStart, Job: id, Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	_, recs, err = OpenJournalReadOnly(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Seq != 2 {
+		t.Fatalf("after reopen-append: %d records, last seq %d", len(recs), recs[len(recs)-1].Seq)
+	}
+}

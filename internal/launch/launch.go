@@ -211,3 +211,18 @@ func (f *Fleet) Wait() map[int]error {
 func Epoch() uint64 {
 	return uint64(time.Now().UnixNano())
 }
+
+// SelfExec builds (without starting) a command that re-executes the
+// current binary with the given arguments and extra environment
+// entries appended to the inherited environment. It is the common
+// primitive behind SPMD rank spawning and the job service's
+// supervised runner processes.
+func SelfExec(extraEnv []string, args ...string) (*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("launch: resolve executable: %w", err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), extraEnv...)
+	return cmd, nil
+}

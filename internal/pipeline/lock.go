@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// ErrWorkdirLocked reports that another live process holds a workdir's
+// lockfile. Callers that supervise runs (the job service) match it
+// with errors.Is and retry instead of charging the failure to the job.
+var ErrWorkdirLocked = errors.New("pipeline: workdir locked by another live run")
+
+const lockFile = "workdir.lock"
+
+// lock is an exclusive per-workdir lease held for the duration of one
+// checkpointed run. Two concurrent runs sharing a workdir would race
+// on the manifest and corrupt each other's artifacts; the lockfile
+// (created O_EXCL, holding the owner's PID) makes the second run fail
+// fast instead. A lock whose PID no longer names a live process is
+// stale — left behind by a SIGKILLed run — and is broken safely.
+type lock struct {
+	path string
+}
+
+// acquireLock takes the workdir lock or returns ErrWorkdirLocked
+// (wrapped with the holder's PID) when a live process holds it.
+func acquireLock(dir string) (*lock, error) {
+	path := filepath.Join(dir, lockFile)
+	self := []byte(strconv.Itoa(os.Getpid()) + "\n")
+	for tries := 0; tries < 16; tries++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			_, werr := f.Write(self)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(path)
+				return nil, fmt.Errorf("pipeline: write lock: %w", werr)
+			}
+			return &lock{path: path}, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("pipeline: lock workdir: %w", err)
+		}
+		b, rerr := os.ReadFile(path)
+		if errors.Is(rerr, os.ErrNotExist) {
+			continue // holder released between our create and read
+		}
+		if rerr != nil {
+			return nil, fmt.Errorf("pipeline: read lock: %w", rerr)
+		}
+		pid, perr := strconv.Atoi(strings.TrimSpace(string(b)))
+		if perr == nil && pidAlive(pid) {
+			return nil, fmt.Errorf("%w (pid %d, %s)", ErrWorkdirLocked, pid, path)
+		}
+		// Stale (dead PID or torn content): break it via an atomic
+		// rename so concurrent breakers cannot each remove the other's
+		// freshly re-acquired lock — only the process that wins the
+		// rename deletes, everyone else just retries the O_EXCL create.
+		stale := fmt.Sprintf("%s.stale.%d.%d", path, os.Getpid(), tries)
+		if err := os.Rename(path, stale); err == nil {
+			os.Remove(stale)
+		}
+	}
+	return nil, fmt.Errorf("pipeline: lock workdir: gave up after repeated contention on %s", path)
+}
+
+// release drops the lock. Nil-safe so un-checkpointed runs (no
+// workdir, no lock) need no guards.
+func (l *lock) release() {
+	if l == nil {
+		return
+	}
+	os.Remove(l.path)
+}
+
+// pidAlive reports whether pid names a live process. Signal 0 probes
+// without delivering: ESRCH means dead; EPERM means alive but owned
+// by someone else — still a live holder, so the lock stands.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -47,6 +47,17 @@ type manifest struct {
 	input   string // hex SHA-256 of the encoded input fragments
 	flags   string // configuration fingerprint
 	records []record
+	lk      *lock // exclusive workdir lease, held until close
+}
+
+// close releases the workdir lock. Nil-safe (no-workdir runs carry a
+// nil manifest) and idempotent.
+func (m *manifest) close() {
+	if m == nil {
+		return
+	}
+	m.lk.release()
+	m.lk = nil
 }
 
 func hashBytes(b []byte) string {
@@ -65,10 +76,15 @@ func openManifest(dir, inputHash, flags string, resume bool) (*manifest, error) 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pipeline: workdir: %w", err)
 	}
-	m := &manifest{dir: dir, input: inputHash, flags: flags}
+	lk, err := acquireLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &manifest{dir: dir, input: inputHash, flags: flags, lk: lk}
 	path := filepath.Join(dir, manifestFile)
 	if !resume {
 		if err := os.RemoveAll(path); err != nil {
+			m.close()
 			return nil, fmt.Errorf("pipeline: reset manifest: %w", err)
 		}
 		return m, nil
@@ -78,16 +94,20 @@ func openManifest(dir, inputHash, flags string, resume bool) (*manifest, error) 
 		return m, nil // nothing to resume from: fresh run
 	}
 	if err != nil {
+		m.close()
 		return nil, fmt.Errorf("pipeline: read manifest: %w", err)
 	}
 	old, err := decodeManifest(b)
 	if err != nil {
+		m.close()
 		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	if old.input != inputHash {
+		m.close()
 		return nil, errors.New("pipeline: manifest was written for different input (refusing to resume)")
 	}
 	if old.flags != flags {
+		m.close()
 		return nil, fmt.Errorf("pipeline: manifest was written with different configuration %q (refusing to resume)", old.flags)
 	}
 	m.records = old.records

@@ -37,7 +37,24 @@ type Config struct {
 	// manifest written under a different fingerprint refuses to
 	// resume.
 	Flags string
+	// Interrupt, when non-nil and closed (or signalled), requests a
+	// clean stop at the next phase boundary: the phase in progress
+	// completes and is journaled in the manifest, then Run returns
+	// ErrInterrupted instead of starting the next phase. This is the
+	// job-scoped drain hook — a supervised run told to stop checkpoints
+	// exactly as much work as it finished and a later Resume run picks
+	// up byte-identically from there.
+	Interrupt <-chan struct{}
+	// OnPhase, when non-nil, is called as each phase begins computing
+	// (not when its artifact is loaded from the manifest) — a progress
+	// hook for supervisors reporting job status.
+	OnPhase func(Phase)
 }
+
+// ErrInterrupted reports that Run stopped cleanly at a phase boundary
+// because Config.Interrupt fired. Every completed phase is journaled;
+// resuming the same workdir continues byte-identically.
+var ErrInterrupted = errors.New("pipeline: interrupted at phase boundary (checkpointed)")
 
 // InputHash fingerprints the input fragments for the manifest.
 func InputHash(frags []*seq.Fragment) string {
@@ -58,6 +75,21 @@ func Run(frags []*seq.Fragment, cfg Config) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer m.close()
+	// interrupted polls the drain hook; a nil channel never fires.
+	interrupted := func() bool {
+		select {
+		case <-cfg.Interrupt:
+			return true
+		default:
+			return false
+		}
+	}
+	onPhase := func(p Phase) {
+		if cfg.OnPhase != nil {
+			cfg.OnPhase(p)
+		}
+	}
 	ccfg := cfg.Core
 	res := &core.Result{}
 
@@ -70,6 +102,7 @@ func Run(frags []*seq.Fragment, cfg Config) (*core.Result, error) {
 			return nil, fmt.Errorf("pipeline: preprocess artifact: %w", err)
 		}
 	} else {
+		onPhase(PhasePreprocess)
 		if ccfg.PreprocessEnabled {
 			frags, res.PreprocessStats = preprocess.Run(frags, ccfg.Preprocess)
 		}
@@ -78,6 +111,9 @@ func Run(frags []*seq.Fragment, cfg Config) (*core.Result, error) {
 		}
 	}
 	res.Store = seq.NewStore(frags)
+	if interrupted() {
+		return nil, ErrInterrupted
+	}
 
 	// Phase 2: clustering.
 	if art, ok, err := m.load(PhaseCluster); err != nil {
@@ -92,6 +128,7 @@ func Run(frags []*seq.Fragment, cfg Config) (*core.Result, error) {
 		}
 		res.Clustering = cp.Result()
 	} else {
+		onPhase(PhaseCluster)
 		if ccfg.Parallel.Ranks >= 2 {
 			if ccfg.Transport != nil {
 				res.Clustering, _, _, err = cluster.ParallelRank(res.Store, ccfg.Cluster, ccfg.Parallel, ccfg.TransportRank, ccfg.Transport)
@@ -115,6 +152,9 @@ func Run(frags []*seq.Fragment, cfg Config) (*core.Result, error) {
 	if ccfg.SkipAssembly {
 		return res, nil
 	}
+	if interrupted() {
+		return nil, ErrInterrupted
+	}
 	if art, ok, err := m.load(PhaseAssembly); err != nil {
 		return nil, err
 	} else if ok {
@@ -125,6 +165,7 @@ func Run(frags []*seq.Fragment, cfg Config) (*core.Result, error) {
 			return nil, fmt.Errorf("pipeline: assembly artifact covers %d clusters, clustering produced %d", len(res.Contigs), len(res.Clusters))
 		}
 	} else {
+		onPhase(PhaseAssembly)
 		workers := ccfg.AssemblyWorkers
 		if workers == 0 {
 			workers = runtime.GOMAXPROCS(0)
