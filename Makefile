@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke transport-conformance obs-live-smoke service-smoke ci
+.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke transport-conformance obs-live-smoke service-smoke outofcore-smoke ci
 
 all: build
 
@@ -57,7 +57,9 @@ FUZZ_CORPORA := testdata/fuzz/FuzzReadFASTA \
 	internal/seq/testdata/fuzz/FuzzReadQual \
 	internal/wire/testdata/fuzz/FuzzReader \
 	internal/cluster/testdata/fuzz/FuzzDecodeReport \
-	internal/par/nettrans/testdata/fuzz/FuzzDecodeFrame
+	internal/par/nettrans/testdata/fuzz/FuzzDecodeFrame \
+	internal/seq/diskstore/testdata/fuzz/FuzzOpenIndex \
+	internal/seq/diskstore/testdata/fuzz/FuzzReadData
 
 # Short fuzz passes over every parser the pipeline feeds untrusted
 # bytes to: FASTA and qual readers plus the wire-format decoders.
@@ -71,6 +73,8 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReader -fuzztime=10s ./internal/wire
 	$(GO) test -run=NONE -fuzz=FuzzDecodeReport -fuzztime=10s ./internal/cluster
 	$(GO) test -run=NONE -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/par/nettrans
+	$(GO) test -run=NONE -fuzz=FuzzOpenIndex -fuzztime=10s ./internal/seq/diskstore
+	$(GO) test -run=NONE -fuzz=FuzzReadData -fuzztime=10s ./internal/seq/diskstore
 
 # Instrumented quickstart: runs two quick experiments with tracing on
 # and validates that every emitted trace file parses as balanced
@@ -90,11 +94,16 @@ bench:
 	$(GO) run ./cmd/benchrun -workload cluster -out BENCH_cluster.json
 	$(GO) run ./cmd/benchrun -workload transport -ranks 4 -out BENCH_transport.json
 	$(GO) run ./cmd/benchrun -workload pipeline -out BENCH_pipeline.json
+	$(GO) run ./cmd/benchrun -workload outofcore -out BENCH_outofcore.json
 
 bench-check:
 	$(GO) run ./cmd/benchrun -workload cluster -check BENCH_cluster.json
 	$(GO) run ./cmd/benchrun -workload transport -ranks 4 -check BENCH_transport.json
 	$(GO) run ./cmd/benchrun -workload pipeline -check BENCH_pipeline.json
+	# Out-of-core memory gate: mem/disk × scale-1/scale-10 subprocess
+	# cells; the disk backend's peak-RSS ratio must stay flat while the
+	# mem backend's must keep growing (proof the gate still bites).
+	$(GO) run ./cmd/benchrun -workload outofcore -check BENCH_outofcore.json
 	# Collector-on run against the collector-off baseline: live
 	# telemetry streaming must cost less than the noise gates.
 	$(GO) run ./cmd/benchrun -workload transport -ranks 4 -collector -check BENCH_transport.json
@@ -135,4 +144,12 @@ analyze-smoke:
 	$(GO) run ./cmd/tracecheck $(ANALYZE_TMP)/case3.crit.json
 	rm -rf $(ANALYZE_TMP)
 
-ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke transport-conformance obs-live-smoke service-smoke bench-check
+# Out-of-core smoke: the disk-backed pipeline end to end under the
+# race detector — fresh run matches the in-memory contigs, the store
+# artifact is journaled, resume from every rollback depth is
+# byte-identical (reusing, not rebuilding, the checksummed store), and
+# a corrupted store artifact refuses to resume.
+outofcore-smoke:
+	$(GO) test -race -v -run 'TestOutOfCore' ./internal/pipeline
+
+ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke transport-conformance obs-live-smoke service-smoke outofcore-smoke bench-check

@@ -20,6 +20,7 @@ import (
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/launch"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
@@ -36,6 +37,8 @@ func main() {
 	w := flag.Int("w", 10, "GST bucket prefix length (≤ ψ)")
 	minOverlap := flag.Int("minoverlap", 40, "minimum overlap length")
 	minIdentity := flag.Float64("minidentity", 0.90, "minimum overlap identity")
+	storeBackend := flag.String("store", "mem", "sequence-store backend: mem (all-RAM) or disk (out-of-core 2-bit packed store in a temp dir)")
+	memBudget := flag.Int64("mem-budget", 0, "spilling GST byte budget; 0 builds the full forest in memory")
 	faults := flag.String("faults", "", "fault injection spec, e.g. crash=2@5,drop=0.01,seed=7 (see cluster.ParseFaults)")
 	lease := flag.Duration("lease", 250*time.Millisecond, "master lease timeout for fault runs")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace, /analyze and /debug/pprof on this host:port while running")
@@ -202,12 +205,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	store := repro.NewStore(frags)
+	store, closeStore, err := core.OpenStore(frags, core.StoreConfig{Backend: *storeBackend})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmcluster:", err)
+		os.Exit(2)
+	}
+	if closeStore != nil {
+		defer closeStore()
+	}
 	cfg := cluster.DefaultConfig()
 	cfg.Psi = *psi
 	cfg.W = *w
 	cfg.Criteria.MinOverlap = *minOverlap
 	cfg.Criteria.MinIdentity = *minIdentity
+	cfg.MemBudget = *memBudget
 
 	var res *cluster.Result
 	if *ranks >= 2 {
@@ -303,7 +314,7 @@ func main() {
 		}
 	}
 	for i := 0; i < store.N(); i++ {
-		fmt.Fprintf(bw, "%s\t%d\n", store.Fragment(i).Name, labels[i])
+		fmt.Fprintf(bw, "%s\t%d\n", store.FragName(i), labels[i])
 	}
 	fmt.Printf("wrote %s\n", *out)
 

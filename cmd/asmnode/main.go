@@ -288,7 +288,7 @@ func main() {
 		}
 	}
 	for i := 0; i < store.N(); i++ {
-		fmt.Fprintf(bw, "%s\t%d\n", store.Fragment(i).Name, labels[i])
+		fmt.Fprintf(bw, "%s\t%d\n", store.FragName(i), labels[i])
 	}
 	if err := bw.Flush(); err == nil {
 		err = of.Close()

@@ -57,6 +57,8 @@ func main() {
 	workdir := flag.String("workdir", "", "directory for the job manifest and phase checkpoints")
 	resume := flag.Bool("resume", false, "resume from the workdir's manifest, skipping completed phases")
 	faults := flag.String("faults", "", "fault plan for the parallel engine, e.g. crash=2@5,gstcrash=3@1,corrupt=0.01")
+	store := flag.String("store", "mem", "sequence-store backend: mem (all-RAM) or disk (out-of-core 2-bit packed store under the workdir)")
+	memBudget := flag.Int64("mem-budget", 0, "spilling GST byte budget; 0 builds the full forest in memory")
 	retries := flag.Int("assembly-retries", 1, "per-cluster assembly retries before quarantine")
 	deadline := flag.Duration("assembly-deadline", 0, "per-attempt assembly wall budget (0 = none)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /trace, /analyze and /debug/pprof on this host:port while running")
@@ -224,6 +226,14 @@ func main() {
 	cfg := repro.DefaultConfig()
 	cfg.Cluster.Psi = *psi
 	cfg.Cluster.W = *w
+	cfg.Cluster.MemBudget = *memBudget
+	switch *store {
+	case "", repro.StoreMem:
+	case repro.StoreDisk:
+		cfg.Store = repro.StoreConfig{Backend: repro.StoreDisk}
+	default:
+		fail(fmt.Errorf("unknown -store %q (mem, disk)", *store))
+	}
 	cfg.PreprocessEnabled = *mask || *qual != ""
 	if *mask {
 		rng := rand.New(rand.NewSource(*seed))
@@ -257,12 +267,21 @@ func main() {
 		Metrics:  reg,
 	}
 
+	// Out-of-core fields join the fingerprint only when set, so
+	// existing all-RAM workdirs keep resuming.
+	manifestFlags := fmt.Sprintf("psi=%d w=%d ranks=%d mask=%v qual=%v seed=%d",
+		*psi, *w, *ranks, *mask, *qual != "", *seed)
+	if cfg.Store.Backend == repro.StoreDisk {
+		manifestFlags += " store=disk"
+	}
+	if *memBudget > 0 {
+		manifestFlags += fmt.Sprintf(" membudget=%d", *memBudget)
+	}
 	res, err := pipeline.Run(frags, pipeline.Config{
 		Core:    cfg,
 		Workdir: *workdir,
 		Resume:  *resume,
-		Flags: fmt.Sprintf("psi=%d w=%d ranks=%d mask=%v qual=%v seed=%d",
-			*psi, *w, *ranks, *mask, *qual != "", *seed),
+		Flags:   manifestFlags,
 	})
 	if err != nil {
 		rep.Close(nil, false, err.Error())

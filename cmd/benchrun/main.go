@@ -18,7 +18,8 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "cluster", "benchmark workload: cluster, transport or pipeline")
+	bench.MaybeRunOOCCell()
+	workload := flag.String("workload", "cluster", "benchmark workload: cluster, transport, pipeline or outofcore")
 	ranks := flag.Int("ranks", 8, "simulated machine size")
 	iters := flag.Int("iters", 3, "timed iterations (fastest wins)")
 	out := flag.String("out", "", "write the measurement as a baseline file")
@@ -26,6 +27,11 @@ func main() {
 	slowdown := flag.Float64("slowdown", 1, "multiply modeled compute charges (inject a slowdown)")
 	withCollector := flag.Bool("collector", false, "stream telemetry to a live collector while measuring (prove the overhead is under the gates)")
 	flag.Parse()
+
+	if *workload == "outofcore" {
+		runOutOfCore(*out, *check)
+		return
+	}
 
 	m, err := bench.Run(*workload, bench.Config{Ranks: *ranks, Iters: *iters, Slowdown: *slowdown, Collector: *withCollector})
 	if err != nil {
@@ -80,5 +86,44 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("no regressions against %s (gates: %v)\n", *check, bench.Gates())
+	}
+}
+
+// runOutOfCore handles the memory-scaling workload, which measures
+// peak-RSS ratios across subprocess cells rather than per-op timings.
+func runOutOfCore(out, check string) {
+	m, err := bench.RunOutOfCore()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+	fmt.Println("outofcore: 4 cells (mem/disk × scale 1/10)")
+	for _, c := range m.Cells {
+		fmt.Printf("  %-4s ×%-2d  peak RSS %10d bytes  %d pairs\n", c.Backend, c.Scale, c.PeakRSSBytes, c.Pairs)
+	}
+	fmt.Printf("  disk ratio %.3f (flat gate %.3f)  mem ratio %.3f (growth floor %.3f)\n",
+		m.DiskRatio, m.FlatGate, m.MemRatio, m.GrowthFloor)
+
+	if out != "" {
+		if err := bench.WriteOOCBaseline(out, m); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote baseline %s\n", out)
+	}
+	if check != "" {
+		base, err := bench.ReadOOCBaseline(check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		if regs := bench.CompareOOC(base, m); len(regs) > 0 {
+			fmt.Println("REGRESSIONS:")
+			for _, r := range regs {
+				fmt.Println(" ", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions against %s\n", check)
 	}
 }

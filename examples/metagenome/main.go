@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/seq"
 	"repro/internal/simulate"
 )
 
@@ -43,7 +44,7 @@ func main() {
 		sizes = append(sizes, len(cl))
 		species := map[string]bool{}
 		for _, fid := range cl {
-			if o := res.Store.Fragment(fid).Origin; o != nil {
+			if o := res.Store.(*seq.Store).Fragment(fid).Origin; o != nil {
 				species[o.Source] = true
 			}
 		}

@@ -13,6 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/preprocess"
+	"repro/internal/seq"
 	"repro/internal/simulate"
 	"repro/internal/validate"
 )
@@ -44,7 +45,7 @@ func main() {
 	// Ground-truth validation.
 	groups := res.Clustering.UF.Groups()
 	labels := validate.ClusterOf(res.Store.N(), groups)
-	cm := validate.Clusters(res.Store, res.Clusters, labels, 80)
+	cm := validate.Clusters(res.Store.(*seq.Store), res.Clusters, labels, 80)
 	fmt.Printf("validation: %.1f%% of clusters map to a single region, %d false splits / %d checked\n",
 		100*cm.Specificity(), cm.SplitViolations, cm.OverlapPairsChecked)
 
@@ -52,7 +53,7 @@ func main() {
 	for _, cs := range res.Contigs {
 		contigs = append(contigs, cs...)
 	}
-	am := validate.Contigs(res.Store, contigs, map[string][]byte{genome.Name: genome.Seq})
+	am := validate.Contigs(res.Store.(*seq.Store), contigs, map[string][]byte{genome.Name: genome.Seq})
 	fmt.Printf("assembly: %d contigs; mean identity %.2f%%, %.1f errors per 10 kb, %d chimeric\n",
 		len(contigs), 100*am.MeanIdentity, am.ErrorsPer10kb, am.Chimeric)
 }

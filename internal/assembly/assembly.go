@@ -96,7 +96,7 @@ type overlap struct {
 // AssembleCluster assembles the reads of one cluster (fragment IDs
 // into the store) and returns its contigs. Fragments that overlap
 // nothing at assembly stringency come back as single-read contigs.
-func AssembleCluster(store *seq.Store, members []int, cfg Config) []Contig {
+func AssembleCluster(store seq.Seqs, members []int, cfg Config) []Contig {
 	cfg = cfg.withDefaults()
 	if len(members) == 0 {
 		return nil
@@ -104,7 +104,7 @@ func AssembleCluster(store *seq.Store, members []int, cfg Config) []Contig {
 	seqs := make([][]byte, len(members))
 	rcs := make([][]byte, len(members))
 	for i, fid := range members {
-		seqs[i] = store.Fragment(fid).Bases
+		seqs[i] = store.Seq(fid)
 		rcs[i] = seq.ReverseComplement(seqs[i])
 	}
 	get := func(i int, rev bool) []byte {
@@ -131,7 +131,7 @@ func AssembleCluster(store *seq.Store, members []int, cfg Config) []Contig {
 
 // AssembleAll farms clusters across `workers` goroutines and returns
 // per-cluster contigs in input order.
-func AssembleAll(store *seq.Store, clusters [][]int, cfg Config, workers int) [][]Contig {
+func AssembleAll(store seq.Seqs, clusters [][]int, cfg Config, workers int) [][]Contig {
 	if workers < 1 {
 		workers = 1
 	}

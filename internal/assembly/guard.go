@@ -60,7 +60,7 @@ type attemptResult struct {
 // attemptCluster runs one assembly attempt with panic containment and
 // an optional wall deadline. On deadline the attempt's goroutine is
 // abandoned (it parks its result in a buffered channel and exits).
-func attemptCluster(store *seq.Store, members []int, cfg Config, deadline time.Duration) ([]Contig, error) {
+func attemptCluster(store seq.Seqs, members []int, cfg Config, deadline time.Duration) ([]Contig, error) {
 	ch := make(chan attemptResult, 1)
 	go func() {
 		defer func() {
@@ -87,10 +87,10 @@ func attemptCluster(store *seq.Store, members []int, cfg Config, deadline time.D
 // singletonContigs emits each read of a quarantined cluster as its own
 // contig, so downstream output keeps every base without trusting the
 // failing assembler.
-func singletonContigs(store *seq.Store, members []int) []Contig {
+func singletonContigs(store seq.Seqs, members []int) []Contig {
 	out := make([]Contig, 0, len(members))
 	for _, fid := range members {
-		b := store.Fragment(fid).Bases
+		b := store.Seq(fid)
 		out = append(out, Contig{
 			Bases: append([]byte(nil), b...),
 			Reads: []Placement{{Frag: fid}},
@@ -103,7 +103,7 @@ func singletonContigs(store *seq.Store, members []int) []Contig {
 // AssembleClusterGuarded is AssembleCluster under a Guard: retries
 // with backoff on failure, quarantines (emitting singletons) when the
 // budget is exhausted. id labels the cluster in events and outcomes.
-func AssembleClusterGuarded(store *seq.Store, id int, members []int, cfg Config, g Guard) ([]Contig, Outcome) {
+func AssembleClusterGuarded(store seq.Seqs, id int, members []int, cfg Config, g Guard) ([]Contig, Outcome) {
 	retries := g.Retries
 	if retries < 0 {
 		retries = 0
@@ -145,7 +145,7 @@ func AssembleClusterGuarded(store *seq.Store, id int, members []int, cfg Config,
 // across `workers` goroutines, each assembled with retry/quarantine
 // protection. The second return holds one Outcome per cluster, in
 // input order.
-func AssembleAllGuarded(store *seq.Store, clusters [][]int, cfg Config, workers int, g Guard) ([][]Contig, []Outcome) {
+func AssembleAllGuarded(store seq.Seqs, clusters [][]int, cfg Config, workers int, g Guard) ([][]Contig, []Outcome) {
 	if workers < 1 {
 		workers = 1
 	}

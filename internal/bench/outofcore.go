@@ -1,0 +1,303 @@
+// Out-of-core benchmark: the memory gate for the disk-backed store +
+// spilling GST. Two backends (mem, disk) run the identical fixed-seed
+// GST + pair-generation workload at input scale ×1 and ×10, each cell
+// in its own subprocess so VmHWM — a process-lifetime high-water mark —
+// measures exactly that cell. The committed baseline records the
+// ×10/×1 peak-RSS ratio per backend plus noise-calibrated gates:
+// the disk backend's ratio must stay (near) flat while the mem
+// backend's must grow, which proves both that the out-of-core path
+// works and that the gate would catch it silently degrading into the
+// in-memory path. Both backends must also emit the identical pair
+// multiset (order-independent hash), so the memory win is never bought
+// with a correctness loss.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"os/exec"
+
+	"repro/internal/cluster"
+	"repro/internal/pairgen"
+	"repro/internal/pgst"
+	"repro/internal/seq"
+	"repro/internal/seq/diskstore"
+	"repro/internal/simulate"
+	"repro/internal/suffixtree"
+)
+
+// oocCellEnv carries a cell's parameters into its subprocess.
+const oocCellEnv = "REPRO_BENCH_OOC_CELL"
+
+// oocScale is the large input's multiplier over the small one.
+const oocScale = 10
+
+// oocMemBudget is the disk cells' spilling budget. Large enough that
+// the ×10 sweep stays a handful of segments (re-enumeration cost is
+// segments × input), small enough to sit far under the ×10 monolithic
+// forest.
+const oocMemBudget = 16 << 20
+
+// OOCCell is one (backend, scale) measurement from a subprocess.
+type OOCCell struct {
+	Backend      string `json:"backend"` // "mem" or "disk"
+	Scale        int    `json:"scale"`   // 1 or oocScale
+	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
+	Pairs        int64  `json:"pairs"`
+	PairHash     uint64 `json:"pair_hash"` // order-independent multiset hash
+}
+
+// OOCBaseline is the committed BENCH_outofcore.json.
+type OOCBaseline struct {
+	Version  int       `json:"version"`
+	Workload string    `json:"workload"`
+	Cells    []OOCCell `json:"cells"`
+	// DiskRatio and MemRatio are peak RSS at ×10 over ×1.
+	DiskRatio float64 `json:"disk_ratio"`
+	MemRatio  float64 `json:"mem_ratio"`
+	// FlatGate is the recorded ceiling for DiskRatio at check time:
+	// measured ratio plus noise headroom, floored at 1.5 (VmHWM
+	// granularity and runtime jitter both move the small numerator).
+	FlatGate float64 `json:"flat_gate"`
+	// GrowthFloor is the recorded floor for MemRatio at check time —
+	// if the mem backend's RSS ever stops growing with input, the
+	// workload lost its signal and the flat gate proves nothing.
+	GrowthFloor float64 `json:"growth_floor"`
+}
+
+// oocCellSpec is the JSON shipped to a cell subprocess.
+type oocCellSpec struct {
+	Dir     string `json:"dir"` // prepared disk store
+	Backend string `json:"backend"`
+	Scale   int    `json:"scale"`
+}
+
+// oocReads synthesizes the fixed out-of-core input at a scale: the
+// genome grows with scale, coverage stays fixed, so reads (and
+// suffixes) grow ×scale.
+func oocReads(scale int) []*seq.Fragment {
+	rng := rand.New(rand.NewSource(4242))
+	g := simulate.NewGenome(rng, "ooc", simulate.GenomeConfig{
+		Length:  20000 * scale,
+		Repeats: []simulate.RepeatFamily{{Length: 300, Copies: 6, Divergence: 0.02}},
+	})
+	rc := simulate.DefaultReadConfig()
+	rc.MeanLen = 200
+	rc.LenSD = 30
+	rc.VectorProb = 0
+	return simulate.SampleWGS(rng, g, 6.0, rc, "r")
+}
+
+// oocGenerate streams every promising pair of one forest into the
+// order-independent multiset hash.
+func oocGenerate(t *suffixtree.Tree, cfg pairgen.Config, pairs *int64, sum *uint64) {
+	pairgen.Generate(t, cfg, func(p pairgen.Pair) bool {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d/%d/%d/%d/%d", p.ASid, p.BSid, p.APos, p.BPos, p.MatchLen)
+		*sum += h.Sum64()
+		*pairs++
+		return true
+	})
+}
+
+// runOOCCell is the subprocess body: open the prepared disk store,
+// run the backend's GST + pair generation, report peak RSS and the
+// pair multiset hash.
+func runOOCCell(spec oocCellSpec) (*OOCCell, error) {
+	ccfg := cluster.DefaultConfig()
+	pgCfg := pairgen.Config{Psi: ccfg.Psi, DuplicateElimination: ccfg.DuplicateElimination}
+	cell := &OOCCell{Backend: spec.Backend, Scale: spec.Scale}
+
+	switch spec.Backend {
+	case "disk":
+		st, err := diskstore.Open(spec.Dir, diskstore.Options{CacheBytes: 1 << 20})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		pgCfg.NumFragments = st.N()
+		pgst.SweepSerial(st, pgst.Config{
+			W: ccfg.W, MinLen: ccfg.Psi, SpillBytes: oocMemBudget,
+		}, func(t *suffixtree.Tree) bool {
+			oocGenerate(t, pgCfg, &cell.Pairs, &cell.PairHash)
+			return true
+		})
+	case "mem":
+		// The all-RAM reference materializes the fragments and the
+		// monolithic forest, exactly like the in-memory pipeline.
+		src, err := diskstore.Open(spec.Dir, diskstore.Options{CacheBytes: 1 << 20})
+		if err != nil {
+			return nil, err
+		}
+		frags := make([]*seq.Fragment, src.N())
+		for i := range frags {
+			frags[i] = &seq.Fragment{Name: src.FragName(i), Bases: src.Seq(i)}
+		}
+		src.Close()
+		st := seq.NewStore(frags)
+		pgCfg.NumFragments = st.N()
+		oocGenerate(cluster.BuildSerialTree(st, ccfg), pgCfg, &cell.Pairs, &cell.PairHash)
+	default:
+		return nil, fmt.Errorf("bench: unknown ooc backend %q", spec.Backend)
+	}
+	cell.PeakRSSBytes = peakRSS()
+	return cell, nil
+}
+
+// MaybeRunOOCCell runs an out-of-core benchmark cell and exits when
+// the process was spawned as one (the cell env var is set). Call it
+// first thing in any main (or TestMain) whose binary RunOutOfCore may
+// re-exec.
+func MaybeRunOOCCell() {
+	v := os.Getenv(oocCellEnv)
+	if v == "" {
+		return
+	}
+	var spec oocCellSpec
+	if err := json.Unmarshal([]byte(v), &spec); err != nil {
+		fmt.Fprintln(os.Stderr, "bench ooc cell:", err)
+		os.Exit(1)
+	}
+	cell, err := runOOCCell(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench ooc cell:", err)
+		os.Exit(1)
+	}
+	json.NewEncoder(os.Stdout).Encode(cell)
+	os.Exit(0)
+}
+
+// oocSpawnCell runs one cell in a fresh subprocess of this binary.
+func oocSpawnCell(spec oocCellSpec) (*OOCCell, error) {
+	sj, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), oocCellEnv+"="+string(sj))
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("bench: ooc cell %s/×%d: %w", spec.Backend, spec.Scale, err)
+	}
+	var cell OOCCell
+	if err := json.Unmarshal(out, &cell); err != nil {
+		return nil, fmt.Errorf("bench: ooc cell %s/×%d output: %w", spec.Backend, spec.Scale, err)
+	}
+	return &cell, nil
+}
+
+// RunOutOfCore measures all four cells. For each scale the input is
+// synthesized once and staged as a disk store both backends read, so
+// read-set generation never pollutes a cell's RSS.
+func RunOutOfCore() (*OOCBaseline, error) {
+	b := &OOCBaseline{Version: Version, Workload: "outofcore"}
+	rss := map[string]uint64{}
+	hashes := map[int][2]uint64{} // scale -> {mem, disk} hash
+	for _, scale := range []int{1, oocScale} {
+		dir, err := os.MkdirTemp("", "bench-ooc-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if err := diskstore.Write(dir, oocReads(scale)); err != nil {
+			return nil, err
+		}
+		var pairHash [2]uint64
+		var pairCount [2]int64
+		for i, backend := range []string{"mem", "disk"} {
+			cell, err := oocSpawnCell(oocCellSpec{Dir: dir, Backend: backend, Scale: scale})
+			if err != nil {
+				return nil, err
+			}
+			b.Cells = append(b.Cells, *cell)
+			rss[fmt.Sprintf("%s%d", backend, scale)] = cell.PeakRSSBytes
+			pairHash[i], pairCount[i] = cell.PairHash, cell.Pairs
+		}
+		if pairHash[0] != pairHash[1] || pairCount[0] != pairCount[1] {
+			return nil, fmt.Errorf("bench: ×%d pair multisets differ between backends (mem %d pairs/%x, disk %d pairs/%x)",
+				scale, pairCount[0], pairHash[0], pairCount[1], pairHash[1])
+		}
+		hashes[scale] = pairHash
+	}
+	_ = hashes
+	b.DiskRatio = float64(rss[fmt.Sprintf("disk%d", oocScale)]) / float64(rss["disk1"])
+	b.MemRatio = float64(rss[fmt.Sprintf("mem%d", oocScale)]) / float64(rss["mem1"])
+	// Noise calibration: the flat gate carries 35% headroom over the
+	// measured disk ratio (floored at 1.5); the growth floor demands
+	// the mem backend keep at least 60% of its measured growth.
+	b.FlatGate = b.DiskRatio * 1.35
+	if b.FlatGate < 1.5 {
+		b.FlatGate = 1.5
+	}
+	b.GrowthFloor = 1 + (b.MemRatio-1)*0.6
+	return b, nil
+}
+
+// WriteOOCBaseline writes BENCH_outofcore.json.
+func WriteOOCBaseline(path string, b *OOCBaseline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadOOCBaseline reads BENCH_outofcore.json.
+func ReadOOCBaseline(path string) (*OOCBaseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var b OOCBaseline
+	if err := json.NewDecoder(f).Decode(&b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Version != Version || b.Workload != "outofcore" {
+		return nil, fmt.Errorf("%s: not an outofcore baseline (version %d, workload %q)", path, b.Version, b.Workload)
+	}
+	return &b, nil
+}
+
+// CompareOOC gates a fresh measurement against the committed baseline:
+// the disk backend's RSS ratio must stay under the baseline's flat
+// gate, and the mem backend's must stay above the growth floor (the
+// proof the gate still bites). Pair-multiset equality across backends
+// was already enforced inside RunOutOfCore; here the pair counts must
+// also match the baseline exactly — the input is fixed-seed, so any
+// drift is an algorithm change, not noise.
+func CompareOOC(baseline, current *OOCBaseline) []string {
+	var regressions []string
+	if current.DiskRatio > baseline.FlatGate {
+		regressions = append(regressions, fmt.Sprintf(
+			"outofcore/disk_ratio: ×%d/×1 peak RSS ratio %.3f exceeds the flat gate %.3f — the disk backend's memory is scaling with input",
+			oocScale, current.DiskRatio, baseline.FlatGate))
+	}
+	if current.MemRatio < baseline.GrowthFloor {
+		regressions = append(regressions, fmt.Sprintf(
+			"outofcore/mem_ratio: ×%d/×1 peak RSS ratio %.3f fell below the growth floor %.3f — the workload no longer exercises memory growth, the flat gate is vacuous",
+			oocScale, current.MemRatio, baseline.GrowthFloor))
+	}
+	base := map[string]int64{}
+	for _, c := range baseline.Cells {
+		base[fmt.Sprintf("%s%d", c.Backend, c.Scale)] = c.Pairs
+	}
+	for _, c := range current.Cells {
+		if want := base[fmt.Sprintf("%s%d", c.Backend, c.Scale)]; c.Pairs != want {
+			regressions = append(regressions, fmt.Sprintf(
+				"outofcore/pairs %s/×%d: %d pairs, baseline %d (fixed-seed input: algorithmic drift)",
+				c.Backend, c.Scale, c.Pairs, want))
+		}
+	}
+	return regressions
+}

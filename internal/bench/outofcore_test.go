@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func oocFixture() *OOCBaseline {
+	return &OOCBaseline{
+		Version:  Version,
+		Workload: "outofcore",
+		Cells: []OOCCell{
+			{Backend: "mem", Scale: 1, PeakRSSBytes: 80 << 20, Pairs: 5818},
+			{Backend: "disk", Scale: 1, PeakRSSBytes: 79 << 20, Pairs: 5818},
+			{Backend: "mem", Scale: oocScale, PeakRSSBytes: 760 << 20, Pairs: 36716},
+			{Backend: "disk", Scale: oocScale, PeakRSSBytes: 84 << 20, Pairs: 36716},
+		},
+		DiskRatio:   1.06,
+		MemRatio:    9.5,
+		FlatGate:    1.5,
+		GrowthFloor: 6.1,
+	}
+}
+
+// TestCompareOOCClean: a measurement inside both gates with matching
+// pair counts passes.
+func TestCompareOOCClean(t *testing.T) {
+	base := oocFixture()
+	cur := oocFixture()
+	cur.DiskRatio = 1.12
+	cur.MemRatio = 8.9
+	if regs := CompareOOC(base, cur); len(regs) != 0 {
+		t.Fatalf("clean measurement flagged: %v", regs)
+	}
+}
+
+// TestCompareOOCFlatGateBites: a disk backend whose memory scales with
+// input — the regression this whole gate exists for — is caught.
+func TestCompareOOCFlatGateBites(t *testing.T) {
+	base := oocFixture()
+	cur := oocFixture()
+	cur.DiskRatio = cur.MemRatio // disk degraded into the in-memory path
+	regs := CompareOOC(base, cur)
+	if len(regs) == 0 {
+		t.Fatal("disk ratio 9.5 passed a 1.5 flat gate")
+	}
+	if !strings.Contains(regs[0], "disk_ratio") {
+		t.Fatalf("wrong gate fired: %v", regs)
+	}
+}
+
+// TestCompareOOCGrowthFloorBites: if the mem backend stops growing,
+// the workload lost its signal and the check must fail rather than
+// pass vacuously.
+func TestCompareOOCGrowthFloorBites(t *testing.T) {
+	base := oocFixture()
+	cur := oocFixture()
+	cur.MemRatio = 1.1
+	regs := CompareOOC(base, cur)
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, "mem_ratio") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("growth floor silent on a flat mem backend: %v", regs)
+	}
+}
+
+// TestCompareOOCPairDrift: fixed-seed input means pair counts must be
+// bit-stable; any drift is an algorithm change.
+func TestCompareOOCPairDrift(t *testing.T) {
+	base := oocFixture()
+	cur := oocFixture()
+	cur.Cells[3].Pairs++
+	regs := CompareOOC(base, cur)
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, "pairs disk") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pair-count drift not flagged: %v", regs)
+	}
+}
+
+// TestOOCBaselineRoundTrip: write/read of the baseline file preserves
+// every gate field, and mislabeled files are rejected.
+func TestOOCBaselineRoundTrip(t *testing.T) {
+	base := oocFixture()
+	path := filepath.Join(t.TempDir(), "BENCH_outofcore.json")
+	if err := WriteOOCBaseline(path, base); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOOCBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FlatGate != base.FlatGate || got.GrowthFloor != base.GrowthFloor ||
+		got.DiskRatio != base.DiskRatio || len(got.Cells) != 4 {
+		t.Fatalf("round trip mangled baseline: %+v", got)
+	}
+
+	bad := oocFixture()
+	bad.Workload = "cluster"
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteOOCBaseline(badPath, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOOCBaseline(badPath); err == nil {
+		t.Fatal("foreign workload baseline accepted")
+	}
+}

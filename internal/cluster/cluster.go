@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/align"
 	"repro/internal/pairgen"
+	"repro/internal/pgst"
 	"repro/internal/seq"
 	"repro/internal/suffixtree"
 	"repro/internal/unionfind"
@@ -54,6 +55,14 @@ type Config struct {
 	// parallelism (Section 10). The result then depends on processing
 	// order, so this is a serial-driver heuristic only.
 	MaxClusterSize int
+	// MemBudget, when positive, selects the spilling GST: construction
+	// never holds more than roughly this many bytes of tree state,
+	// building, generating and dropping contiguous key-range segments
+	// instead of the whole forest (pgst.Config.SpillBytes). Pair order
+	// changes across segments, so Stats like Skipped/Aligned shift,
+	// but the partition — the transitive closure of accepted overlaps
+	// — is provably identical (order independence, Section 4).
+	MemBudget int64
 }
 
 // DefaultConfig returns parameters matching the paper's regime for
@@ -183,7 +192,7 @@ func (r *Result) Summarize() Summary {
 }
 
 // BuildSerialTree constructs the full GST for a store serially.
-func BuildSerialTree(store *seq.Store, cfg Config) *suffixtree.Tree {
+func BuildSerialTree(store seq.Seqs, cfg Config) *suffixtree.Tree {
 	cfg = cfg.withDefaults()
 	acc := func(sid int32) []byte { return store.Seq(int(sid)) }
 	sids := make([]int32, store.NumSeqs())
@@ -195,7 +204,7 @@ func BuildSerialTree(store *seq.Store, cfg Config) *suffixtree.Tree {
 
 // AlignPair runs the anchored overlap test for one promising pair and
 // reports acceptance plus the modeled DP cell count.
-func AlignPair(store *seq.Store, p pairgen.Pair, cfg Config) (accepted bool, cells int64) {
+func AlignPair(store seq.Seqs, p pairgen.Pair, cfg Config) (accepted bool, cells int64) {
 	a := store.Seq(int(p.ASid))
 	b := store.Seq(int(p.BSid))
 	res, ok := align.AnchoredOverlap(a, b, int(p.APos), int(p.BPos), int(p.MatchLen), cfg.Band, cfg.Scoring)
@@ -209,18 +218,18 @@ func AlignPair(store *seq.Store, p pairgen.Pair, cfg Config) (accepted bool, cel
 
 // Serial clusters the store's fragments with the Fig. 3 strategy on a
 // single processor.
-func Serial(store *seq.Store, cfg Config) *Result {
+func Serial(store seq.Seqs, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	start := time.Now()
-	tree := BuildSerialTree(store, cfg)
 	uf := unionfind.New(store.N())
 	var st Stats
 	n := int32(store.N())
-	pairgen.Generate(tree, pairgen.Config{
+	pgCfg := pairgen.Config{
 		Psi:                  cfg.Psi,
 		NumFragments:         store.N(),
 		DuplicateElimination: cfg.DuplicateElimination,
-	}, func(p pairgen.Pair) bool {
+	}
+	process := func(p pairgen.Pair) bool {
 		st.Generated++
 		fa, fb := int(p.ASid%n), int(p.BSid%n)
 		if uf.Same(fa, fb) {
@@ -239,7 +248,21 @@ func Serial(store *seq.Store, cfg Config) *Result {
 			}
 		}
 		return true
-	})
+	}
+	if cfg.MemBudget > 0 {
+		// Out-of-core: build, generate and drop one bounded key-range
+		// segment at a time instead of the full tree.
+		pgst.SweepSerial(store, pgst.Config{
+			W:          cfg.W,
+			MinLen:     cfg.Psi,
+			SpillBytes: cfg.MemBudget,
+		}, func(t *suffixtree.Tree) bool {
+			pairgen.Generate(t, pgCfg, process)
+			return true
+		})
+	} else {
+		pairgen.Generate(BuildSerialTree(store, cfg), pgCfg, process)
+	}
 	st.WallSeconds = time.Since(start).Seconds()
 	return &Result{N: store.N(), UF: uf, Stats: st}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/pgst"
 	"repro/internal/seq"
+	"repro/internal/suffixtree"
 	"repro/internal/unionfind"
 )
 
@@ -198,7 +199,7 @@ func (q *pairQueue) slice() []pairgen.Pair { return q.buf[q.head:] }
 // finishes on the surviving workers; the partition it returns is then
 // identical to a fault-free run's (union–find merges are
 // order-independent and duplicated pairs are harmless).
-func Parallel(store *seq.Store, cfg Config, pcfg ParallelConfig) (*Result, PhaseStats, error) {
+func Parallel(store seq.Seqs, cfg Config, pcfg ParallelConfig) (*Result, PhaseStats, error) {
 	cfg = cfg.withDefaults()
 	pcfg = pcfg.withDefaults()
 	if pcfg.Ranks < 2 {
@@ -288,7 +289,7 @@ type rankOut struct {
 // whether the rank is a goroutine of an in-process machine (Parallel)
 // or an OS process speaking to its peers through a transport
 // (ParallelRank).
-func clusterRankBody(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, resume *Checkpoint, mx clusterMetrics, out *rankOut) {
+func clusterRankBody(c *par.Comm, store seq.Seqs, cfg Config, pcfg ParallelConfig, resume *Checkpoint, mx clusterMetrics, out *rankOut) {
 	// Phase 1: distributed GST over workers (rank 0 owns no buckets).
 	// In FT mode the build itself is survivable: a rank that dies
 	// mid-construction has its exchanges re-enumerated and its bucket
@@ -302,6 +303,7 @@ func clusterRankBody(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelCon
 		Staged:     pcfg.Staged,
 		Seed:       12345,
 		FT:         pcfg.FT,
+		SpillBytes: cfg.MemBudget,
 	})
 	if pcfg.FT {
 		c.FTBarrier(10 * time.Millisecond)
@@ -337,7 +339,7 @@ func clusterRankBody(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelCon
 // phase seconds describe this rank alone rather than a machine-wide
 // aggregate; cross-rank analysis merges the per-process trace dumps
 // instead.
-func ParallelRank(store *seq.Store, cfg Config, pcfg ParallelConfig, rank int, t par.Transport) (*Result, par.Stats, par.Exit, error) {
+func ParallelRank(store seq.Seqs, cfg Config, pcfg ParallelConfig, rank int, t par.Transport) (*Result, par.Stats, par.Exit, error) {
 	cfg = cfg.withDefaults()
 	pcfg = pcfg.withDefaults()
 	if pcfg.Ranks < 2 {
@@ -412,7 +414,7 @@ func subtractStats(a, b par.Stats) par.Stats {
 // which is why a worker that reported passive can die without losing
 // coverage, and any dropped message eventually expires the lease and
 // re-assigns both the leased batches and the coverage.
-func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, resume *Checkpoint, mx clusterMetrics) (*unionfind.UF, Stats, float64, error) {
+func runMaster(c *par.Comm, store seq.Seqs, cfg Config, pcfg ParallelConfig, resume *Checkpoint, mx clusterMetrics) (*unionfind.UF, Stats, float64, error) {
 	uf := unionfind.New(store.N())
 	var st Stats
 	busy := 0.0
@@ -823,14 +825,29 @@ func runMaster(c *par.Comm, store *seq.Store, cfg Config, pcfg ParallelConfig, r
 // into the bounded buffer when otherwise idle. Under a fault plan it
 // can adopt dead ranks' GST portions (rebuilding them locally) and
 // gives up on a silent master instead of blocking forever.
-func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcfg ParallelConfig, mx clusterMetrics) {
+func runWorker(c *par.Comm, store seq.Seqs, local *pgst.Local, cfg Config, pcfg ParallelConfig, mx clusterMetrics) {
 	ft := pcfg.FT
 	pgCfg := pairgen.Config{
 		Psi:                  cfg.Psi,
 		NumFragments:         store.N(),
 		DuplicateElimination: cfg.DuplicateElimination,
 	}
-	streams := []*pairgen.Stream{pairgen.NewStream(local.Tree, pgCfg, 256)}
+	// rangeStream streams the pairs of one owner rank's GST portion in
+	// spilling mode: segments are built, generated and dropped inside
+	// the sweep, so no full forest is ever resident.
+	rangeStream := func(r int) *pairgen.Stream {
+		return pairgen.NewSweep(func(yield func(*suffixtree.Tree) bool) {
+			local.SweepRank(store, r, yield)
+		}, pgCfg, 256)
+	}
+	var streams []*pairgen.Stream
+	if local.Spill != nil {
+		for _, r := range local.Spill.Ranks {
+			streams = append(streams, rangeStream(r))
+		}
+	} else {
+		streams = []*pairgen.Stream{pairgen.NewStream(local.Tree, pgCfg, 256)}
+	}
 	cur := 0
 	defer func() {
 		for _, s := range streams {
@@ -842,11 +859,16 @@ func runWorker(c *par.Comm, store *seq.Store, local *pgst.Local, cfg Config, pcf
 	exhausted := false
 	n := int32(store.N())
 
-	// adoptPortions rebuilds the GST portions of dead ranks locally
-	// and queues them for generation.
+	// adoptPortions takes over the GST portions of dead ranks and
+	// queues them for generation — rebuilt whole in memory, or swept
+	// under the byte budget in spilling mode.
 	adoptPortions := func(ranks []int) {
 		c.TraceEvent(obs.EvPhaseEnter, obs.PhaseRecover, 0, 0)
 		for _, d := range ranks {
+			if local.Spill != nil {
+				streams = append(streams, rangeStream(d))
+				continue
+			}
 			t := pgst.RebuildPortion(c, store, local, d)
 			streams = append(streams, pairgen.NewStream(t, pgCfg, 256))
 		}

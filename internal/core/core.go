@@ -22,6 +22,10 @@ type Config struct {
 	Preprocess        preprocess.Config
 	PreprocessEnabled bool
 
+	// Store selects the sequence-store backend (in-memory, or the
+	// out-of-core disk store).
+	Store StoreConfig
+
 	// Cluster holds the algorithmic clustering parameters.
 	Cluster cluster.Config
 	// Parallel enables the master–worker engine when Ranks ≥ 2;
@@ -68,7 +72,7 @@ type Result struct {
 	// PreprocessStats is zero unless preprocessing ran.
 	PreprocessStats preprocess.Stats
 	// Store holds the fragments that entered clustering.
-	Store *seq.Store
+	Store seq.Seqs
 	// Clustering is the raw clustering result with its statistics.
 	Clustering *cluster.Result
 	// Phases carries per-phase machine statistics for parallel runs.
@@ -82,6 +86,26 @@ type Result struct {
 	// AssemblyOutcomes has one entry per cluster when a guard ran;
 	// nil otherwise.
 	AssemblyOutcomes []assembly.Outcome
+
+	// closeStore releases the store backend (disk backend only).
+	closeStore func() error
+}
+
+// SetStoreCloser registers the cleanup Close runs — for wrappers (the
+// checkpointed pipeline) that open the store themselves. A nil closer
+// leaves Close a no-op.
+func (r *Result) SetStoreCloser(c func() error) { r.closeStore = c }
+
+// Close releases the store backend's resources: a no-op for the
+// in-memory backend; for the disk backend it closes the store files
+// and removes them if they lived in a run-private temp dir. Idempotent.
+func (r *Result) Close() error {
+	if r.closeStore == nil {
+		return nil
+	}
+	c := r.closeStore
+	r.closeStore = nil
+	return c()
 }
 
 // Quarantined lists the cluster indices whose assembly was
@@ -127,7 +151,10 @@ func Run(frags []*seq.Fragment, cfg Config) (*Result, error) {
 	if cfg.PreprocessEnabled {
 		frags, res.PreprocessStats = preprocess.Run(frags, cfg.Preprocess)
 	}
-	res.Store = seq.NewStore(frags)
+	var err error
+	if res.Store, res.closeStore, err = OpenStore(frags, cfg.Store); err != nil {
+		return nil, err
+	}
 
 	if cfg.Parallel.Ranks >= 2 {
 		var err error

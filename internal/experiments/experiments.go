@@ -102,7 +102,7 @@ func maskStatistically(rng *rand.Rand, frags []*seq.Fragment, genomeLen int) []*
 // mustParallel runs the parallel clustering engine with a
 // configuration the experiment constructed itself; an error here is a
 // harness bug, not an input condition, so it panics.
-func mustParallel(store *seq.Store, cfg cluster.Config, pcfg cluster.ParallelConfig) (*cluster.Result, cluster.PhaseStats) {
+func mustParallel(store seq.Seqs, cfg cluster.Config, pcfg cluster.ParallelConfig) (*cluster.Result, cluster.PhaseStats) {
 	res, ph, err := cluster.Parallel(store, cfg, pcfg)
 	if err != nil {
 		panic(err)

@@ -56,7 +56,7 @@ func Maize(opt Options) MaizeResult {
 	for _, cs := range res.Contigs {
 		contigs = append(contigs, cs...)
 	}
-	cm := validate.Contigs(res.Store, contigs, map[string][]byte{m.Genome.Name: m.Genome.Seq})
+	cm := validate.Contigs(res.Store.(*seq.Store), contigs, map[string][]byte{m.Genome.Name: m.Genome.Seq})
 
 	out := MaizeResult{
 		FragsBefore:       len(all),

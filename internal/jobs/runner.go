@@ -162,6 +162,13 @@ func RunJob(dir string) int {
 		Trace:   tr,
 		Metrics: reg,
 	}
+	if spec.Store == "disk" {
+		// Dir is left empty: the pipeline anchors the store under the
+		// job's workdir and journals it in the manifest, so resumed
+		// attempts reopen the same bytes.
+		cfg.Store = core.StoreConfig{Backend: core.StoreDisk}
+	}
+	cfg.Cluster.MemBudget = spec.MemBudget
 
 	started := time.Now()
 	res, err := pipeline.Run(frags, pipeline.Config{
@@ -191,6 +198,7 @@ func RunJob(dir string) int {
 		}
 	}
 
+	defer res.Close()
 	if err := writeResults(dir, res, started); err != nil {
 		rep.Close(nil, false, err.Error())
 		fmt.Fprintln(os.Stderr, "runner:", err)

@@ -500,6 +500,14 @@ func specFromQuery(r *http.Request) (Spec, error) {
 		}
 		spec.Mask = b
 	}
+	spec.Store = q.Get("store")
+	if v := q.Get("membudget"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("bad membudget=%q", v)
+		}
+		spec.MemBudget = n
+	}
 	spec.FailInject = q.Get("fail")
 	spec = spec.withDefaults()
 	if err := spec.validate(); err != nil {

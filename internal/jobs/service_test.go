@@ -477,3 +477,48 @@ func drainServer(t *testing.T, srv *Server) {
 	defer cancel()
 	srv.Drain(ctx)
 }
+
+// TestDiskStoreJobMatchesMem: a store=disk job with a spilling-GST
+// budget must produce contigs byte-identical to the same input's
+// in-memory job, and the two submissions must be distinct jobs (the
+// fingerprint includes the backend).
+func TestDiskStoreJobMatchesMem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	input := makeFASTA(t, 23, 2, 4000, 300)
+	cfg := serveConf{Workers: 2, AttemptDeadline: 2 * time.Minute, DrainTimeout: 3 * time.Second,
+		GCInterval: time.Hour, Retain: time.Hour}
+	dir := t.TempDir()
+	proc, base := startServerProc(t, dir, cfg)
+	defer proc.Process.Kill()
+
+	memJob, code := submit(t, base, "psi=20&w=10", input)
+	if code != http.StatusAccepted {
+		t.Fatalf("mem submit: status %d (%s)", code, memJob.Err)
+	}
+	diskJob, code := submit(t, base, "psi=20&w=10&store=disk&membudget=65536", input)
+	if code != http.StatusAccepted {
+		t.Fatalf("disk submit: status %d (%s)", code, diskJob.Err)
+	}
+	if diskJob.ID == memJob.ID {
+		t.Fatal("disk and mem submissions deduped to one job")
+	}
+
+	waitState(t, base, memJob.ID, StateDone, 2*time.Minute)
+	waitState(t, base, diskJob.ID, StateDone, 2*time.Minute)
+	want := fetchArtifact(t, base, memJob.ID, "contigs")
+	got := fetchArtifact(t, base, diskJob.ID, "contigs")
+	if len(want) == 0 {
+		t.Fatal("mem job produced no contigs")
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("disk-backed job contigs differ from in-memory job (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The job workdir must actually hold the on-disk store.
+	matches, err := filepath.Glob(filepath.Join(dir, "jobs", "*", "work", "store", "store.data"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected exactly one on-disk store under the job dirs, got %v (err %v)", matches, err)
+	}
+}

@@ -35,6 +35,13 @@ type Spec struct {
 	Seed int64 `json:"seed,omitempty"`
 	// AssemblyRetries is the per-cluster guard budget (default 1).
 	AssemblyRetries int `json:"assembly_retries,omitempty"`
+	// Store selects the sequence-store backend: "" or "mem" (default,
+	// all-RAM) or "disk" (out-of-core: 2-bit packed bases on disk
+	// under the job workdir behind a bounded cache).
+	Store string `json:"store,omitempty"`
+	// MemBudget, when positive, bounds GST construction memory via the
+	// spilling build (bytes). Usually paired with Store "disk".
+	MemBudget int64 `json:"mem_budget,omitempty"`
 	// FailInject is the fault-injection hook for supervision tests:
 	// "crash" makes the runner exit non-zero immediately (a poison
 	// job), "hang" makes it block forever (exercises the deadline).
@@ -74,6 +81,14 @@ func (s Spec) validate() error {
 	default:
 		return fmt.Errorf("jobs: unknown fail_inject %q (crash, hang)", s.FailInject)
 	}
+	switch s.Store {
+	case "", "mem", "disk":
+	default:
+		return fmt.Errorf("jobs: unknown store backend %q (mem, disk)", s.Store)
+	}
+	if s.MemBudget < 0 {
+		return fmt.Errorf("jobs: mem_budget=%d is negative", s.MemBudget)
+	}
 	return nil
 }
 
@@ -84,6 +99,15 @@ func (s Spec) Flags() string {
 	s = s.withDefaults()
 	f := fmt.Sprintf("psi=%d w=%d ranks=%d mask=%v seed=%d aretries=%d",
 		s.Psi, s.W, s.Ranks, s.Mask, s.Seed, s.AssemblyRetries)
+	// Out-of-core fields append only when set, so fingerprints (and
+	// therefore idempotency keys and resumable workdirs) of existing
+	// in-memory jobs are unchanged.
+	if s.Store == "disk" {
+		f += " store=disk"
+	}
+	if s.MemBudget > 0 {
+		f += fmt.Sprintf(" membudget=%d", s.MemBudget)
+	}
 	if s.FailInject != "" {
 		f += " fail=" + s.FailInject
 	}

@@ -1,0 +1,40 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagsFingerprintStability: the out-of-core fields must append to
+// the fingerprint only when set — existing in-memory jobs keep their
+// idempotency keys and resumable workdirs across this change.
+func TestFlagsFingerprintStability(t *testing.T) {
+	base := Spec{}.Flags()
+	if strings.Contains(base, "store=") || strings.Contains(base, "membudget=") {
+		t.Fatalf("default fingerprint mentions out-of-core fields: %q", base)
+	}
+	if got := (Spec{Store: "mem"}).Flags(); got != base {
+		t.Fatalf("explicit mem backend changed the fingerprint: %q vs %q", got, base)
+	}
+	disk := Spec{Store: "disk", MemBudget: 1 << 20}.Flags()
+	if !strings.Contains(disk, "store=disk") || !strings.Contains(disk, "membudget=1048576") {
+		t.Fatalf("disk fingerprint missing out-of-core fields: %q", disk)
+	}
+	if IdempotencyKey([]byte("x"), Spec{}) == IdempotencyKey([]byte("x"), Spec{Store: "disk"}) {
+		t.Fatal("disk and mem submissions dedupe to the same job")
+	}
+}
+
+// TestSpecValidatesStore: unknown backends and negative budgets are
+// rejected at submission time.
+func TestSpecValidatesStore(t *testing.T) {
+	if err := (Spec{Store: "tape"}).validate(); err == nil {
+		t.Fatal("store=tape accepted")
+	}
+	if err := (Spec{MemBudget: -1}).validate(); err == nil {
+		t.Fatal("negative mem_budget accepted")
+	}
+	if err := (Spec{Store: "disk", MemBudget: 1 << 20}).validate(); err != nil {
+		t.Fatalf("valid disk spec rejected: %v", err)
+	}
+}

@@ -45,6 +45,44 @@ func NewStream(tree *suffixtree.Tree, cfg Config, buffer int) *Stream {
 	return s
 }
 
+// NewSweep streams pairs from a sequence of forests produced on
+// demand — the spilling GST's bounded segments. sweep must call yield
+// once per forest and stop when yield returns false; each forest is
+// generated to exhaustion and dropped before the next is built, so the
+// resident tree memory is one segment's, while the consumer sees a
+// single continuous stream. Stats accumulate across all segments.
+func NewSweep(sweep func(yield func(*suffixtree.Tree) bool), cfg Config, buffer int) *Stream {
+	if buffer < 1 {
+		buffer = 64
+	}
+	s := &Stream{
+		ch:   make(chan Pair, buffer),
+		stop: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(s.ch)
+		stopped := false
+		sweep(func(t *suffixtree.Tree) bool {
+			st := Generate(t, cfg, func(p Pair) bool {
+				select {
+				case s.ch <- p:
+					return true
+				case <-s.stop:
+					stopped = true
+					return false
+				}
+			})
+			s.stats.Emitted += st.Emitted
+			s.stats.Skipped += st.Skipped
+			s.stats.NodesVisited += st.NodesVisited
+			return !stopped
+		})
+	}()
+	return s
+}
+
 // Next returns the next pair; ok is false once the stream is
 // exhausted or closed.
 func (s *Stream) Next() (Pair, bool) {

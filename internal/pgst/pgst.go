@@ -65,6 +65,13 @@ type Config struct {
 	// FTPoll is the poll interval of the fault-tolerant collectives
 	// (default 10ms).
 	FTPoll time.Duration
+	// SpillBytes, when positive, selects the out-of-core build: no
+	// rank ever materializes its full forest. Construction only agrees
+	// on splitters; the owned key range is swept later in contiguous
+	// segments whose estimated resident bytes stay under this budget,
+	// each segment's forest built, consumed and dropped (see spill.go).
+	// The union of swept forests is identical to the in-memory build.
+	SpillBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +106,10 @@ type Local struct {
 	// Cfg is the construction configuration after defaulting, kept so
 	// a portion can be rebuilt later with identical parameters.
 	Cfg Config
+	// Spill is non-nil for a spilling build (Cfg.SpillBytes > 0): Tree
+	// is nil and the covered ranks' key ranges are swept on demand via
+	// SweepRank instead.
+	Spill *SpillState
 }
 
 // ownerBounds partitions fragment IDs contiguously so each owner rank
@@ -106,7 +117,7 @@ type Local struct {
 // owner i (bounds has owners+1 entries). Every rank computes the same
 // partition, so fragment ownership is an O(1)–O(log p) lookup — the
 // paper's "recalling the initial distribution".
-func ownerBounds(st *seq.Store, owners int) []int {
+func ownerBounds(st seq.Seqs, owners int) []int {
 	bounds := make([]int, owners+1)
 	total := st.TotalBases()
 	per := total/owners + 1
@@ -115,7 +126,7 @@ func ownerBounds(st *seq.Store, owners int) []int {
 		bounds[r] = fid
 		want := (r + 1) * per
 		for fid < st.N() && acc < want {
-			acc += st.Fragment(fid).Len()
+			acc += st.SeqLen(fid)
 			fid++
 		}
 	}
@@ -148,7 +159,7 @@ type keyedSuffix struct {
 // the character count examined, so callers can charge the work. Every
 // rank holds the full store, so any survivor can re-run a dead rank's
 // enumeration — the redundancy the fault-tolerant build recovers from.
-func enumerateOwner(st *seq.Store, bounds []int, me int, cfg Config, keep func(seq.Kmer) bool) ([]keyedSuffix, int64) {
+func enumerateOwner(st seq.Seqs, bounds []int, me int, cfg Config, keep func(seq.Kmer) bool) ([]keyedSuffix, int64) {
 	n := st.N()
 	var out []keyedSuffix
 	var chars int64
@@ -172,7 +183,7 @@ func enumerateOwner(st *seq.Store, bounds []int, me int, cfg Config, keep func(s
 
 // Build constructs this rank's portion of the distributed GST. All
 // ranks of the communicator must call it collectively.
-func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
+func Build(c *par.Comm, st seq.Seqs, cfg Config) *Local {
 	cfg = cfg.withDefaults()
 	p := c.Size()
 	owners := p - cfg.FirstOwner
@@ -180,6 +191,12 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 		panic("pgst: no owner ranks")
 	}
 	bounds := ownerBounds(st, owners)
+
+	// Out-of-core mode: agree on splitters from streamed samples and
+	// defer all tree construction to bounded segment sweeps.
+	if cfg.SpillBytes > 0 {
+		return buildSpill(c, st, cfg, bounds, owners)
+	}
 
 	// Phase 1: enumerate and key the suffixes of this rank's fragments
 	// (both orientations). Ranks below FirstOwner hold no fragments.
@@ -288,7 +305,7 @@ func Build(c *par.Comm, st *seq.Store, cfg Config) *Local {
 //
 // This is a local (non-collective) operation; its computation is
 // charged to the calling rank, modeling the recovery cost.
-func RebuildPortion(c *par.Comm, st *seq.Store, local *Local, dead int) *suffixtree.Tree {
+func RebuildPortion(c *par.Comm, st seq.Seqs, local *Local, dead int) *suffixtree.Tree {
 	ib := suffixtree.NewIncrementalBuilder(local.Cfg.W)
 	_, _, cost := rebuildInto(ib, st, local.Splitters, local.Cfg, dead)
 	c.ChargeCompute(cost)
@@ -389,7 +406,7 @@ func destOf(splitters []seq.Kmer, key seq.Kmer, firstOwner int) int {
 // sources and each re-enumerates those ranks' fragment ranges from its
 // own full copy of the store, keeping the keys it owns — so its bucket
 // contents end up identical to a fault-free exchange.
-func redistribute(c *par.Comm, st *seq.Store, local []keyedSuffix, splitters []seq.Kmer, bounds []int, cfg Config) []keyedSuffix {
+func redistribute(c *par.Comm, st seq.Seqs, local []keyedSuffix, splitters []seq.Kmer, bounds []int, cfg Config) []keyedSuffix {
 	p := c.Size()
 	bufs := make([]*wire.Buffer, p)
 	for i := range bufs {
@@ -503,7 +520,7 @@ func agreeSevered(c *par.Comm, got []bool, cfg Config) []int {
 
 // planBatches groups bucket indices into batches whose distinct
 // fragments total at most batchBytes.
-func planBatches(st *seq.Store, buckets [][]suffixtree.Suffix, batchBytes int) [][]int {
+func planBatches(st seq.Seqs, buckets [][]suffixtree.Suffix, batchBytes int) [][]int {
 	n := st.N()
 	var batches [][]int
 	var cur []int
@@ -528,7 +545,7 @@ func planBatches(st *seq.Store, buckets [][]suffixtree.Suffix, batchBytes int) [
 			if !seen[fid] && !dup[fid] {
 				dup[fid] = true
 				fids = append(fids, fid)
-				add += st.Fragment(int(fid)).Len()
+				add += st.SeqLen(int(fid))
 			}
 		}
 		return add, fids
@@ -552,7 +569,7 @@ func planBatches(st *seq.Store, buckets [][]suffixtree.Suffix, batchBytes int) [
 // fetchFragments performs the two collective steps of one batch:
 // request the owners of every fragment the batch's buckets reference,
 // then receive their bases. Returns fid → forward bases.
-func fetchFragments(c *par.Comm, st *seq.Store, buckets [][]suffixtree.Suffix, batch []int, bounds []int, cfg Config) map[int32][]byte {
+func fetchFragments(c *par.Comm, st seq.Seqs, buckets [][]suffixtree.Suffix, batch []int, bounds []int, cfg Config) map[int32][]byte {
 	p := c.Size()
 	n := st.N()
 	need := make(map[int32]bool)
@@ -594,7 +611,7 @@ func fetchFragments(c *par.Comm, st *seq.Store, buckets [][]suffixtree.Suffix, b
 		for r.Remaining() > 0 {
 			fid := r.Int()
 			respBufs[src].PutInt(fid)
-			respBufs[src].PutBytes(st.Fragment(fid).Bases)
+			respBufs[src].PutBytes(st.Seq(fid))
 			served++
 		}
 	}
@@ -629,7 +646,7 @@ func fetchFragments(c *par.Comm, st *seq.Store, buckets [][]suffixtree.Suffix, b
 // demand and memoized. With fallback (FT mode) a fragment a dead owner
 // never served is read from the local copy of the store instead of
 // panicking.
-func cacheAccess(st *seq.Store, cache map[int32][]byte, fallback bool) suffixtree.Access {
+func cacheAccess(st seq.Seqs, cache map[int32][]byte, fallback bool) suffixtree.Access {
 	n := int32(st.N())
 	rcCache := make(map[int32][]byte)
 	fetch := func(fid int32) []byte {
@@ -638,7 +655,7 @@ func cacheAccess(st *seq.Store, cache map[int32][]byte, fallback bool) suffixtre
 			if !fallback {
 				panic("pgst: access to unfetched fragment")
 			}
-			b = st.Fragment(int(fid)).Bases
+			b = st.Seq(int(fid))
 		}
 		return b
 	}
@@ -696,41 +713,8 @@ func recoverAssignments(c *par.Comm, firstOwner int, poll time.Duration) []int {
 // buckets the partition assigned to rank dead, and builds them into
 // ib. Returns the bucket and suffix counts added plus the modeled
 // compute cost of the rebuild.
-func rebuildInto(ib *suffixtree.IncrementalBuilder, st *seq.Store, splitters []seq.Kmer, cfg Config, dead int) (nbuckets, nsuf int, cost float64) {
-	var mine []keyedSuffix
-	var chars int64
-	for sid := 0; sid < st.NumSeqs(); sid++ {
-		s := st.Seq(sid)
-		chars += int64(len(s))
-		sufs := suffixtree.EnumerateSuffixes(
-			func(int32) []byte { return s }, []int32{int32(sid)}, cfg.MinLen)
-		for _, sf := range sufs {
-			key, ok := suffixtree.BucketKey(s, int(sf.Pos), cfg.W)
-			if !ok || destOf(splitters, key, cfg.FirstOwner) != dead {
-				continue
-			}
-			mine = append(mine, keyedSuffix{key, sf})
-		}
-	}
-	sort.Slice(mine, func(i, j int) bool { return mine[i].key < mine[j].key })
-	cost = float64(chars)*costChar +
-		float64(len(mine))*(costSuf+log2f(len(mine))*costSort)
-
-	access := func(sid int32) []byte { return st.Seq(int(sid)) }
-	before := ib.Work()
-	for lo := 0; lo < len(mine); {
-		hi := lo
-		for hi < len(mine) && mine[hi].key == mine[lo].key {
-			hi++
-		}
-		b := make([]suffixtree.Suffix, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			b = append(b, mine[i].suf)
-		}
-		ib.AddBucket(access, b)
-		nbuckets++
-		lo = hi
-	}
-	cost += float64(ib.Work()-before) * costChar
-	return nbuckets, len(mine), cost
+func rebuildInto(ib *suffixtree.IncrementalBuilder, st seq.Seqs, splitters []seq.Kmer, cfg Config, dead int) (nbuckets, nsuf int, cost float64) {
+	return buildFiltered(ib, st, cfg, func(key seq.Kmer) bool {
+		return destOf(splitters, key, cfg.FirstOwner) == dead
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/seq"
 	"repro/internal/suffixtree"
 )
 
@@ -53,6 +54,40 @@ func UnionSignature(locals []*Local) Signature {
 			sig.Nodes[k] += v
 		}
 		sig.Suffixes = append(sig.Suffixes, t.Suffixes...)
+	}
+	sort.Strings(sig.Suffixes)
+	return sig
+}
+
+// UnionSignatureOf summarizes the union of the given locals' forests
+// for either build mode: an in-memory local contributes its resident
+// tree, a spilling local materializes its covered key ranges segment
+// by segment against st (building and dropping each forest, so the
+// oracle itself honors the byte budget). Nil entries — dead ranks —
+// are skipped; their ranges appear through the survivor that adopted
+// them.
+func UnionSignatureOf(st seq.Seqs, locals []*Local) Signature {
+	sig := Signature{Nodes: make(map[string]int)}
+	add := func(t Signature) {
+		for k, v := range t.Nodes {
+			sig.Nodes[k] += v
+		}
+		sig.Suffixes = append(sig.Suffixes, t.Suffixes...)
+	}
+	for _, l := range locals {
+		if l == nil {
+			continue
+		}
+		if l.Spill == nil {
+			add(TreeSignature(l.Tree))
+			continue
+		}
+		for _, r := range l.Spill.Ranks {
+			l.SweepRank(st, r, func(t *suffixtree.Tree) bool {
+				add(TreeSignature(t))
+				return true
+			})
+		}
 	}
 	sort.Strings(sig.Suffixes)
 	return sig

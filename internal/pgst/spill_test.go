@@ -1,0 +1,265 @@
+package pgst
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/pairgen"
+	"repro/internal/par"
+	"repro/internal/seq"
+	"repro/internal/seq/diskstore"
+	"repro/internal/suffixtree"
+)
+
+// sweepPairs generates the pair multiset of a serial sweep.
+func sweepPairs(st seq.Seqs, cfg Config, psi int) (pairs []string, segments int) {
+	SweepSerial(st, cfg, func(t *suffixtree.Tree) bool {
+		segments++
+		pairs = append(pairs, collectPairs(t, psi, st.N())...)
+		return true
+	})
+	return pairs, segments
+}
+
+// TestSweepSerialMatchesSerial: the union of the spilling sweep's
+// segment forests — and the pair multiset generated from them — must
+// equal the monolithic serial tree's exactly, at budgets from "one
+// segment per bucket bin" up to "everything in one segment".
+func TestSweepSerialMatchesSerial(t *testing.T) {
+	st := testStore(3, 6000, 3.0)
+	const w, psi = 6, 8
+	ref := serialTree(st, w, psi)
+	want := TreeSignature(ref)
+	wantPairs := collectPairs(ref, psi, st.N())
+	sort.Strings(wantPairs)
+	if len(wantPairs) == 0 {
+		t.Fatal("test input generates no pairs; weak test")
+	}
+
+	for _, budget := range []int64{1, 64 << 10, 1 << 20, 1 << 30} {
+		cfg := Config{W: w, MinLen: psi, SpillBytes: budget}
+		got := Signature{Nodes: map[string]int{}}
+		segments := 0
+		SweepSerial(st, cfg, func(tr *suffixtree.Tree) bool {
+			segments++
+			s := TreeSignature(tr)
+			for k, v := range s.Nodes {
+				got.Nodes[k] += v
+			}
+			got.Suffixes = append(got.Suffixes, s.Suffixes...)
+			return true
+		})
+		sort.Strings(got.Suffixes)
+		if !got.Equal(want) {
+			t.Fatalf("budget %d: sweep union signature differs from serial tree", budget)
+		}
+		gotPairs, _ := sweepPairs(st, cfg, psi)
+		sort.Strings(gotPairs)
+		if fmt.Sprint(gotPairs) != fmt.Sprint(wantPairs) {
+			t.Fatalf("budget %d: sweep pair multiset differs (%d vs %d pairs)",
+				budget, len(gotPairs), len(wantPairs))
+		}
+		if budget == 1 && segments < 8 {
+			t.Fatalf("budget 1 produced only %d segments; spilling is not segmenting", segments)
+		}
+		if budget == 1<<30 && segments != 1 {
+			t.Fatalf("huge budget produced %d segments, want 1", segments)
+		}
+	}
+}
+
+// TestSweepBudgetBounds: every segment's suffix count must respect the
+// byte budget up to one histogram bin's excess (the planning granule).
+func TestSweepBudgetBounds(t *testing.T) {
+	st := testStore(4, 8000, 4.0)
+	cfg := Config{W: 6, MinLen: 8, SpillBytes: 32 << 10}
+	cfg = cfg.withDefaults()
+
+	shift := spillBinShift(cfg.W)
+	hist := make([]int64, 1<<spillBinBits(cfg.W))
+	enumKeys(st, 0, st.NumSeqs(), cfg, nil, func(k seq.Kmer) { hist[k>>shift]++ })
+	var maxBin int64
+	for _, h := range hist {
+		if h > maxBin {
+			maxBin = h
+		}
+	}
+	limit := cfg.SpillBytes/spillBytesPerSuffix + maxBin
+
+	SweepSerial(st, cfg, func(tr *suffixtree.Tree) bool {
+		var n int64
+		for u := range tr.Nodes {
+			if tr.IsLeaf(int32(u)) {
+				n += int64(len(tr.LeafSuffixes(int32(u))))
+			}
+		}
+		if n > limit {
+			t.Fatalf("segment holds %d suffixes, budget allows %d", n, limit)
+		}
+		return true
+	})
+}
+
+// TestSpillBuildMatchesSerial: the distributed spilling build — no
+// redistribution, no resident forests, ranks sweeping their splitter
+// ranges — must union to the serial tree and generate the serial pair
+// multiset, across machine shapes and budgets.
+func TestSpillBuildMatchesSerial(t *testing.T) {
+	st := testStore(5, 6000, 3.0)
+	const w, psi = 6, 8
+	ref := serialTree(st, w, psi)
+	want := TreeSignature(ref)
+	wantPairs := collectPairs(ref, psi, st.N())
+	sort.Strings(wantPairs)
+
+	cases := []struct {
+		p          int
+		firstOwner int
+		budget     int64
+	}{
+		{1, 0, 64 << 10},
+		{2, 0, 1},
+		{4, 0, 64 << 10},
+		{5, 1, 32 << 10}, // master–worker layout: rank 0 owns nothing
+	}
+	for _, tc := range cases {
+		name := fmt.Sprintf("p=%d first=%d budget=%d", tc.p, tc.firstOwner, tc.budget)
+		locals := make([]*Local, tc.p)
+		par.Run(par.DefaultConfig(tc.p), func(c *par.Comm) {
+			locals[c.Rank()] = Build(c, st, Config{
+				W: w, MinLen: psi, FirstOwner: tc.firstOwner,
+				Seed: 7, SpillBytes: tc.budget,
+			})
+		})
+		for r, l := range locals {
+			if l.Tree != nil {
+				t.Fatalf("%s: rank %d holds a resident tree in spilling mode", name, r)
+			}
+			if l.Spill == nil {
+				t.Fatalf("%s: rank %d local is not marked spilling", name, r)
+			}
+			if r < tc.firstOwner && len(l.Spill.Ranks) != 0 {
+				t.Fatalf("%s: non-owner rank %d covers ranges %v", name, r, l.Spill.Ranks)
+			}
+		}
+		if !UnionSignatureOf(st, locals).Equal(want) {
+			t.Fatalf("%s: spill union signature differs from serial tree", name)
+		}
+		var gotPairs []string
+		for _, l := range locals {
+			for _, r := range l.Spill.Ranks {
+				l.SweepRank(st, r, func(tr *suffixtree.Tree) bool {
+					gotPairs = append(gotPairs, collectPairs(tr, psi, st.N())...)
+					return true
+				})
+			}
+		}
+		sort.Strings(gotPairs)
+		if fmt.Sprint(gotPairs) != fmt.Sprint(wantPairs) {
+			t.Fatalf("%s: pair multiset differs (%d vs %d)", name, len(gotPairs), len(wantPairs))
+		}
+	}
+}
+
+// TestSpillBuildSurvivesCrash: a rank killed during the spilling
+// build's splitter agreement must leave the survivors covering, in
+// union, exactly the serial GST — the dead rank's key range adopted as
+// an extra lazy sweep range, never a resident rebuild.
+func TestSpillBuildSurvivesCrash(t *testing.T) {
+	st := testStore(1, 6000, 3.0)
+	const w, psi = 6, 8
+	want := TreeSignature(serialTree(st, w, psi))
+
+	const p, crashed = 5, 2
+	locals := make([]*Local, p)
+	cfg := par.DefaultConfig(p)
+	cfg.Faults = &par.FaultPlan{
+		Seed:    5,
+		Crashes: []par.Crash{{Rank: crashed, AfterSends: 1, Tag: par.AnyTag}},
+	}
+	_, exits := par.RunStatus(cfg, func(c *par.Comm) {
+		locals[c.Rank()] = Build(c, st, Config{
+			W: w, MinLen: psi, Seed: 7, FT: true, SpillBytes: 32 << 10,
+		})
+	})
+	if !exits[crashed].FaultKilled {
+		t.Fatalf("rank %d was not fault-killed: %+v", crashed, exits[crashed])
+	}
+	covered := map[int]int{}
+	for r, l := range locals {
+		if r == crashed {
+			if l != nil {
+				t.Fatalf("dead rank %d produced a local", crashed)
+			}
+			continue
+		}
+		if !exits[r].OK {
+			t.Fatalf("survivor %d died: %+v", r, exits[r])
+		}
+		if l.Spill == nil {
+			t.Fatalf("survivor %d not in spilling mode", r)
+		}
+		for _, cr := range l.Spill.Ranks {
+			covered[cr]++
+		}
+	}
+	for r := 0; r < p; r++ {
+		if covered[r] != 1 {
+			t.Fatalf("owner rank %d covered %d times, want exactly once (coverage %v)",
+				r, covered[r], covered)
+		}
+	}
+	if !UnionSignatureOf(st, locals).Equal(want) {
+		t.Fatal("survivor union signature differs from serial tree after crash")
+	}
+}
+
+// TestSweepOnDiskStore: the sweep over a disk-backed store must equal
+// the sweep over the in-memory store — the full out-of-core stack
+// (paged bases + spilling construction) against the all-RAM reference.
+func TestSweepOnDiskStore(t *testing.T) {
+	mem := testStore(6, 5000, 3.0)
+	frags := mem.Fragments()
+	disk, err := diskstore.Create(t.TempDir(), frags, diskstore.Options{CacheBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+
+	cfg := Config{W: 6, MinLen: 8, SpillBytes: 64 << 10}
+	wantPairs, wantSegs := sweepPairs(mem, cfg, 8)
+	gotPairs, gotSegs := sweepPairs(disk, cfg, 8)
+	if wantSegs != gotSegs {
+		t.Fatalf("segment count differs: disk %d, mem %d", gotSegs, wantSegs)
+	}
+	sort.Strings(wantPairs)
+	sort.Strings(gotPairs)
+	if fmt.Sprint(gotPairs) != fmt.Sprint(wantPairs) {
+		t.Fatalf("disk-backed sweep pairs differ (%d vs %d)", len(gotPairs), len(wantPairs))
+	}
+}
+
+// TestSweepStreamStopsEarly: NewSweep must stop building segments once
+// the consumer closes the stream (a worker told to shut down must not
+// keep paying for construction).
+func TestSweepStreamStopsEarly(t *testing.T) {
+	st := testStore(7, 6000, 3.0)
+	cfg := Config{W: 6, MinLen: 8, SpillBytes: 1}
+	cfg = cfg.withDefaults()
+	built := 0
+	s := pairgen.NewSweep(func(yield func(*suffixtree.Tree) bool) {
+		SweepSerial(st, cfg, func(tr *suffixtree.Tree) bool {
+			built++
+			return yield(tr)
+		})
+	}, pairgen.Config{Psi: 8, NumFragments: st.N()}, 4)
+	if _, ok := s.Next(); !ok {
+		t.Fatal("stream produced nothing")
+	}
+	s.Close()
+	_, total := sweepPairs(st, cfg, 8)
+	if built >= total {
+		t.Fatalf("early close still built all %d segments", total)
+	}
+}

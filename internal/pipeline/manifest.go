@@ -25,8 +25,11 @@ var Phases = []Phase{PhasePreprocess, PhaseCluster, PhaseAssembly}
 
 const (
 	manifestMagic   = 0x706d6673 // "pmfs"
-	manifestVersion = 1
+	manifestVersion = 2
 	manifestFile    = "manifest"
+	// maxAuxRecords bounds the auxiliary artifact list (currently two
+	// entries: the disk store's data and index files).
+	maxAuxRecords = 8
 )
 
 // record marks one completed phase: the artifact file holding its
@@ -47,7 +50,12 @@ type manifest struct {
 	input   string // hex SHA-256 of the encoded input fragments
 	flags   string // configuration fingerprint
 	records []record
-	lk      *lock // exclusive workdir lease, held until close
+	// aux journals non-phase artifacts — files the run derives once
+	// and later runs must reuse byte-for-byte (the disk store's data
+	// and index files). Introduced by manifest version 2; a v1
+	// manifest simply has none.
+	aux []record
+	lk  *lock // exclusive workdir lease, held until close
 }
 
 // close releases the workdir lock. Nil-safe (no-workdir runs carry a
@@ -111,6 +119,7 @@ func openManifest(dir, inputHash, flags string, resume bool) (*manifest, error) 
 		return nil, fmt.Errorf("pipeline: manifest was written with different configuration %q (refusing to resume)", old.flags)
 	}
 	m.records = old.records
+	m.aux = old.aux
 	return m, nil
 }
 
@@ -126,6 +135,12 @@ func (m *manifest) encode() []byte {
 		w.PutString(r.artifact)
 		w.PutString(r.sum)
 	}
+	w.PutUint(uint64(len(m.aux)))
+	for _, r := range m.aux {
+		w.PutString(r.name)
+		w.PutString(r.artifact)
+		w.PutString(r.sum)
+	}
 	return w.Bytes()
 }
 
@@ -137,7 +152,8 @@ func decodeManifest(b []byte) (*manifest, error) {
 		}
 		return nil, errors.New("not a pipeline manifest (bad magic)")
 	}
-	if v := r.Uint(); v != manifestVersion {
+	v := r.Uint()
+	if v != 1 && v != manifestVersion {
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
@@ -157,6 +173,22 @@ func decodeManifest(b []byte) (*manifest, error) {
 			artifact: r.String(),
 			sum:      r.String(),
 		})
+	}
+	if v >= 2 {
+		na := int(r.Uint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if na < 0 || na > maxAuxRecords {
+			return nil, fmt.Errorf("manifest aux count %d out of range", na)
+		}
+		for i := 0; i < na; i++ {
+			m.aux = append(m.aux, record{
+				name:     r.String(),
+				artifact: r.String(),
+				sum:      r.String(),
+			})
+		}
 	}
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -220,6 +252,37 @@ func (m *manifest) load(p Phase) ([]byte, bool, error) {
 		return b, true, nil
 	}
 	return nil, false, nil
+}
+
+// auxSum returns the journaled checksum of a named auxiliary artifact.
+func (m *manifest) auxSum(name string) (string, bool) {
+	if m == nil {
+		return "", false
+	}
+	for _, r := range m.aux {
+		if r.name == name {
+			return r.sum, true
+		}
+	}
+	return "", false
+}
+
+// completeAux journals (or re-journals) an auxiliary artifact's
+// checksum and persists the manifest. The artifact itself must already
+// be durably on disk — same crash ordering as complete: a crash before
+// the manifest write just rebuilds the artifact on resume.
+func (m *manifest) completeAux(name, artifact, sum string) error {
+	if m == nil {
+		return nil
+	}
+	for i := range m.aux {
+		if m.aux[i].name == name {
+			m.aux[i].artifact, m.aux[i].sum = artifact, sum
+			return writeAtomic(filepath.Join(m.dir, manifestFile), m.encode())
+		}
+	}
+	m.aux = append(m.aux, record{name: name, artifact: artifact, sum: sum})
+	return writeAtomic(filepath.Join(m.dir, manifestFile), m.encode())
 }
 
 // complete records a phase's artifact: the artifact is written first

@@ -1,0 +1,142 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seq/diskstore"
+)
+
+func diskCoreConfig() core.Config {
+	cfg := testCoreConfig()
+	cfg.Store = core.StoreConfig{Backend: core.StoreDisk, CacheBytes: 64 << 10}
+	cfg.Cluster.MemBudget = 32 << 10
+	return cfg
+}
+
+// TestOutOfCoreMatchesMem: the full out-of-core pipeline — disk store
+// under the workdir, spilling GST — must produce contigs byte-identical
+// to the in-memory pipeline, and must leave the store files journaled
+// in the manifest.
+func TestOutOfCoreMatchesMem(t *testing.T) {
+	memRes, err := Run(testFrags(4, 3, 2200, 90), Config{
+		Core: testCoreConfig(), Workdir: t.TempDir(), Flags: "ooc",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := contigBytes(memRes)
+
+	dir := t.TempDir()
+	res, err := Run(testFrags(4, 3, 2200, 90), Config{
+		Core: diskCoreConfig(), Workdir: dir, Flags: "ooc",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if _, ok := res.Store.(*diskstore.Store); !ok {
+		t.Fatalf("store is %T, want disk-backed", res.Store)
+	}
+	if !bytes.Equal(contigBytes(res), want) {
+		t.Error("out-of-core contigs differ from in-memory pipeline")
+	}
+
+	mb, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := decodeManifest(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{auxStoreData, auxStoreIdx} {
+		sum, ok := m.auxSum(name)
+		if !ok {
+			t.Fatalf("manifest does not journal %s", name)
+		}
+		got, err := hashFile(filepath.Join(dir, "store", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != sum {
+			t.Fatalf("journaled %s checksum does not match the file", name)
+		}
+	}
+}
+
+// TestOutOfCoreResumeByteIdentical: kill the out-of-core pipeline
+// after each phase boundary; the resumed run must reopen the journaled
+// store (not rebuild it) and finish with byte-identical contigs.
+func TestOutOfCoreResumeByteIdentical(t *testing.T) {
+	cfg := diskCoreConfig()
+	full := t.TempDir()
+	ref, err := Run(testFrags(4, 3, 2200, 90), Config{Core: cfg, Workdir: full, Flags: "ooc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+	refBytes := contigBytes(ref)
+	origIdx, err := hashFile(filepath.Join(full, "store", diskstore.IndexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 0; k < len(Phases); k++ {
+		t.Run(fmt.Sprintf("rollback_to_%d_phases", k), func(t *testing.T) {
+			if err := Rollback(full, k); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(testFrags(4, 3, 2200, 90), Config{
+				Core: cfg, Workdir: full, Resume: true, Flags: "ooc",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer res.Close()
+			if !bytes.Equal(contigBytes(res), refBytes) {
+				t.Error("resumed out-of-core contigs differ from uninterrupted run")
+			}
+			gotIdx, err := hashFile(filepath.Join(full, "store", diskstore.IndexFile))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotIdx != origIdx {
+				t.Error("resume rewrote the store index; it must reuse the journaled bytes")
+			}
+		})
+	}
+}
+
+// TestOutOfCoreResumeRefusesCorruptStore: a resumed run must refuse a
+// store file whose bytes no longer match the journaled checksum.
+func TestOutOfCoreResumeRefusesCorruptStore(t *testing.T) {
+	cfg := diskCoreConfig()
+	dir := t.TempDir()
+	res, err := Run(testFrags(4, 3, 2200, 90), Config{Core: cfg, Workdir: dir, Flags: "ooc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+
+	dataPath := filepath.Join(dir, "store", diskstore.DataFile)
+	b, err := os.ReadFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(dataPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(testFrags(4, 3, 2200, 90), Config{
+		Core: cfg, Workdir: dir, Resume: true, Flags: "ooc",
+	})
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("resume with corrupt store: err=%v, want checksum refusal", err)
+	}
+}

@@ -110,7 +110,11 @@ func Run(frags []*seq.Fragment, cfg Config) (*core.Result, error) {
 			return nil, err
 		}
 	}
-	res.Store = seq.NewStore(frags)
+	var closeStore func() error
+	if res.Store, closeStore, err = attachStore(m, cfg, frags); err != nil {
+		return nil, err
+	}
+	res.SetStoreCloser(closeStore)
 	if interrupted() {
 		return nil, ErrInterrupted
 	}

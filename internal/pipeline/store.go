@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/seq/diskstore"
+)
+
+// Aux-record names for the disk store's files.
+const (
+	auxStoreData = "store.data"
+	auxStoreIdx  = "store.idx"
+)
+
+// hashFile streams a file through SHA-256.
+func hashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// attachStore materializes the sequence store for a checkpointed run.
+// The in-memory backend is trivial. The disk backend anchors its files
+// under <workdir>/store (unless the caller chose a directory) and
+// journals their checksums as manifest aux records, so a resumed run
+// verifies it is reading the exact bytes the original run wrote — the
+// store artifact participates in the byte-identical-resume contract
+// like any phase artifact. A checksum mismatch is an error, not a
+// silent rebuild.
+func attachStore(m *manifest, cfg Config, frags []*seq.Fragment) (seq.Seqs, func() error, error) {
+	sc := cfg.Core.Store
+	if sc.Backend == core.StoreDisk && sc.Dir == "" && cfg.Workdir != "" {
+		sc.Dir = filepath.Join(cfg.Workdir, "store")
+	}
+	if sc.Backend != core.StoreDisk || m == nil {
+		return core.OpenStore(frags, sc)
+	}
+
+	dataPath := filepath.Join(sc.Dir, diskstore.DataFile)
+	idxPath := filepath.Join(sc.Dir, diskstore.IndexFile)
+	if wantData, ok := m.auxSum(auxStoreData); ok {
+		wantIdx, ok2 := m.auxSum(auxStoreIdx)
+		if !ok2 {
+			return nil, nil, fmt.Errorf("pipeline: manifest journals %s but not %s", auxStoreData, auxStoreIdx)
+		}
+		for _, f := range []struct{ path, want string }{
+			{dataPath, wantData}, {idxPath, wantIdx},
+		} {
+			got, err := hashFile(f.path)
+			if err != nil {
+				return nil, nil, fmt.Errorf("pipeline: store artifact: %w", err)
+			}
+			if got != f.want {
+				return nil, nil, fmt.Errorf("pipeline: store artifact %s fails its checksum (refusing to resume)", f.path)
+			}
+		}
+		st, err := diskstore.Open(sc.Dir, diskstore.Options{CacheBytes: sc.CacheBytes})
+		if err != nil {
+			return nil, nil, fmt.Errorf("pipeline: reopen store: %w", err)
+		}
+		return st, st.Close, nil
+	}
+
+	st, cleanup, err := core.OpenStore(frags, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, f := range []struct{ name, path string }{
+		{auxStoreData, dataPath}, {auxStoreIdx, idxPath},
+	} {
+		sum, err := hashFile(f.path)
+		if err == nil {
+			err = m.completeAux(f.name, f.name, sum)
+		}
+		if err != nil {
+			if cleanup != nil {
+				cleanup()
+			}
+			return nil, nil, fmt.Errorf("pipeline: journal store artifact: %w", err)
+		}
+	}
+	return st, cleanup, nil
+}

@@ -1,0 +1,106 @@
+package diskstore
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// blockSize is the cache page size. 64 KiB amortizes syscall cost over
+// ~256K packed bases per read while keeping even a minimal budget
+// (one block) useful for the sequential scans GST construction does.
+const blockSize = 64 << 10
+
+// blockCache pages the data file through a bounded LRU of fixed-size
+// blocks. It is the only resident memory proportional to anything —
+// and it is proportional to its budget, not to the input.
+type blockCache struct {
+	f    *os.File
+	size int64 // data file size; the final block may be short
+
+	mu     sync.Mutex
+	max    int // max resident blocks, ≥ 1
+	lru    *list.List
+	byOff  map[int64]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheBlock struct {
+	off int64
+	b   []byte
+}
+
+func newBlockCache(f *os.File, size int64, budgetBytes int64) *blockCache {
+	max := int(budgetBytes / blockSize)
+	if max < 1 {
+		max = 1
+	}
+	return &blockCache{
+		f:     f,
+		size:  size,
+		max:   max,
+		lru:   list.New(),
+		byOff: make(map[int64]*list.Element),
+	}
+}
+
+// readAt fills dst from the data file at off, faulting blocks in as
+// needed. Offsets are pre-validated by Open, so running past EOF is a
+// real I/O error, not a caller bug.
+func (c *blockCache) readAt(dst []byte, off int64) error {
+	for len(dst) > 0 {
+		blockOff := off - off%blockSize
+		b, err := c.block(blockOff)
+		if err != nil {
+			return err
+		}
+		in := b[off-blockOff:]
+		n := copy(dst, in)
+		if n == 0 {
+			return fmt.Errorf("diskstore: read past end of data file at offset %d", off)
+		}
+		dst = dst[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// block returns the cached block at blockOff, reading and inserting it
+// on a miss and evicting from the LRU tail past the budget.
+func (c *blockCache) block(blockOff int64) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byOff[blockOff]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheBlock).b, nil
+	}
+	c.misses++
+	n := blockSize
+	if rem := c.size - blockOff; rem < int64(n) {
+		n = int(rem)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("diskstore: block offset %d beyond data size %d", blockOff, c.size)
+	}
+	b := make([]byte, n)
+	if _, err := c.f.ReadAt(b, blockOff); err != nil {
+		return nil, err
+	}
+	el := c.lru.PushFront(&cacheBlock{off: blockOff, b: b})
+	c.byOff[blockOff] = el
+	for c.lru.Len() > c.max {
+		tail := c.lru.Back()
+		delete(c.byOff, tail.Value.(*cacheBlock).off)
+		c.lru.Remove(tail)
+	}
+	return b, nil
+}
+
+func (c *blockCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

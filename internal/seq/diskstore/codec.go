@@ -1,0 +1,119 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// unpack4 maps a packed byte to its four decoded bases, precomputed so
+// the hot decode loop is a table copy instead of bit twiddling.
+var unpack4 [256][4]byte
+
+func init() {
+	for b := 0; b < 256; b++ {
+		for j := 0; j < 4; j++ {
+			unpack4[b][j] = seq.Base((b >> (2 * j)) & 3)
+		}
+	}
+}
+
+// packBases 2-bit packs s, appending to dst. Masked ('N' or anything
+// non-ACGT) positions pack as code 0 and are returned as a sorted
+// position list for the mask blob.
+func packBases(dst []byte, s []byte) (packed []byte, masked []uint32) {
+	var cur byte
+	for j, b := range s {
+		c := seq.Code(b)
+		if c < 0 {
+			c = 0
+			masked = append(masked, uint32(j))
+		}
+		cur |= byte(c) << (2 * (j % 4))
+		if j%4 == 3 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if len(s)%4 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst, masked
+}
+
+// unpackBases decodes baseLen bases from packed into out (which must
+// have length baseLen).
+func unpackBases(out []byte, packed []byte) {
+	baseLen := len(out)
+	j := 0
+	for ; j+4 <= baseLen; j += 4 {
+		q := unpack4[packed[j/4]]
+		copy(out[j:j+4], q[:])
+	}
+	if j < baseLen {
+		q := unpack4[packed[j/4]]
+		copy(out[j:], q[:baseLen-j])
+	}
+}
+
+// encodeMask appends the uvarint delta encoding of the sorted masked
+// position list to dst.
+func encodeMask(dst []byte, masked []uint32) []byte {
+	prev := uint32(0)
+	for i, p := range masked {
+		d := uint64(p)
+		if i > 0 {
+			d = uint64(p - prev)
+		}
+		dst = binary.AppendUvarint(dst, d)
+		prev = p
+	}
+	return dst
+}
+
+// validateMask walks one fragment's mask list, checking it consumes
+// exactly the entry's bytes with strictly increasing positions below
+// baseLen. Returns the number of masked positions.
+func validateMask(b []byte, baseLen uint32) (int, error) {
+	count := 0
+	pos := uint64(0)
+	for len(b) > 0 {
+		d, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("diskstore: corrupt mask varint")
+		}
+		b = b[n:]
+		if count == 0 {
+			pos = d
+		} else {
+			if d == 0 {
+				return 0, fmt.Errorf("diskstore: mask positions not strictly increasing")
+			}
+			pos += d
+		}
+		if pos >= uint64(baseLen) {
+			return 0, fmt.Errorf("diskstore: mask position %d out of range (len %d)", pos, baseLen)
+		}
+		count++
+	}
+	return count, nil
+}
+
+// applyMask overwrites the masked positions of out with 'N' per the
+// fragment's (already validated) mask list.
+func applyMask(out []byte, mask []byte) {
+	pos := uint64(0)
+	first := true
+	for len(mask) > 0 {
+		d, n := binary.Uvarint(mask)
+		mask = mask[n:]
+		if first {
+			pos = d
+			first = false
+		} else {
+			pos += d
+		}
+		out[pos] = seq.Masked
+	}
+}

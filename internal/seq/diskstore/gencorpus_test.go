@@ -1,0 +1,78 @@
+package diskstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus regenerates the committed seed corpora under
+// testdata/fuzz when DISKSTORE_GEN_CORPUS=1 is set. The seeds are a
+// deterministic function of sampleFrags, so the corpora stay in sync
+// with format changes by re-running:
+//
+//	DISKSTORE_GEN_CORPUS=1 go test -run TestGenerateFuzzCorpus ./internal/seq/diskstore
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("DISKSTORE_GEN_CORPUS") != "1" {
+		t.Skip("set DISKSTORE_GEN_CORPUS=1 to regenerate committed corpora")
+	}
+	_, idx, data := writeSample(t)
+
+	mangle := func(fn func(b []byte) []byte) []byte {
+		return fn(append([]byte(nil), idx...))
+	}
+	idxSeeds := map[string][]byte{
+		"seed-valid":            idx,
+		"seed-truncated-header": idx[:headerSize-4],
+		"seed-header-only":      idx[:headerSize],
+		"seed-truncated-entries": mangle(func(b []byte) []byte {
+			return b[:headerSize+entrySize+entrySize/2]
+		}),
+		"seed-bad-magic": mangle(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"seed-bad-crc":   mangle(func(b []byte) []byte { b[headerSize+1] ^= 0x10; return b }),
+		"seed-offset-oob-fixed-crc": mangle(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[headerSize+2*entrySize:], 1<<60)
+			patchCRC(b)
+			return b
+		}),
+		"seed-name-oob-fixed-crc": mangle(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[headerSize+20:], 1<<30)
+			patchCRC(b)
+			return b
+		}),
+		"seed-mask-oob-fixed-crc": mangle(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[headerSize+entrySize+32:], 1)
+			patchCRC(b)
+			return b
+		}),
+		"seed-bases-mismatch-fixed-crc": mangle(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], binary.LittleEndian.Uint64(b[16:])+1)
+			patchCRC(b)
+			return b
+		}),
+	}
+	dataSeeds := map[string][]byte{
+		"seed-valid":      data,
+		"seed-torn-block": data[:len(data)-1],
+		"seed-extended":   append(append([]byte(nil), data...), 0),
+		"seed-zeroed":     make([]byte, len(data)),
+		"seed-empty":      {},
+	}
+
+	write := func(target string, seeds map[string][]byte) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, b := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	write("FuzzOpenIndex", idxSeeds)
+	write("FuzzReadData", dataSeeds)
+}

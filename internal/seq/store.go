@@ -26,6 +26,37 @@ type Origin struct {
 // Len returns the fragment length in bases.
 func (f *Fragment) Len() int { return len(f.Bases) }
 
+// Seqs is the sequence-ID contract every algorithmic layer reads
+// through: n fragments exposed as 2n sequences, IDs 0..n-1 forward and
+// n..2n-1 their reverse complements. It is implemented by the
+// in-memory Store and by the disk-backed diskstore.Store, so the GST,
+// pair generation, clustering and assembly are agnostic to whether the
+// bases live in RAM or are paged in from disk.
+type Seqs interface {
+	// N returns the number of fragments.
+	N() int
+	// NumSeqs returns the size of the sequence index space (2n).
+	NumSeqs() int
+	// TotalBases returns the total forward-strand length in bases.
+	TotalBases() int
+	// Seq returns the bases of sequence sid. The returned slice must
+	// not be mutated; disk-backed implementations may return a fresh
+	// allocation per call.
+	Seq(sid int) []byte
+	// SeqLen returns len(Seq(sid)) without materializing the bases.
+	SeqLen(sid int) int
+	// FragName returns the name of fragment i.
+	FragName(i int) string
+	// FragID maps a sequence ID to its fragment ID.
+	FragID(sid int) int
+	// IsRC reports whether sid denotes a reverse-complemented sequence.
+	IsRC(sid int) bool
+	// RCID returns the sequence ID of the opposite orientation of sid.
+	RCID(sid int) int
+	// SeqName returns a human-readable name for a sequence ID.
+	SeqName(sid int) string
+}
+
 // Store holds the input fragments of a clustering run and exposes a
 // unified sequence index space of size 2n: sequence IDs 0..n-1 are the
 // fragments in forward orientation and n..2n-1 their reverse
@@ -86,6 +117,14 @@ func (st *Store) Seq(sid int) []byte {
 	}
 	return st.rc[sid-n]
 }
+
+// SeqLen returns the length of sequence sid in bases.
+func (st *Store) SeqLen(sid int) int {
+	return len(st.frags[st.FragID(sid)].Bases)
+}
+
+// FragName returns the name of fragment i.
+func (st *Store) FragName(i int) string { return st.frags[i].Name }
 
 // FragID maps a sequence ID to its fragment ID.
 func (st *Store) FragID(sid int) int {

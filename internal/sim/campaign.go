@@ -27,6 +27,7 @@ type CampaignResult struct {
 	// Explored-surface counters, summed over all cases.
 	FaultCases     int
 	PerturbedCases int
+	DiskCases      int
 	WorkersLost    int64
 	Retransmits    int
 	Quarantined    int
@@ -85,6 +86,9 @@ func Campaign(seed int64, n int, opt CampaignOptions) CampaignResult {
 		if res.Case.ScheduleSeed != 0 {
 			cr.PerturbedCases++
 		}
+		if res.Case.StoreDisk {
+			cr.DiskCases++
+		}
 		cr.WorkersLost += res.WorkersLost
 		cr.Retransmits += res.Retransmits
 		cr.Quarantined += res.Quarantined
@@ -105,8 +109,8 @@ func FailureReport(res Result) string {
 
 // String renders the campaign summary line recorded in EXPERIMENTS.md.
 func (cr CampaignResult) String() string {
-	return fmt.Sprintf("%d cases (%d with faults, %d schedule-perturbed): %d failed; %d workers lost, %d retransmits, %d clusters quarantined",
-		cr.Cases, cr.FaultCases, cr.PerturbedCases, cr.Failed,
+	return fmt.Sprintf("%d cases (%d with faults, %d schedule-perturbed, %d out-of-core): %d failed; %d workers lost, %d retransmits, %d clusters quarantined",
+		cr.Cases, cr.FaultCases, cr.PerturbedCases, cr.DiskCases, cr.Failed,
 		cr.WorkersLost, cr.Retransmits, cr.Quarantined)
 }
 

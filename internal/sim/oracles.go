@@ -16,6 +16,7 @@ import (
 	"repro/internal/pgst"
 	"repro/internal/pipeline"
 	"repro/internal/seq"
+	"repro/internal/seq/diskstore"
 	"repro/internal/suffixtree"
 )
 
@@ -73,16 +74,62 @@ func RunCase(c Case) Result {
 	ccfg := cluster.DefaultConfig()
 	want := cluster.PartitionLabels(cluster.Serial(store, ccfg))
 
-	res.checkClustering(c, store, ccfg, want)
-	res.checkGST(c, store, ccfg)
+	// Every serial reference above runs on the in-memory store; when
+	// the case draws the out-of-core axis the systems under test run
+	// on the disk-backed store with a spilling GST instead (oracle 7).
+	sut := seq.Seqs(store)
+	sutCfg := ccfg
+	if c.StoreDisk {
+		dir, err := os.MkdirTemp("", "simstore-*")
+		if err != nil {
+			res.failf("store oracle: store dir: %v", err)
+			return res
+		}
+		defer os.RemoveAll(dir)
+		disk, err := diskstore.Create(dir, store.Fragments(), diskstore.Options{CacheBytes: 32 << 10})
+		if err != nil {
+			res.failf("store oracle: create: %v", err)
+			return res
+		}
+		defer disk.Close()
+		res.checkStore(c, store, disk)
+		sut = disk
+		sutCfg.MemBudget = c.MemBudget
+	}
+
+	res.checkClustering(c, sut, sutCfg, want)
+	res.checkGST(c, sut, sutCfg)
 	res.checkPipeline(c, frags, ccfg)
 	res.Wall = time.Since(start)
 	return res
 }
 
+// checkStore spot-checks oracle 7's foundation: the disk store must
+// serve byte-identical sequences for seed-chosen IDs across the full
+// 2n range (both orientations).
+func (r *Result) checkStore(c Case, mem *seq.Store, disk *diskstore.Store) {
+	if disk.N() != mem.N() || disk.NumSeqs() != mem.NumSeqs() || disk.TotalBases() != mem.TotalBases() {
+		r.failf("store oracle: shape mismatch: disk (%d,%d,%d) vs mem (%d,%d,%d)",
+			disk.N(), disk.NumSeqs(), disk.TotalBases(), mem.N(), mem.NumSeqs(), mem.TotalBases())
+		return
+	}
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x0c0c))
+	for i := 0; i < 32; i++ {
+		sid := rng.Intn(mem.NumSeqs())
+		if string(disk.Seq(sid)) != string(mem.Seq(sid)) {
+			r.failf("store oracle: sequence %d differs between disk and mem", sid)
+			return
+		}
+		if disk.SeqName(sid) != mem.SeqName(sid) {
+			r.failf("store oracle: name of sequence %d differs between disk and mem", sid)
+			return
+		}
+	}
+}
+
 // checkClustering runs oracles 1 (partition) and 5 (trace) on one
 // parallel clustering run under the case's fault plan and schedule.
-func (r *Result) checkClustering(c Case, store *seq.Store, ccfg cluster.Config, want []int) {
+func (r *Result) checkClustering(c Case, store seq.Seqs, ccfg cluster.Config, want []int) {
 	machine := par.DefaultConfig(c.Ranks)
 	if c.ScheduleSeed != 0 {
 		machine.Schedule = &par.SchedulePlan{Seed: c.ScheduleSeed}
@@ -94,6 +141,13 @@ func (r *Result) checkClustering(c Case, store *seq.Store, ccfg cluster.Config, 
 	pcfg.BatchSize = 16 // many reports per worker: report-indexed kills land
 	pcfg.Machine = machine
 	pcfg.LeaseTimeout = leaseTimeout
+	if c.StoreDisk {
+		// Spill sweeps at a tiny budget re-enumerate the store per
+		// segment, so a healthy worker's gap between batch reports
+		// grows with the segment count; widen the lease so campaign
+		// load never reads as worker death.
+		pcfg.LeaseTimeout = 4 * leaseTimeout
+	}
 	if c.FaultSpec != "" {
 		plan, err := cluster.ParseFaults(c.FaultSpec)
 		if err != nil {
@@ -144,7 +198,7 @@ func (r *Result) checkClustering(c Case, store *seq.Store, ccfg cluster.Config, 
 // checkGST runs oracle 2: a standalone fault-tolerant GST build under
 // the GST-meaningful subset of the case's faults; the union of the
 // survivors' forests must carry exactly the serial tree's content.
-func (r *Result) checkGST(c Case, store *seq.Store, ccfg cluster.Config) {
+func (r *Result) checkGST(c Case, store seq.Seqs, ccfg cluster.Config) {
 	spec := c.gstFaultSpec()
 	machine := par.DefaultConfig(c.Ranks)
 	if c.ScheduleSeed != 0 {
@@ -168,6 +222,9 @@ func (r *Result) checkGST(c Case, store *seq.Store, ccfg cluster.Config) {
 		locals[pc.Rank()] = pgst.Build(pc, store, pgst.Config{
 			W: ccfg.W, MinLen: ccfg.Psi, BatchBytes: 1 << 20, Seed: 7,
 			FT: machine.Faults != nil,
+			// Out-of-core cases build spilling forests; the union
+			// oracle below sweeps them segment by segment.
+			SpillBytes: ccfg.MemBudget,
 		})
 	})
 	for rank, e := range exits {
@@ -183,7 +240,7 @@ func (r *Result) checkGST(c Case, store *seq.Store, ccfg cluster.Config) {
 		sids[i] = int32(i)
 	}
 	serial := suffixtree.Build(acc, suffixtree.EnumerateSuffixes(acc, sids, ccfg.Psi), ccfg.W)
-	if !pgst.UnionSignature(locals).Equal(pgst.TreeSignature(serial)) {
+	if !pgst.UnionSignatureOf(store, locals).Equal(pgst.TreeSignature(serial)) {
 		r.failf("gst oracle: union of survivor forests differs from the serial tree (spec %q)", spec)
 	}
 }
@@ -209,15 +266,42 @@ func (r *Result) checkPipeline(c Case, frags []*seq.Fragment, ccfg cluster.Confi
 		r.failf("resume oracle: reference run failed: %v", err)
 		return
 	}
-	if err := pipeline.Rollback(workdir, c.ResumePhase); err != nil {
+
+	// Out-of-core cases run the resume oracle on the disk-backed
+	// pipeline instead: its contigs must match the in-memory reference
+	// byte for byte (oracle 7), and its rollback-resume — which reopens
+	// the journaled store rather than rebuilding it — must reproduce
+	// them again.
+	sutCfg, sutDir := coreCfg, workdir
+	if c.StoreDisk {
+		sutCfg.Store = core.StoreConfig{Backend: core.StoreDisk, CacheBytes: 32 << 10}
+		sutCfg.Cluster.MemBudget = c.MemBudget
+		if sutDir, err = os.MkdirTemp("", "simcase-disk-*"); err != nil {
+			r.failf("store oracle: workdir: %v", err)
+			return
+		}
+		defer os.RemoveAll(sutDir)
+		dres, err := pipeline.Run(frags, pipeline.Config{Core: sutCfg, Workdir: sutDir, Flags: flags})
+		if err != nil {
+			r.failf("store oracle: disk-backed pipeline failed: %v", err)
+			return
+		}
+		dres.Close()
+		if !sameOutput(ref, dres) {
+			r.failf("store oracle: disk-backed pipeline output differs from the in-memory reference")
+			return
+		}
+	}
+	if err := pipeline.Rollback(sutDir, c.ResumePhase); err != nil {
 		r.failf("resume oracle: rollback to phase %d failed: %v", c.ResumePhase, err)
 		return
 	}
-	resumed, err := pipeline.Run(frags, pipeline.Config{Core: coreCfg, Workdir: workdir, Resume: true, Flags: flags})
+	resumed, err := pipeline.Run(frags, pipeline.Config{Core: sutCfg, Workdir: sutDir, Resume: true, Flags: flags})
 	if err != nil {
 		r.failf("resume oracle: resumed run failed: %v", err)
 		return
 	}
+	resumed.Close()
 	if !sameOutput(ref, resumed) {
 		r.failf("resume oracle: resume from phase boundary %d is not byte-identical", c.ResumePhase)
 	}

@@ -41,6 +41,15 @@ type Case struct {
 	// ResumePhase is the phase boundary the resume oracle rolls the
 	// checkpointed pipeline back to, in [0, len(pipeline.Phases)].
 	ResumePhase int
+
+	// StoreDisk runs the systems under test — parallel clustering, GST
+	// build, checkpointed pipeline — over the disk-backed sequence
+	// store with a spilling GST, while every serial reference stays on
+	// the in-memory store: the campaign's cross-backend equivalence
+	// axis.
+	StoreDisk bool
+	// MemBudget is the spilling GST byte budget when StoreDisk is set.
+	MemBudget int64
 }
 
 // mix derives the per-case master seed with a splitmix64-style hash so
@@ -115,6 +124,14 @@ func CaseFor(campaign int64, index int) Case {
 			c.FaultSpec = strings.Join(parts, ",")
 		}
 	}
+
+	// Out-of-core axis. New draws are appended at the end so every
+	// earlier field keeps its derivation — old (campaign, index)
+	// reproduction handles stay valid.
+	if rng.Intn(3) == 0 {
+		c.StoreDisk = true
+		c.MemBudget = []int64{4 << 10, 32 << 10, 1 << 20}[rng.Intn(3)]
+	}
 	return c
 }
 
@@ -125,9 +142,13 @@ func (c Case) String() string {
 	if faults == "" {
 		faults = "none"
 	}
-	return fmt.Sprintf("case(campaign=%d index=%d): p=%d genome=%dbp cov=%.2f repeats=%dx div=%.3f faults=[%s] schedule=%d resume@%d",
+	store := "mem"
+	if c.StoreDisk {
+		store = fmt.Sprintf("disk/%dB", c.MemBudget)
+	}
+	return fmt.Sprintf("case(campaign=%d index=%d): p=%d genome=%dbp cov=%.2f repeats=%dx div=%.3f faults=[%s] schedule=%d resume@%d store=%s",
 		c.Campaign, c.Index, c.Ranks, c.GenomeLen, c.Coverage, c.RepeatCopies,
-		c.Divergence, faults, c.ScheduleSeed, c.ResumePhase)
+		c.Divergence, faults, c.ScheduleSeed, c.ResumePhase, store)
 }
 
 // Repro is the command line that replays exactly this case.

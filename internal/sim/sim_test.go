@@ -158,3 +158,52 @@ func TestFailureReportCarriesRepro(t *testing.T) {
 		t.Fatalf("failure report incomplete:\n%s", rep)
 	}
 }
+
+// TestRunCaseDiskStore: the out-of-core axis — disk-backed store,
+// spilling GST at a tight budget — must pass every oracle, including
+// the cross-backend contig identity and journaled-store resume.
+func TestRunCaseDiskStore(t *testing.T) {
+	res := RunCase(Case{
+		Campaign: -1, Index: 2, Seed: 777,
+		Ranks: 4, GenomeLen: 3000, Coverage: 2, RepeatCopies: 4, Divergence: 0.02,
+		ScheduleSeed: 5, ResumePhase: 1,
+		StoreDisk: true, MemBudget: 4 << 10,
+	})
+	if res.Failed() {
+		t.Fatalf("disk-store case failed:\n%s", FailureReport(res))
+	}
+}
+
+// TestRunCaseDiskStoreWithFaults: spilling GST and disk store under a
+// crashing, corrupting fault plan — the dead worker's key range is
+// adopted as an extra sweep range and every oracle must still hold.
+func TestRunCaseDiskStoreWithFaults(t *testing.T) {
+	res := RunCase(Case{
+		Campaign: -1, Index: 3, Seed: 31337,
+		Ranks: 5, GenomeLen: 4000, Coverage: 2.5, RepeatCopies: 6, Divergence: 0.02,
+		FaultSpec:    "crash=3@2,corrupt=0.0200,seed=9",
+		ScheduleSeed: 11, ResumePhase: 2,
+		StoreDisk: true, MemBudget: 32 << 10,
+	})
+	if res.Failed() {
+		t.Fatalf("disk-store fault case failed:\n%s", FailureReport(res))
+	}
+}
+
+// TestCaseForDrawsDiskAxis: the generator must actually explore the
+// out-of-core axis (about a third of cases).
+func TestCaseForDrawsDiskAxis(t *testing.T) {
+	disk := 0
+	for i := 0; i < 60; i++ {
+		c := CaseFor(7, i)
+		if c.StoreDisk {
+			disk++
+			if c.MemBudget <= 0 {
+				t.Fatalf("case %d: StoreDisk with budget %d", i, c.MemBudget)
+			}
+		}
+	}
+	if disk < 5 || disk > 40 {
+		t.Fatalf("%d/60 cases drew the disk axis; generator skewed", disk)
+	}
+}

@@ -52,6 +52,15 @@ type (
 	PreprocessConfig = preprocess.Config
 	// RepeatDB is a repeat k-mer database for masking.
 	RepeatDB = preprocess.RepeatDB
+	// StoreConfig selects the sequence-store backend (in-memory, or
+	// the out-of-core disk store).
+	StoreConfig = core.StoreConfig
+)
+
+// Store backend names for StoreConfig.Backend.
+const (
+	StoreMem  = core.StoreMem
+	StoreDisk = core.StoreDisk
 )
 
 // DefaultConfig returns a serial pipeline with paper-like parameters.
