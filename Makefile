@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke transport-conformance obs-live-smoke service-smoke outofcore-smoke ci
+.PHONY: all build vet test race test-race cover faults pipeline-faults sim fuzz-smoke obs bench bench-check analyze-smoke transport-conformance obs-live-smoke service-smoke outofcore-smoke profile-smoke ci
 
 all: build
 
@@ -59,7 +59,8 @@ FUZZ_CORPORA := testdata/fuzz/FuzzReadFASTA \
 	internal/cluster/testdata/fuzz/FuzzDecodeReport \
 	internal/par/nettrans/testdata/fuzz/FuzzDecodeFrame \
 	internal/seq/diskstore/testdata/fuzz/FuzzOpenIndex \
-	internal/seq/diskstore/testdata/fuzz/FuzzReadData
+	internal/seq/diskstore/testdata/fuzz/FuzzReadData \
+	internal/obs/prof/testdata/fuzz/FuzzParseProfile
 
 # Short fuzz passes over every parser the pipeline feeds untrusted
 # bytes to: FASTA and qual readers plus the wire-format decoders.
@@ -75,6 +76,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/par/nettrans
 	$(GO) test -run=NONE -fuzz=FuzzOpenIndex -fuzztime=10s ./internal/seq/diskstore
 	$(GO) test -run=NONE -fuzz=FuzzReadData -fuzztime=10s ./internal/seq/diskstore
+	$(GO) test -run=NONE -fuzz=FuzzParseProfile -fuzztime=10s ./internal/obs/prof
 
 # Instrumented quickstart: runs two quick experiments with tracing on
 # and validates that every emitted trace file parses as balanced
@@ -91,7 +93,7 @@ obs:
 # baselines; `bench-check` gates the current build against them with
 # per-metric noise-calibrated thresholds and fails on regression.
 bench:
-	$(GO) run ./cmd/benchrun -workload cluster -out BENCH_cluster.json
+	$(GO) run ./cmd/benchrun -workload cluster -out BENCH_cluster.json -profile-out PROF_cluster.txt
 	$(GO) run ./cmd/benchrun -workload transport -ranks 4 -out BENCH_transport.json
 	$(GO) run ./cmd/benchrun -workload pipeline -out BENCH_pipeline.json
 	$(GO) run ./cmd/benchrun -workload outofcore -out BENCH_outofcore.json
@@ -107,6 +109,9 @@ bench-check:
 	# Collector-on run against the collector-off baseline: live
 	# telemetry streaming must cost less than the noise gates.
 	$(GO) run ./cmd/benchrun -workload transport -ranks 4 -collector -check BENCH_transport.json
+	# Profiling tax gate: alternating off/on iterations in one process;
+	# the labeled capture must cost ≤5% (+50ms slack) over off.
+	$(GO) run ./cmd/benchrun -workload cluster -profile-overhead
 
 # Transport conformance: the sim partition and causal-trace oracles
 # against every transport backend under the race detector — in-process
@@ -144,6 +149,21 @@ analyze-smoke:
 	$(GO) run ./cmd/tracecheck $(ANALYZE_TMP)/case3.crit.json
 	rm -rf $(ANALYZE_TMP)
 
+# Profiling-plane smoke under the race detector: capture a labeled
+# 8-rank run (session manager + label hooks), decode every artifact
+# with the in-repo pprof reader, cross-rank merge, and render the
+# critical-path attribution report — plus the SIGKILL+resume profiled
+# job whose archived merge must decode after restart.
+PROF_TMP := $(shell mktemp -d 2>/dev/null || echo /tmp/profile-smoke)
+profile-smoke:
+	$(GO) test -race -v -run 'TestProfileLabelExactness' ./internal/bench
+	$(GO) test -race -v -run 'TestProfiledJobSurvivesKill' ./internal/jobs
+	$(GO) run ./cmd/benchrun -workload cluster -iters 1 -profile-dir $(PROF_TMP)
+	$(GO) run ./cmd/asmprof $(PROF_TMP)
+	$(GO) run ./cmd/asmprof -folded $(PROF_TMP) > $(PROF_TMP)/folded.txt
+	$(GO) run ./cmd/asmprof -merge-out $(PROF_TMP)/merged.cpu.pb.gz $(PROF_TMP)
+	rm -rf $(PROF_TMP)
+
 # Out-of-core smoke: the disk-backed pipeline end to end under the
 # race detector — fresh run matches the in-memory contigs, the store
 # artifact is journaled, resume from every rollback depth is
@@ -152,4 +172,4 @@ analyze-smoke:
 outofcore-smoke:
 	$(GO) test -race -v -run 'TestOutOfCore' ./internal/pipeline
 
-ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke transport-conformance obs-live-smoke service-smoke outofcore-smoke bench-check
+ci: vet build test race test-race cover faults pipeline-faults sim fuzz-smoke obs analyze-smoke transport-conformance obs-live-smoke service-smoke outofcore-smoke profile-smoke bench-check

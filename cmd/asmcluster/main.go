@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
 	"repro/internal/obs/collector"
+	"repro/internal/obs/prof"
 	"repro/internal/par"
 	"repro/internal/report"
 )
@@ -47,6 +48,7 @@ func main() {
 	transport := flag.String("transport", "inproc", "run parallel ranks as: inproc goroutines, or tcp / unix OS processes")
 	collectorAddr := flag.String("collector", "", "run a live telemetry collector on this host:port; every rank streams health, metrics and trace deltas to it (poll with asmtop)")
 	collectorLinger := flag.Duration("collector-linger", 2*time.Second, "keep the collector serving this long after the run completes so pollers observe the final state")
+	profDir := flag.String("prof-dir", "", "capture a phase/rank-labeled CPU profile plus heap/alloc snapshots into this directory (asmprof reads them)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -220,6 +222,32 @@ func main() {
 	cfg.Criteria.MinIdentity = *minIdentity
 	cfg.MemBudget = *memBudget
 
+	var profSess *prof.Session
+	if *profDir != "" {
+		// PID-unique stems keep multi-process ranks from clobbering
+		// each other in a shared -prof-dir.
+		profSess, err = prof.Start(prof.Config{
+			Dir:      *profDir,
+			Name:     fmt.Sprintf("rank%d-p%d", rank, os.Getpid()),
+			Registry: reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster: profiling disabled:", err)
+		}
+	}
+	stopProf := func() {
+		if profSess == nil {
+			return
+		}
+		arts, perr := profSess.Stop()
+		profSess = nil
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "asmcluster: profile stop:", perr)
+		} else if rank == 0 {
+			fmt.Printf("profile artifacts: %s (asmprof %s)\n", arts.CPU, *profDir)
+		}
+	}
+
 	var res *cluster.Result
 	if *ranks >= 2 {
 		pcfg := cluster.DefaultParallelConfig(*ranks)
@@ -242,6 +270,7 @@ func main() {
 			res, _, perr = cluster.Parallel(store, cfg, pcfg)
 		}
 		if perr != nil {
+			stopProf()
 			rep.Close(nil, false, perr.Error())
 			fmt.Fprintln(os.Stderr, "asmcluster:", perr)
 			os.Exit(1)
@@ -252,6 +281,7 @@ func main() {
 		}
 		res = cluster.Serial(store, cfg)
 	}
+	stopProf()
 
 	if trans != nil && *eventsOut != "" {
 		// One dump per OS process; merge with tracecheck -events.

@@ -34,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
 	"repro/internal/obs/collector"
+	"repro/internal/obs/prof"
 	"repro/internal/par"
 	"repro/internal/pipeline"
 	"repro/internal/preprocess"
@@ -66,6 +67,7 @@ func main() {
 	transport := flag.String("transport", "inproc", "run parallel clustering ranks as: inproc goroutines, or tcp / unix OS processes")
 	collectorAddr := flag.String("collector", "", "run a live telemetry collector on this host:port; every rank streams health, metrics and trace deltas to it (poll with asmtop)")
 	collectorLinger := flag.Duration("collector-linger", 2*time.Second, "keep the collector serving this long after the run completes so pollers observe the final state")
+	profDir := flag.String("prof-dir", "", "capture a phase/rank-labeled CPU profile plus heap/alloc snapshots into this directory (asmprof reads them)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -277,12 +279,39 @@ func main() {
 	if *memBudget > 0 {
 		manifestFlags += fmt.Sprintf(" membudget=%d", *memBudget)
 	}
+	var profSess *prof.Session
+	if *profDir != "" {
+		// PID-unique stems keep multi-process ranks from clobbering
+		// each other in a shared -prof-dir.
+		profSess, err = prof.Start(prof.Config{
+			Dir:      *profDir,
+			Name:     fmt.Sprintf("rank%d-p%d", rank, os.Getpid()),
+			Registry: reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asmpipeline: profiling disabled:", err)
+		}
+	}
+	stopProf := func() {
+		if profSess == nil {
+			return
+		}
+		arts, perr := profSess.Stop()
+		profSess = nil
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "asmpipeline: profile stop:", perr)
+		} else if rank == 0 {
+			fmt.Printf("profile artifacts: %s (asmprof %s)\n", arts.CPU, *profDir)
+		}
+	}
+
 	res, err := pipeline.Run(frags, pipeline.Config{
 		Core:    cfg,
 		Workdir: *workdir,
 		Resume:  *resume,
 		Flags:   manifestFlags,
 	})
+	stopProf()
 	if err != nil {
 		rep.Close(nil, false, err.Error())
 		fail(err)

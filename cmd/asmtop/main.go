@@ -159,8 +159,8 @@ func render(w io.Writer, st *collector.Status) {
 		}
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%4s  %-7s  %6s  %7s  %-14s  %7s  %14s  %14s  %5s  %5s  %s\n",
-		"RANK", "STATE", "PID", "LAG", "PHASE", "EVENTS", "SENT", "RECV", "IDLE%", "RETX", "FLAGS")
+	fmt.Fprintf(w, "%4s  %-7s  %6s  %7s  %-14s  %7s  %14s  %14s  %5s  %5s  %-20s  %s\n",
+		"RANK", "STATE", "PID", "LAG", "PHASE", "EVENTS", "SENT", "RECV", "IDLE%", "RETX", "RUNTIME", "FLAGS")
 	ranks := append([]collector.RankStatus(nil), st.Ranks...)
 	sort.Slice(ranks, func(i, j int) bool { return ranks[i].Rank < ranks[j].Rank })
 	for _, r := range ranks {
@@ -191,10 +191,34 @@ func render(w io.Writer, st *collector.Status) {
 		if r.ExitReason != "" {
 			flags = append(flags, r.ExitReason)
 		}
-		fmt.Fprintf(w, "%4d  %-7s  %6s  %7s  %-14s  %7d  %14s  %14s  %5s  %5d  %s\n",
+		fmt.Fprintf(w, "%4d  %-7s  %6s  %7s  %-14s  %7d  %14s  %14s  %5s  %5d  %-20s  %s\n",
 			r.Rank, r.State, orDash(r.PID), lag, phase, r.Events,
 			traffic(r.MsgsSent, r.BytesSent), traffic(r.MsgsRecv, r.BytesRecv),
-			pct(r.IdlePct, r.TotalSec > 0), r.Retransmits, strings.Join(flags, " "))
+			pct(r.IdlePct, r.TotalSec > 0), r.Retransmits, runtimeCol(r), strings.Join(flags, " "))
+	}
+}
+
+// runtimeCol renders the rank's runtime health gauges — GC pause p99,
+// scheduler latency p99, live heap — shipped by a profiling session's
+// runtime/metrics sampler. "-" when the run profiles nothing.
+func runtimeCol(r collector.RankStatus) string {
+	if r.GCPauseP99Ns == 0 && r.SchedLatP99Ns == 0 && r.HeapLiveBytes == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("gc%s sch%s %s",
+		humanNanos(r.GCPauseP99Ns), humanNanos(r.SchedLatP99Ns), humanBytes(r.HeapLiveBytes))
+}
+
+func humanNanos(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fs", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.0fms", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.0fµs", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%dns", n)
 	}
 }
 

@@ -26,6 +26,9 @@ func main() {
 	check := flag.String("check", "", "compare against this baseline file; exit 1 on regression")
 	slowdown := flag.Float64("slowdown", 1, "multiply modeled compute charges (inject a slowdown)")
 	withCollector := flag.Bool("collector", false, "stream telemetry to a live collector while measuring (prove the overhead is under the gates)")
+	profileDir := flag.String("profile-dir", "", "also run one un-timed profiled iteration, writing labeled .pb.gz artifacts and events.json here")
+	profileOut := flag.String("profile-out", "", "write the profiled iteration's attribution report to this file (implies a temp -profile-dir when unset)")
+	profileOverhead := flag.Bool("profile-overhead", false, "measure the profiling tax (off vs on, fastest of each) and gate it at 5%")
 	flag.Parse()
 
 	if *workload == "outofcore" {
@@ -33,7 +36,14 @@ func main() {
 		return
 	}
 
-	m, err := bench.Run(*workload, bench.Config{Ranks: *ranks, Iters: *iters, Slowdown: *slowdown, Collector: *withCollector})
+	cfg := bench.Config{Ranks: *ranks, Iters: *iters, Slowdown: *slowdown, Collector: *withCollector}
+
+	if *profileOverhead {
+		runProfileOverhead(*workload, cfg)
+		return
+	}
+
+	m, err := bench.Run(*workload, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
@@ -87,6 +97,75 @@ func main() {
 		}
 		fmt.Printf("no regressions against %s (gates: %v)\n", *check, bench.Gates())
 	}
+
+	if *profileDir != "" || *profileOut != "" {
+		runProfileCapture(*workload, cfg, *profileDir, *profileOut)
+	}
+}
+
+// runProfileCapture runs the extra un-timed profiled iteration and
+// renders its attribution report (to profileOut when set, stdout
+// otherwise).
+func runProfileCapture(workload string, cfg bench.Config, dir, outPath string) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "benchrun-prof-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	rep, arts, err := bench.RunProfile(workload, cfg, dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("profiled iteration: artifacts in %s (%s)\n", dir, arts.CPU)
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.WriteText(w); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+	if outPath != "" {
+		fmt.Printf("wrote attribution report %s\n", outPath)
+	}
+}
+
+// profOverheadFrac and profOverheadSlack gate the profiling tax: the
+// profiled iteration may be at most 5% slower than the unprofiled
+// one, plus a fixed slack absorbing timer noise on sub-second
+// workloads. Both runs happen in this process back to back, so the
+// comparison is against the same machine state, not a committed
+// cross-machine baseline.
+const (
+	profOverheadFrac  = 0.05
+	profOverheadSlack = 50_000_000 // 50ms
+)
+
+func runProfileOverhead(workload string, cfg bench.Config) {
+	ov, err := bench.ProfileOverhead(workload, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: profiling off %dns, on %dns (%+.2f%%)\n", ov.Workload, ov.OffNs, ov.OnNs, ov.Pct())
+	limit := int64(float64(ov.OffNs)*(1+profOverheadFrac)) + profOverheadSlack
+	if ov.OnNs > limit {
+		fmt.Fprintf(os.Stderr, "benchrun: profiling overhead %dns exceeds %dns (off +%.0f%% +%dms slack)\n",
+			ov.OnNs, limit, profOverheadFrac*100, profOverheadSlack/1_000_000)
+		os.Exit(1)
+	}
+	fmt.Printf("profiling overhead within %.0f%% gate\n", profOverheadFrac*100)
 }
 
 // runOutOfCore handles the memory-scaling workload, which measures

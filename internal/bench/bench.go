@@ -14,6 +14,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
 	"repro/internal/obs/collector"
+	"repro/internal/obs/prof"
 	"repro/internal/par"
 	"repro/internal/par/nettrans"
 	"repro/internal/pipeline"
@@ -105,12 +107,12 @@ func benchReads() []*seq.Fragment {
 	return simulate.SampleWGS(rng, g, 6.0, rc, "r")
 }
 
-// Run executes one named workload ("cluster" or "pipeline") and
-// returns its metrics.
-func Run(workload string, cfg Config) (*Metrics, error) {
-	cfg = cfg.withDefaults()
+// workloadBody builds the per-iteration body for one named workload
+// over a fixed read set — shared by the timed benchmark loop, the
+// profiled capture and the overhead measurement so they all run the
+// identical work.
+func workloadBody(workload string, cfg Config, frags []*seq.Fragment) (func(tr *obs.Tracer) error, error) {
 	var body func(tr *obs.Tracer) error
-	frags := benchReads()
 	switch workload {
 	case "cluster":
 		store := seq.NewStore(frags)
@@ -188,6 +190,17 @@ func Run(workload string, cfg Config) (*Metrics, error) {
 	default:
 		return nil, fmt.Errorf("bench: unknown workload %q (want cluster, transport or pipeline)", workload)
 	}
+	return body, nil
+}
+
+// Run executes one named workload ("cluster", "transport" or
+// "pipeline") and returns its metrics.
+func Run(workload string, cfg Config) (*Metrics, error) {
+	cfg = cfg.withDefaults()
+	body, err := workloadBody(workload, cfg, benchReads())
+	if err != nil {
+		return nil, err
+	}
 
 	m := &Metrics{Workload: workload, Ranks: cfg.Ranks, Iters: cfg.Iters}
 	var lastTracer *obs.Tracer
@@ -254,6 +267,134 @@ func Run(workload string, cfg Config) (*Metrics, error) {
 		m.CommCompRatio = rep.CommSec / rep.CompSec
 	}
 	return m, nil
+}
+
+// CritPhases converts an analyze report's critical-path phase totals
+// into the plain form prof.Attribute consumes.
+func CritPhases(rep *analyze.Report) []prof.CritPhaseSec {
+	if rep == nil {
+		return nil
+	}
+	out := make([]prof.CritPhaseSec, 0, len(rep.CriticalPath.PhaseTotals))
+	for _, cp := range rep.CriticalPath.PhaseTotals {
+		out = append(out, prof.CritPhaseSec{Phase: cp.Phase, Sec: cp.Sec})
+	}
+	return out
+}
+
+// RunProfile executes one un-timed profiled iteration of a workload:
+// a prof session captures the phase/rank-labeled CPU profile plus
+// heap/alloc snapshots into dir, the run's events dump lands next to
+// them (events.json), and the artifacts come back joined against the
+// run's own causal critical path as an attribution report. It runs
+// outside the timed loop so committed baselines never carry the
+// profiling tax.
+func RunProfile(workload string, cfg Config, dir string) (*prof.Report, prof.Artifacts, error) {
+	cfg = cfg.withDefaults()
+	body, err := workloadBody(workload, cfg, benchReads())
+	if err != nil {
+		return nil, prof.Artifacts{}, err
+	}
+	sess, err := prof.Start(prof.Config{Dir: dir, Name: "bench-" + workload, Registry: obs.NewRegistry()})
+	if err != nil {
+		return nil, prof.Artifacts{}, err
+	}
+	tr := obs.NewTracer(cfg.Ranks, obs.DefaultRingCap)
+	runErr := body(tr)
+	arts, stopErr := sess.Stop()
+	if runErr != nil {
+		return nil, arts, fmt.Errorf("bench %s: %w", workload, runErr)
+	}
+	if stopErr != nil {
+		return nil, arts, fmt.Errorf("bench %s: profile stop: %w", workload, stopErr)
+	}
+	f, err := os.Create(filepath.Join(dir, "events.json"))
+	if err != nil {
+		return nil, arts, err
+	}
+	err = tr.WriteEvents(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, arts, err
+	}
+	rep, err := analyze.FromTracer(tr, analyze.Options{TopSpans: 1})
+	if err != nil {
+		return nil, arts, fmt.Errorf("bench %s: analyzing trace: %w", workload, err)
+	}
+	cpus, _, err := prof.ParseFiles([]string{arts.CPU})
+	if err != nil {
+		return nil, arts, fmt.Errorf("bench %s: parsing cpu profile: %w", workload, err)
+	}
+	allocs, _, err := prof.ParseFiles([]string{arts.Allocs})
+	if err != nil {
+		return nil, arts, fmt.Errorf("bench %s: parsing allocs profile: %w", workload, err)
+	}
+	return prof.Attribute(cpus, allocs, CritPhases(rep), prof.Options{}), arts, nil
+}
+
+// Overhead is ProfileOverhead's verdict: the fastest profiling-off
+// and profiling-on iteration of the same workload in one process.
+type Overhead struct {
+	Workload string `json:"workload"`
+	OffNs    int64  `json:"off_ns"`
+	OnNs     int64  `json:"on_ns"`
+}
+
+// Pct is the profiling tax as a percentage of the off time.
+func (o Overhead) Pct() float64 {
+	if o.OffNs <= 0 {
+		return 0
+	}
+	return 100 * (float64(o.OnNs) - float64(o.OffNs)) / float64(o.OffNs)
+}
+
+// ProfileOverhead measures the profiling tax by alternating off and
+// on iterations in one process (so CPU frequency, cache state and
+// heap age are shared) and comparing the fastest of each. Artifacts
+// go to a throwaway directory.
+func ProfileOverhead(workload string, cfg Config) (Overhead, error) {
+	cfg = cfg.withDefaults()
+	body, err := workloadBody(workload, cfg, benchReads())
+	if err != nil {
+		return Overhead{}, err
+	}
+	dir, err := os.MkdirTemp("", "bench-overhead-")
+	if err != nil {
+		return Overhead{}, err
+	}
+	defer os.RemoveAll(dir)
+	ov := Overhead{Workload: workload}
+	for i := 0; i < cfg.Iters; i++ {
+		tr := obs.NewTracer(cfg.Ranks, obs.DefaultRingCap)
+		t0 := time.Now()
+		if err := body(tr); err != nil {
+			return ov, fmt.Errorf("bench %s: %w", workload, err)
+		}
+		if ns := time.Since(t0).Nanoseconds(); i == 0 || ns < ov.OffNs {
+			ov.OffNs = ns
+		}
+
+		sess, err := prof.Start(prof.Config{Dir: dir, Name: fmt.Sprintf("ov%d", i), Registry: obs.NewRegistry()})
+		if err != nil {
+			return ov, err
+		}
+		tr = obs.NewTracer(cfg.Ranks, obs.DefaultRingCap)
+		t0 = time.Now()
+		runErr := body(tr)
+		ns := time.Since(t0).Nanoseconds()
+		if _, serr := sess.Stop(); serr != nil && runErr == nil {
+			runErr = serr
+		}
+		if runErr != nil {
+			return ov, fmt.Errorf("bench %s (profiled): %w", workload, runErr)
+		}
+		if i == 0 || ns < ov.OnNs {
+			ov.OnNs = ns
+		}
+	}
+	return ov, nil
 }
 
 // peakRSS reads the process high-water RSS from /proc/self/status

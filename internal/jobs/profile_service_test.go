@@ -1,0 +1,103 @@
+package jobs
+
+import (
+	"net/http"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs/prof"
+)
+
+// TestProfiledJobSurvivesKill is the profiling-plane acceptance
+// scenario: a profile=1 job is SIGKILLed mid-attempt (leaving a
+// truncated CPU stream behind), the restarted server resumes and
+// finishes it, and the merged profile artifact served at
+// /jobs/{id}/profile decodes with the in-repo reader, built from
+// whatever per-attempt artifacts survived.
+func TestProfiledJobSurvivesKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test")
+	}
+	input := makeFASTA(t, 41, 3, 6000, 700)
+	cfg := serveConf{Workers: 2, AttemptDeadline: 2 * time.Minute, DrainTimeout: 3 * time.Second,
+		GCInterval: time.Hour, Retain: time.Hour}
+	dir := t.TempDir()
+	proc, base := startServerProc(t, dir, cfg)
+
+	job, code := submit(t, base, "psi=20&w=10&ranks=4&profile=1", input)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%s)", code, job.Err)
+	}
+
+	// Kill the server once the attempt is visibly computing under the
+	// profiler.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := getStatus(t, base, job.ID)
+		if err == nil && st.State == StateRunning && st.Phase != "" && st.Phase != "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started computing (last err %v)", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	proc.Wait()
+
+	proc2, base2 := startServerProc(t, dir, cfg)
+	defer proc2.Process.Kill()
+	waitState(t, base2, job.ID, StateDone, 2*time.Minute)
+
+	if c := fetchArtifact(t, base2, job.ID, "contigs"); len(c) == 0 {
+		t.Error("no contigs after kill + restart")
+	}
+	data := fetchArtifact(t, base2, job.ID, "profile")
+	p, err := prof.Parse(data)
+	if err != nil {
+		t.Fatalf("merged profile artifact does not decode: %v", err)
+	}
+	if len(p.Samples) == 0 {
+		t.Fatal("merged profile has no samples")
+	}
+	if p.ValueIndex("cpu") < 0 {
+		t.Fatalf("merged profile sample types %v lack cpu", p.SampleTypes)
+	}
+	var rankLabeled, phaseLabeled int
+	for i := range p.Samples {
+		if p.Samples[i].Label(prof.LabelRank) != "" {
+			rankLabeled++
+		}
+		if p.Samples[i].Label(prof.LabelPhase) != "" {
+			phaseLabeled++
+		}
+	}
+	if rankLabeled == 0 {
+		t.Errorf("none of %d merged samples carry a rank label", len(p.Samples))
+	}
+	t.Logf("merged profile: %d samples, %d rank-labeled, %d phase-labeled", len(p.Samples), rankLabeled, phaseLabeled)
+
+	// The per-attempt artifacts the merge was built from are still on
+	// disk (PID-unique stems keep the killed attempt's truncated
+	// stream from clobbering the resumed one) — asmprof can reproduce
+	// the report from them.
+	arts, err := filepath.Glob(filepath.Join(dir, "jobs", job.ID, "prof", "*"+prof.SuffixCPU))
+	if err != nil || len(arts) == 0 {
+		t.Fatalf("no per-attempt CPU artifacts on disk (err %v)", err)
+	}
+	ps, skipped, err := prof.ParseFiles(arts)
+	if err != nil {
+		t.Fatalf("re-parsing per-attempt artifacts: %v", err)
+	}
+	if len(ps) == 0 {
+		t.Fatal("no parseable per-attempt artifacts")
+	}
+	if _, err := prof.Merge(ps...); err != nil {
+		t.Fatalf("re-merging per-attempt artifacts: %v", err)
+	}
+	t.Logf("per-attempt artifacts: %d parseable, %d skipped (truncated)", len(ps), len(skipped))
+}

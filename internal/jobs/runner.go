@@ -17,6 +17,7 @@ import (
 	"repro/internal/launch"
 	"repro/internal/obs"
 	"repro/internal/obs/collector"
+	"repro/internal/obs/prof"
 	"repro/internal/pipeline"
 	"repro/internal/preprocess"
 	"repro/internal/seq"
@@ -47,6 +48,12 @@ const (
 	progressFile  = "progress"
 	collectorFile = "collector.url"
 	runnerLogFile = "runner.log"
+	// profDir collects per-attempt profiling artifacts (PID-unique
+	// stems, so an orphan attempt never clobbers its successor's
+	// capture); profileFile is the cross-attempt merged CPU profile
+	// the completing attempt archives, served at /jobs/{id}/profile.
+	profDir     = "prof"
+	profileFile = "profile.pb.gz"
 )
 
 // Report is the summary the runner writes next to the contigs — the
@@ -142,6 +149,45 @@ func RunJob(dir string) int {
 		fmt.Fprintln(os.Stderr, "runner: collector disabled:", err)
 	}
 
+	// Profiling session: artifacts under <job>/prof with a PID-unique
+	// stem. A SIGKILLed attempt leaves a truncated CPU stream behind;
+	// the completing attempt's merge skips what cannot parse, so the
+	// archived profile is reproducible whatever happened in between.
+	var profSess *prof.Session
+	if spec.Profile {
+		s, perr := prof.Start(prof.Config{
+			Dir:      filepath.Join(dir, profDir),
+			Name:     fmt.Sprintf("rank0-p%d", os.Getpid()),
+			Registry: reg,
+		})
+		if perr != nil {
+			// Profiling must never take the job down.
+			fmt.Fprintln(os.Stderr, "runner: profiling disabled:", perr)
+		} else {
+			profSess = s
+		}
+	}
+	stopProf := func() {
+		if profSess == nil {
+			return
+		}
+		arts, perr := profSess.Stop()
+		profSess = nil
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "runner: profile stop:", perr)
+			return
+		}
+		// Best-effort upload so the collector's /profiles plane can
+		// serve the cross-rank merge while artifacts stay job-local.
+		if rep != nil {
+			if data, rerr := os.ReadFile(arts.CPU); rerr == nil {
+				if uerr := rep.PostProfile(filepath.Base(arts.CPU), data); uerr != nil {
+					fmt.Fprintln(os.Stderr, "runner: profile upload:", uerr)
+				}
+			}
+		}
+	}
+
 	cfg := core.DefaultConfig()
 	cfg.Cluster.Psi = spec.Psi
 	cfg.Cluster.W = spec.W
@@ -182,6 +228,7 @@ func RunJob(dir string) int {
 		},
 	})
 	if err != nil {
+		stopProf()
 		switch {
 		case errors.Is(err, pipeline.ErrInterrupted):
 			rep.Close(nil, false, "interrupted: checkpointed at phase boundary")
@@ -199,6 +246,13 @@ func RunJob(dir string) int {
 	}
 
 	defer res.Close()
+	stopProf()
+	if spec.Profile {
+		if merr := writeMergedProfile(dir); merr != nil {
+			// The job result stands; only the profile archive is lost.
+			fmt.Fprintln(os.Stderr, "runner: profile merge:", merr)
+		}
+	}
 	if err := writeResults(dir, res, started); err != nil {
 		rep.Close(nil, false, err.Error())
 		fmt.Fprintln(os.Stderr, "runner:", err)
@@ -207,6 +261,32 @@ func RunJob(dir string) int {
 	writeFileAtomic(filepath.Join(dir, progressFile), []byte("done\n"))
 	rep.Close(nil, true, "")
 	return 0
+}
+
+// writeMergedProfile folds every parseable CPU artifact under the
+// job's prof/ directory — this attempt's plus whatever earlier
+// (possibly SIGKILLed, possibly truncated) attempts left behind —
+// into the archived merged profile. Atomic via WriteFile's
+// temp+rename, and written only by the attempt that completed the
+// job, so a racing orphan can at worst leave extra inputs, never a
+// torn archive.
+func writeMergedProfile(dir string) error {
+	cpus, _, _ := prof.DirArtifacts(filepath.Join(dir, profDir))
+	ps, skipped, err := prof.ParseFiles(cpus)
+	if err != nil {
+		return err
+	}
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "runner: skipping %d truncated profile artifact(s)\n", len(skipped))
+	}
+	if len(ps) == 0 {
+		return fmt.Errorf("no parseable CPU profiles under %s", filepath.Join(dir, profDir))
+	}
+	merged, err := prof.Merge(ps...)
+	if err != nil {
+		return err
+	}
+	return merged.WriteFile(filepath.Join(dir, profileFile))
 }
 
 // writeResults persists the contigs and summary report atomically, so

@@ -240,6 +240,7 @@ func (s *Server) handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/contigs", s.handleArtifact(contigsFile, "text/plain; charset=utf-8"))
 	mux.HandleFunc("GET /jobs/{id}/report", s.handleArtifact(reportFile, "application/json"))
 	mux.HandleFunc("GET /jobs/{id}/log", s.handleArtifact(runnerLogFile, "text/plain; charset=utf-8"))
+	mux.HandleFunc("GET /jobs/{id}/profile", s.handleArtifact(profileFile, "application/octet-stream"))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -509,6 +510,13 @@ func specFromQuery(r *http.Request) (Spec, error) {
 		spec.MemBudget = n
 	}
 	spec.FailInject = q.Get("fail")
+	if v := q.Get("profile"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return Spec{}, fmt.Errorf("bad profile=%q", v)
+		}
+		spec.Profile = b
+	}
 	spec = spec.withDefaults()
 	if err := spec.validate(); err != nil {
 		return Spec{}, err

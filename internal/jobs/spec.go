@@ -47,6 +47,11 @@ type Spec struct {
 	// job), "hang" makes it block forever (exercises the deadline).
 	// Production submissions leave it empty.
 	FailInject string `json:"fail_inject,omitempty"`
+	// Profile runs the attempt under a profiling session: phase/rank-
+	// labeled CPU + heap/alloc artifacts land in the job's prof/
+	// directory, and the completing attempt archives the cross-rank
+	// merged CPU profile served at /jobs/{id}/profile.
+	Profile bool `json:"profile,omitempty"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -110,6 +115,9 @@ func (s Spec) Flags() string {
 	}
 	if s.FailInject != "" {
 		f += " fail=" + s.FailInject
+	}
+	if s.Profile {
+		f += " profile"
 	}
 	return f
 }

@@ -3,13 +3,17 @@ package collector
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/prof"
 )
 
 // Config tunes a collector.
@@ -67,20 +71,29 @@ type Collector struct {
 	cfg   Config
 	start time.Time
 
-	mu      sync.Mutex
-	ranks   map[int]*rankState
-	inc     *analyze.Incremental
-	reports uint64
+	mu       sync.Mutex
+	ranks    map[int]*rankState
+	inc      *analyze.Incremental
+	reports  uint64
+	profiles map[string]profileArtifact
+}
+
+// profileArtifact is one uploaded .pb.gz profile, kept in memory so
+// /profiles can rebuild the cross-rank merged view on demand.
+type profileArtifact struct {
+	Rank int
+	Data []byte
 }
 
 // New returns an empty collector for one run.
 func New(cfg Config) *Collector {
 	cfg = cfg.withDefaults()
 	return &Collector{
-		cfg:   cfg,
-		start: cfg.Now(),
-		ranks: map[int]*rankState{},
-		inc:   analyze.NewIncremental(analyze.Options{}),
+		cfg:      cfg,
+		start:    cfg.Now(),
+		ranks:    map[int]*rankState{},
+		inc:      analyze.NewIncremental(analyze.Options{}),
+		profiles: map[string]profileArtifact{},
 	}
 }
 
@@ -312,6 +325,11 @@ func (c *Collector) Status() *Status {
 		}
 		row.Phase = currentPhase(rs)
 		row.BehindSec = maxClock - (rs.CommSec + rs.CompSec)
+		if rs.metrics != nil {
+			row.GCPauseP99Ns = rs.metrics.Gauges[prof.GaugeGCPauseP99]
+			row.SchedLatP99Ns = rs.metrics.Gauges[prof.GaugeSchedLatP99]
+			row.HeapLiveBytes = rs.metrics.Gauges[prof.GaugeHeapLive]
+		}
 		if rep != nil {
 			// Match by rank, not index: mid-run the report may cover
 			// only the ranks whose streams arrived so far.
@@ -602,6 +620,132 @@ func (c *Collector) handleEvents(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// maxProfileBytes bounds one uploaded profile artifact.
+const maxProfileBytes = 64 << 20
+
+// validProfileName accepts only flat .pb.gz artifact names — no path
+// separators, no traversal.
+func validProfileName(name string) bool {
+	if name == "" || len(name) > 256 || !strings.HasSuffix(name, ".pb.gz") {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\\") && name != ".pb.gz" && !strings.HasPrefix(name, ".")
+}
+
+// IngestProfile stores one profile artifact under name. Re-uploads of
+// the same name overwrite (a resumed attempt replaces its orphan's
+// partial artifact).
+func (c *Collector) IngestProfile(name string, rank int, data []byte) error {
+	if !validProfileName(name) {
+		return fmt.Errorf("collector: invalid profile name %q", name)
+	}
+	if len(data) > maxProfileBytes {
+		return fmt.Errorf("collector: profile %q too large (%d bytes)", name, len(data))
+	}
+	c.mu.Lock()
+	c.profiles[name] = profileArtifact{Rank: rank, Data: data}
+	c.mu.Unlock()
+	return nil
+}
+
+// MergedProfile parses every stored artifact whose name carries the
+// given suffix (prof.SuffixCPU etc.) and returns their cross-rank
+// merge. Unparseable uploads (a truncated stream from a killed rank)
+// are skipped.
+func (c *Collector) MergedProfile(suffix string) (*prof.Profile, error) {
+	c.mu.Lock()
+	var names []string
+	for name := range c.profiles {
+		if strings.HasSuffix(name, suffix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var parsed []*prof.Profile
+	for _, name := range names {
+		p, err := prof.Parse(c.profiles[name].Data)
+		if err != nil {
+			continue
+		}
+		parsed = append(parsed, p)
+	}
+	c.mu.Unlock()
+	if len(parsed) == 0 {
+		return nil, fmt.Errorf("collector: no parseable %s profiles uploaded", suffix)
+	}
+	return prof.Merge(parsed...)
+}
+
+// handleProfiles serves the artifact index (GET) and accepts uploads
+// (POST /profiles?name=rank0.cpu.pb.gz&rank=0, body = raw .pb.gz).
+func (c *Collector) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		q := r.URL.Query()
+		rank, _ := strconv.Atoi(q.Get("rank"))
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxProfileBytes))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.IngestProfile(q.Get("name"), rank, data); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		type entry struct {
+			Name  string `json:"name"`
+			Rank  int    `json:"rank"`
+			Bytes int    `json:"bytes"`
+		}
+		c.mu.Lock()
+		out := make([]entry, 0, len(c.profiles))
+		for name, pa := range c.profiles {
+			out = append(out, entry{Name: name, Rank: pa.Rank, Bytes: len(pa.Data)})
+		}
+		c.mu.Unlock()
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleProfileFetch serves one artifact by name, or the cross-rank
+// merge as merged.cpu.pb.gz / merged.heap.pb.gz / merged.allocs.pb.gz.
+func (c *Collector) handleProfileFetch(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/profiles/")
+	switch name {
+	case "merged" + prof.SuffixCPU, "merged" + prof.SuffixHeap, "merged" + prof.SuffixAllocs:
+		suffix := strings.TrimPrefix(name, "merged")
+		merged, err := c.MergedProfile(suffix)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := merged.WriteGzip(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	c.mu.Lock()
+	pa, ok := c.profiles[name]
+	c.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such profile", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(pa.Data)
+}
+
 // Endpoints returns the collector's routes for mounting on an
 // obs.Serve server.
 func (c *Collector) Endpoints() []obs.Endpoint {
@@ -613,6 +757,8 @@ func (c *Collector) Endpoints() []obs.Endpoint {
 		{Path: "/readyz", Handler: http.HandlerFunc(c.handleReadyz)},
 		{Path: "/analyze/live", Handler: http.HandlerFunc(c.handleAnalyzeLive)},
 		{Path: "/events", Handler: http.HandlerFunc(c.handleEvents)},
+		{Path: "/profiles", Handler: http.HandlerFunc(c.handleProfiles)},
+		{Path: "/profiles/", Handler: http.HandlerFunc(c.handleProfileFetch)},
 	}
 }
 

@@ -1,0 +1,132 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs/prof"
+)
+
+func rankProfile(t *testing.T, rank string, nanos int64) []byte {
+	t.Helper()
+	p := &prof.Profile{
+		SampleTypes: []prof.ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+		Samples: []prof.Sample{{
+			Stack:  []prof.Frame{{Function: "work"}},
+			Values: []int64{1, nanos},
+			Labels: []prof.Label{{Key: prof.LabelPhase, Str: "gst"}, {Key: prof.LabelRank, Str: rank}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := p.WriteGzip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestProfilesPlane: ranks upload their .pb.gz artifacts, the index
+// lists them, each artifact serves back verbatim, and the collector's
+// cross-rank merge decodes with per-rank attribution intact —
+// truncated uploads are skipped, bad names rejected.
+func TestProfilesPlane(t *testing.T) {
+	col := New(Config{Ranks: 2, Job: "ptest"})
+	srv, err := col.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	post := func(name string, rank string, body []byte) int {
+		t.Helper()
+		resp, err := http.Post(base+"/profiles?name="+name+"&rank="+rank, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	r0 := rankProfile(t, "0", 100)
+	if code := post("rank0.cpu.pb.gz", "0", r0); code != http.StatusNoContent {
+		t.Fatalf("upload rank0: status %d", code)
+	}
+	if code := post("rank1.cpu.pb.gz", "1", rankProfile(t, "1", 50)); code != http.StatusNoContent {
+		t.Fatalf("upload rank1: status %d", code)
+	}
+	// A truncated stream (SIGKILLed rank) uploads fine but is skipped
+	// by the merge.
+	if code := post("rank2.cpu.pb.gz", "2", []byte{0x1f, 0x8b, 0x00}); code != http.StatusNoContent {
+		t.Fatalf("upload truncated: status %d", code)
+	}
+	for _, bad := range []string{"", "../../etc/passwd.pb.gz", "x/y.pb.gz", "plain.txt", ".pb.gz"} {
+		if code := post(bad, "0", r0); code != http.StatusUnprocessableEntity {
+			t.Errorf("bad name %q accepted with status %d", bad, code)
+		}
+	}
+
+	code, body := httpGet(t, base+"/profiles")
+	var index []struct {
+		Name  string `json:"name"`
+		Rank  int    `json:"rank"`
+		Bytes int    `json:"bytes"`
+	}
+	if code != 200 || json.Unmarshal(body, &index) != nil || len(index) != 3 {
+		t.Fatalf("/profiles index: code %d body %s", code, body)
+	}
+	if index[0].Name != "rank0.cpu.pb.gz" || index[0].Rank != 0 || index[0].Bytes != len(r0) {
+		t.Fatalf("index[0] = %+v", index[0])
+	}
+
+	code, body = httpGet(t, base+"/profiles/rank0.cpu.pb.gz")
+	if code != 200 || !bytes.Equal(body, r0) {
+		t.Fatalf("raw fetch: code %d, %d bytes (want %d)", code, len(body), len(r0))
+	}
+	if code, _ := httpGet(t, base+"/profiles/nope.cpu.pb.gz"); code != http.StatusNotFound {
+		t.Fatalf("unknown artifact: code %d", code)
+	}
+
+	code, body = httpGet(t, base+"/profiles/merged"+prof.SuffixCPU)
+	if code != 200 {
+		t.Fatalf("merged fetch: code %d: %s", code, body)
+	}
+	merged, err := prof.Parse(body)
+	if err != nil {
+		t.Fatalf("merged profile does not decode: %v", err)
+	}
+	byRank := map[string]int64{}
+	vi := merged.ValueIndex("cpu")
+	for i := range merged.Samples {
+		byRank[merged.Samples[i].Label(prof.LabelRank)] += merged.Samples[i].Values[vi]
+	}
+	if byRank["0"] != 100 || byRank["1"] != 50 || len(byRank) != 2 {
+		t.Fatalf("cross-rank merge lost attribution: %v", byRank)
+	}
+}
+
+// TestReporterPostProfile: the reporter uploads an artifact to the
+// collector's profiles plane; a nil reporter is a no-op.
+func TestReporterPostProfile(t *testing.T) {
+	col := New(Config{Ranks: 1, Job: "ptest"})
+	srv, err := col.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rep := StartReporter(ReporterConfig{URL: "http://" + srv.Addr, Rank: 0})
+	defer rep.Close(nil, true, "")
+	if err := rep.PostProfile("rank0.cpu.pb.gz", rankProfile(t, "0", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.MergedProfile(prof.SuffixCPU); err != nil {
+		t.Fatalf("uploaded profile not mergeable: %v", err)
+	}
+	var nilRep *Reporter
+	if err := nilRep.PostProfile("x.pb.gz", nil); err != nil {
+		t.Fatalf("nil reporter PostProfile: %v", err)
+	}
+}

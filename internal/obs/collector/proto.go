@@ -112,6 +112,13 @@ type RankStatus struct {
 	IdlePct   float64 `json:"idle_pct"`
 	Straggler bool    `json:"straggler,omitempty"`
 
+	// Runtime health gauges, present when the reporting process runs a
+	// profiling session (internal/obs/prof samples runtime/metrics into
+	// the registry, and the registry streams here like any gauge).
+	GCPauseP99Ns  int64 `json:"gc_pause_p99_ns,omitempty"`
+	SchedLatP99Ns int64 `json:"sched_lat_p99_ns,omitempty"`
+	HeapLiveBytes int64 `json:"heap_live_bytes,omitempty"`
+
 	ExitReason string `json:"exit_reason,omitempty"`
 }
 

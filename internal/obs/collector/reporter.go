@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"sync"
 	"time"
@@ -141,6 +142,31 @@ func (r *Reporter) Flush() error {
 	if err := r.post(r.gather()); err != nil {
 		r.failed++
 		return err
+	}
+	return nil
+}
+
+// PostProfile uploads one profile artifact (raw .pb.gz bytes) to the
+// collector under name, tagged with this reporter's rank. Like event
+// reports, delivery is best-effort — callers log and continue.
+func (r *Reporter) PostProfile(name string, data []byte) error {
+	if r == nil {
+		return nil
+	}
+	u := fmt.Sprintf("%s/profiles?name=%s&rank=%d", r.cfg.URL, url.QueryEscape(name), r.cfg.Rank)
+	resp, err := r.client.Post(u, "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		r.mu.Lock()
+		r.failed++
+		r.mu.Unlock()
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		r.mu.Lock()
+		r.failed++
+		r.mu.Unlock()
+		return fmt.Errorf("collector: profile upload returned %s", resp.Status)
 	}
 	return nil
 }

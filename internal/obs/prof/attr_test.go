@@ -1,0 +1,142 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func allocProfile(samples ...Sample) *Profile {
+	return &Profile{
+		SampleTypes: []ValueType{
+			{Type: "alloc_objects", Unit: "count"},
+			{Type: "alloc_space", Unit: "bytes"},
+			{Type: "inuse_objects", Unit: "count"},
+			{Type: "inuse_space", Unit: "bytes"},
+		},
+		Samples: samples,
+	}
+}
+
+func stack(fns ...string) []Frame {
+	out := make([]Frame, len(fns))
+	for i, fn := range fns {
+		out[i] = Frame{Function: fn, File: fn + ".go", Line: int64(i + 1)}
+	}
+	return out
+}
+
+func TestAttributeReport(t *testing.T) {
+	cpu := cpuProfile(0, 0,
+		// gst dominates: 60ns across ranks 0 and 1.
+		Sample{Stack: stack("buildTree", "runRank"), Values: []int64{4, 40},
+			Labels: []Label{{Key: LabelPhase, Str: "gst"}, {Key: LabelRank, Str: "0"}}},
+		Sample{Stack: stack("buildTree", "runRank"), Values: []int64{2, 20},
+			Labels: []Label{{Key: LabelPhase, Str: "gst"}, {Key: LabelRank, Str: "1"}}},
+		// cluster: 10ns.
+		Sample{Stack: stack("unionFind", "runRank"), Values: []int64{1, 10},
+			Labels: []Label{{Key: LabelPhase, Str: "cluster"}, {Key: LabelRank, Str: "0"}}},
+		// GC worker: unlabeled but rooted in the runtime.
+		Sample{Stack: stack("scanobject", "runtime.gcBgMarkWorker"), Values: []int64{1, 10}},
+	)
+	allocs := allocProfile(
+		Sample{Stack: stack("makeNodes", "buildTree", "runRank"), Values: []int64{1000, 64000, 1, 64}},
+		Sample{Stack: stack("newSets", "unionFind", "runRank"), Values: []int64{10, 320, 0, 0}},
+		Sample{Stack: stack("mystery", "orphan"), Values: []int64{5, 50, 0, 0}},
+	)
+
+	r := Attribute([]*Profile{cpu}, []*Profile{allocs}, nil, Options{Top: 3})
+
+	if r.TotalSamples != 8 || r.BothLabeled != 7 || r.SystemSamples != 1 {
+		t.Fatalf("coverage: total %d both %d system %d", r.TotalSamples, r.BothLabeled, r.SystemSamples)
+	}
+	if r.LabeledUser != 100 {
+		t.Fatalf("LabeledUser = %v, want 100 (all labelable samples labeled)", r.LabeledUser)
+	}
+	if r.CritPhase != "gst" || r.CritSource != "cpu-samples" {
+		t.Fatalf("crit phase %q via %q, want gst via cpu-samples", r.CritPhase, r.CritSource)
+	}
+	if len(r.Phases) == 0 || r.Phases[0].Phase != "gst" || r.Phases[0].Nanos != 60 {
+		t.Fatalf("phase rows wrong: %+v", r.Phases)
+	}
+	if got := r.Phases[0].Ranks; len(got) != 2 || got[0].Rank != "0" || got[0].Nanos != 40 {
+		t.Fatalf("gst rank split wrong: %+v", got)
+	}
+	var runtimeRow *PhaseProf
+	for i := range r.Phases {
+		if r.Phases[i].Phase == PhaseRuntime {
+			runtimeRow = &r.Phases[i]
+		}
+	}
+	if runtimeRow == nil || runtimeRow.Nanos != 10 {
+		t.Fatalf("runtime system samples not classified under %s: %+v", PhaseRuntime, r.Phases)
+	}
+	if len(r.CritFuncs) == 0 || r.CritFuncs[0].Function != "buildTree" {
+		t.Fatalf("top crit function wrong: %+v", r.CritFuncs)
+	}
+
+	// Alloc attribution: makeNodes' caller buildTree was only ever
+	// seen in gst; newSets' caller unionFind only in cluster; mystery
+	// has no known caller at all.
+	wantPhase := map[string]string{"makeNodes": "gst", "newSets": "cluster", "mystery": ""}
+	for _, a := range r.Allocs {
+		if want, ok := wantPhase[a.Function]; ok && a.Phase != want {
+			t.Errorf("alloc site %s attributed to %q, want %q", a.Function, a.Phase, want)
+		}
+	}
+	if len(r.CritAllocs) != 1 || r.CritAllocs[0].Function != "makeNodes" {
+		t.Fatalf("crit allocs wrong: %+v", r.CritAllocs)
+	}
+	if r.TotalAllocBytes != 64370 || r.TotalAllocObjects != 1015 {
+		t.Fatalf("alloc totals: %d bytes %d objects", r.TotalAllocBytes, r.TotalAllocObjects)
+	}
+
+	// The causal DAG outranks the CPU-sample fallback when present —
+	// even naming a different phase.
+	r2 := Attribute([]*Profile{cpu}, nil, []CritPhaseSec{{Phase: "cluster", Sec: 1.5}, {Phase: "gst", Sec: 0.5}}, Options{})
+	if r2.CritPhase != "cluster" || r2.CritSource != "causal-dag" || r2.CritSec != 1.5 {
+		t.Fatalf("causal join ignored: %q via %q (%v s)", r2.CritPhase, r2.CritSource, r2.CritSec)
+	}
+
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"critical-path phase: gst", "CPU by phase:", "buildTree", "makeNodes"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, txt.String())
+		}
+	}
+}
+
+func TestPhaseCPUNanos(t *testing.T) {
+	cpu := cpuProfile(0, 0,
+		labeled("0", "gst", "a", 1, 30),
+		labeled("1", "gst", "b", 1, 20),
+		labeled("0", "cluster", "c", 1, 5),
+		labeled("", "", "main", 1, 99), // unlabeled: excluded
+	)
+	got := PhaseCPUNanos([]*Profile{cpu})
+	if got["gst"] != 50 || got["cluster"] != 5 || len(got) != 2 {
+		t.Fatalf("PhaseCPUNanos = %v", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := []*Profile{cpuProfile(0, 0, labeled("0", "gst", "hot", 1, 100), labeled("0", "gst", "cold", 1, 10))}
+	new := []*Profile{cpuProfile(0, 0, labeled("0", "gst", "hot", 1, 300), labeled("0", "gst", "cold", 1, 10))}
+	d := DiffCPU(old, new, 5)
+	if len(d) != 1 || d[0].Function != "hot" || d[0].Delta != 200 {
+		t.Fatalf("DiffCPU = %+v", d)
+	}
+
+	oldA := []*Profile{allocProfile(Sample{Stack: stack("site"), Values: []int64{10, 1000, 0, 0}})}
+	newA := []*Profile{allocProfile(
+		Sample{Stack: stack("site"), Values: []int64{30, 5000, 0, 0}},
+		Sample{Stack: stack("fresh"), Values: []int64{1, 100, 0, 0}},
+	)}
+	ad := DiffAllocs(oldA, newA, 5)
+	if len(ad) != 2 || ad[0].Function != "site" || ad[0].DeltaBytes != 4000 || ad[1].Function != "fresh" {
+		t.Fatalf("DiffAllocs = %+v", ad)
+	}
+}

@@ -1,0 +1,155 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Merge folds profiles with identical sample types into one: samples
+// with the same (stack, labels) key sum their values. Cross-rank
+// merging keeps per-rank attribution intact because the rank label is
+// part of the key. Output sample order is deterministic (sorted by
+// key), TimeNanos is the earliest input stamp and DurationNanos the
+// sum, matching what pprof's own merger reports for sequential
+// captures.
+func Merge(ps ...*Profile) (*Profile, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("prof: nothing to merge")
+	}
+	out := &Profile{
+		SampleTypes: ps[0].SampleTypes,
+		DefaultType: ps[0].DefaultType,
+		PeriodType:  ps[0].PeriodType,
+		Period:      ps[0].Period,
+	}
+	for _, p := range ps[1:] {
+		if !sameTypes(p.SampleTypes, ps[0].SampleTypes) {
+			return nil, fmt.Errorf("prof: cannot merge profiles with sample types %v and %v",
+				typeNames(p.SampleTypes), typeNames(ps[0].SampleTypes))
+		}
+	}
+	idx := map[string]int{}
+	var keys []string
+	for _, p := range ps {
+		if out.TimeNanos == 0 || (p.TimeNanos > 0 && p.TimeNanos < out.TimeNanos) {
+			out.TimeNanos = p.TimeNanos
+		}
+		out.DurationNanos += p.DurationNanos
+		for i := range p.Samples {
+			s := &p.Samples[i]
+			k := sampleKey(s)
+			j, ok := idx[k]
+			if !ok {
+				j = len(out.Samples)
+				idx[k] = j
+				keys = append(keys, k)
+				out.Samples = append(out.Samples, Sample{
+					Stack:  s.Stack,
+					Labels: s.Labels,
+					Values: make([]int64, len(s.Values)),
+				})
+			}
+			dst := out.Samples[j].Values
+			for vi, v := range s.Values {
+				if vi < len(dst) {
+					dst[vi] += v
+				}
+			}
+		}
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	sorted := make([]Sample, len(out.Samples))
+	for i, j := range order {
+		sorted[i] = out.Samples[j]
+	}
+	out.Samples = sorted
+	return out, nil
+}
+
+func sameTypes(a, b []ValueType) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func typeNames(vts []ValueType) []string {
+	out := make([]string, len(vts))
+	for i, vt := range vts {
+		out[i] = vt.Type + "/" + vt.Unit
+	}
+	return out
+}
+
+// sampleKey fingerprints a sample's identity (stack + labels) for
+// merging and deterministic ordering.
+func sampleKey(s *Sample) string {
+	var b strings.Builder
+	for _, l := range s.Labels {
+		fmt.Fprintf(&b, "%s=%s/%d\x01", l.Key, l.Str, l.Num)
+	}
+	b.WriteByte('\x02')
+	for _, f := range s.Stack {
+		fmt.Fprintf(&b, "%s\x01%s\x01%d\x02", f.Function, f.File, f.Line)
+	}
+	return b.String()
+}
+
+// WriteFolded renders the profile in collapsed-stack ("folded")
+// format, one line per unique stack: root-first frames joined with
+// ';' and the value at valueIndex. Rank and phase labels become
+// synthetic root frames so a flamegraph groups by phase first —
+// exactly the view "which functions burn the critical-path phase"
+// needs. valueIndex -1 picks the last sample type (pprof's default).
+func WriteFolded(w io.Writer, p *Profile, valueIndex int) error {
+	if valueIndex < 0 {
+		valueIndex = len(p.SampleTypes) - 1
+	}
+	if valueIndex < 0 || valueIndex >= len(p.SampleTypes) {
+		return fmt.Errorf("prof: value index %d outside %d sample types", valueIndex, len(p.SampleTypes))
+	}
+	totals := map[string]int64{}
+	var keys []string
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		var b strings.Builder
+		if ph := s.Label(LabelPhase); ph != "" {
+			b.WriteString("phase:" + ph + ";")
+		}
+		if rk := s.Label(LabelRank); rk != "" {
+			b.WriteString("rank:" + rk + ";")
+		}
+		for i := len(s.Stack) - 1; i >= 0; i-- { // leaf-first stored; folded wants root-first
+			b.WriteString(s.Stack[i].Function)
+			if i > 0 {
+				b.WriteByte(';')
+			}
+		}
+		k := b.String()
+		if _, ok := totals[k]; !ok {
+			keys = append(keys, k)
+		}
+		totals[k] += s.Values[valueIndex]
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if totals[k] == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, totals[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

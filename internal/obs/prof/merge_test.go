@@ -1,0 +1,120 @@
+package prof
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func cpuProfile(timeNanos, durNanos int64, samples ...Sample) *Profile {
+	return &Profile{
+		SampleTypes:   []ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+		TimeNanos:     timeNanos,
+		DurationNanos: durNanos,
+		Samples:       samples,
+	}
+}
+
+func labeled(rank, phase string, fn string, vals ...int64) Sample {
+	s := Sample{Stack: []Frame{{Function: fn}}, Values: vals}
+	if rank != "" {
+		s.Labels = append(s.Labels, Label{Key: LabelRank, Str: rank})
+	}
+	if phase != "" {
+		s.Labels = append(s.Labels, Label{Key: LabelPhase, Str: phase})
+	}
+	sortLabels(s.Labels)
+	return s
+}
+
+func TestMergeSumsIdenticalKeys(t *testing.T) {
+	a := cpuProfile(100, 10, labeled("0", "gst", "work", 3, 30))
+	b := cpuProfile(50, 5, labeled("0", "gst", "work", 2, 20))
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Samples) != 1 {
+		t.Fatalf("same-key samples did not fold: %d samples", len(m.Samples))
+	}
+	if !reflect.DeepEqual(m.Samples[0].Values, []int64{5, 50}) {
+		t.Fatalf("values not summed: %v", m.Samples[0].Values)
+	}
+	if m.TimeNanos != 50 || m.DurationNanos != 15 {
+		t.Fatalf("TimeNanos %d (want earliest 50), DurationNanos %d (want 15)", m.TimeNanos, m.DurationNanos)
+	}
+}
+
+func TestMergeKeepsRanksApart(t *testing.T) {
+	// Same stack, different rank labels: cross-rank merge must keep
+	// per-rank attribution intact.
+	a := cpuProfile(0, 0, labeled("0", "gst", "work", 1, 10))
+	b := cpuProfile(0, 0, labeled("1", "gst", "work", 1, 10))
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Samples) != 2 {
+		t.Fatalf("distinct ranks folded together: %d samples", len(m.Samples))
+	}
+	ranks := map[string]bool{}
+	for i := range m.Samples {
+		ranks[m.Samples[i].Label(LabelRank)] = true
+	}
+	if !ranks["0"] || !ranks["1"] {
+		t.Fatalf("rank labels lost in merge: %v", ranks)
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	a := cpuProfile(0, 0, labeled("1", "gst", "b", 1, 10), labeled("0", "cluster", "a", 1, 10))
+	b := cpuProfile(0, 0, labeled("2", "align", "c", 1, 10))
+	m1, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Merge(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m1.Samples, m2.Samples) {
+		t.Fatal("merge output depends on input order")
+	}
+}
+
+func TestMergeRejectsMixedTypes(t *testing.T) {
+	cpu := cpuProfile(0, 0)
+	heap := &Profile{SampleTypes: []ValueType{{Type: "inuse_space", Unit: "bytes"}}}
+	if _, err := Merge(cpu, heap); err == nil {
+		t.Fatal("merged a CPU profile with a heap profile")
+	}
+	if _, err := Merge(); err == nil {
+		t.Fatal("merged nothing without error")
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	p := cpuProfile(0, 0,
+		Sample{
+			Stack:  []Frame{{Function: "leaf"}, {Function: "root"}}, // leaf-first
+			Values: []int64{1, 42},
+			Labels: []Label{{Key: LabelPhase, Str: "gst"}, {Key: LabelRank, Str: "3"}},
+		},
+		labeled("", "", "plain", 1, 7),
+	)
+	var buf bytes.Buffer
+	if err := WriteFolded(&buf, p, p.ValueIndex("cpu")); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "phase:gst;rank:3;root;leaf 42\n") {
+		t.Errorf("labeled stack not folded root-first with synthetic roots:\n%s", out)
+	}
+	if !strings.Contains(out, "plain 7\n") {
+		t.Errorf("unlabeled stack missing:\n%s", out)
+	}
+	if err := WriteFolded(&buf, p, 99); err == nil {
+		t.Error("out-of-range value index accepted")
+	}
+}

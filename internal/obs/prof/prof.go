@@ -1,0 +1,344 @@
+// Package prof is the continuous-profiling plane: a session manager
+// that captures phase/rank-labeled CPU profiles plus heap and alloc
+// snapshots as .pb.gz artifacts next to the event dumps, samples
+// runtime/metrics health gauges into the obs metrics registry, and —
+// through the in-repo pprof codec (proto.go), merger (merge.go) and
+// attribution engine (attr.go) — turns those artifacts into "top
+// functions and top alloc sites on the critical path, per phase per
+// rank" reports joined against the analyze causal decomposition.
+//
+// Label propagation: internal/par tags every rank goroutine with a
+// "rank" pprof label at Comm creation and swaps the "phase" label on
+// every EvPhaseEnter/EvPhaseExit trace event, so CPU samples land
+// pre-attributed. Goroutine labels follow child goroutines but never
+// reach runtime system goroutines (GC workers, sweeper, scavenger) —
+// those samples are classified under the "(runtime)" pseudo-phase by
+// the attribution report. Heap and alloc profiles carry no goroutine
+// labels at all (a Go runtime limitation), so alloc sites are
+// attributed by joining their call stacks against the per-function
+// phase distribution learned from the labeled CPU samples.
+//
+// All label work is gated on one atomic flag that only an active
+// session sets: with no session the hooks in internal/par cost a
+// single atomic load on the (rare) phase-boundary events and nothing
+// on the message hot path.
+package prof
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Label keys the runtime attaches to rank goroutines.
+const (
+	LabelRank  = "rank"
+	LabelPhase = "phase"
+)
+
+// Artifact name suffixes. A session writes <name><suffix>; mergers
+// and asmprof discover artifacts by suffix.
+const (
+	SuffixCPU    = ".cpu.pb.gz"
+	SuffixHeap   = ".heap.pb.gz"
+	SuffixAllocs = ".allocs.pb.gz"
+)
+
+// enabled gates every label operation; only an active Session sets
+// it. Separate from the session singleton so the par hooks pay one
+// atomic load and no pointer chase.
+var enabled atomic.Bool
+
+// Enabled reports whether a profiling session is active (labels are
+// being applied).
+func Enabled() bool { return enabled.Load() }
+
+// rankStrs caches the label values for small ranks so phase swaps on
+// big machines do not re-format the same integers.
+var rankStrs = func() [64]string {
+	var s [64]string
+	for i := range s {
+		s[i] = strconv.Itoa(i)
+	}
+	return s
+}()
+
+func rankStr(r int) string {
+	if r >= 0 && r < len(rankStrs) {
+		return rankStrs[r]
+	}
+	return strconv.Itoa(r)
+}
+
+// ApplyLabels tags the calling goroutine (and any goroutines it
+// spawns afterwards) with the rank and, when non-empty, phase labels.
+// A no-op unless a session is active.
+func ApplyLabels(rank int, phase string) {
+	if !enabled.Load() {
+		return
+	}
+	var ls pprof.LabelSet
+	if phase == "" {
+		ls = pprof.Labels(LabelRank, rankStr(rank))
+	} else {
+		ls = pprof.Labels(LabelRank, rankStr(rank), LabelPhase, phase)
+	}
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), ls))
+}
+
+// ClearLabels removes the calling goroutine's labels. A no-op unless
+// a session is active.
+func ClearLabels() {
+	if !enabled.Load() {
+		return
+	}
+	pprof.SetGoroutineLabels(context.Background())
+}
+
+// Config tunes one profiling session.
+type Config struct {
+	// Dir receives the artifacts (created if missing).
+	Dir string
+	// Name is the artifact stem: Name + ".cpu.pb.gz" etc. Per-process
+	// transports use "rank<N>"; in-process machines one stem for the
+	// whole run.
+	Name string
+	// Registry, when non-nil, receives the runtime/metrics health
+	// gauges (runtime_gc_pause_p99_ns, runtime_sched_latency_p99_ns,
+	// runtime_heap_live_bytes, runtime_heap_goal_bytes,
+	// runtime_gc_cycles), sampled every MetricsInterval and once at
+	// Stop. They stream to a collector like any other gauge.
+	Registry *obs.Registry
+	// CPUHz raises the CPU sampling rate above the default 100 (more
+	// samples on short windows; the runtime prints one warning line
+	// when overriding the default). 0 keeps the default.
+	CPUHz int
+	// MetricsInterval is the runtime/metrics sampling period
+	// (default 250ms).
+	MetricsInterval time.Duration
+}
+
+// Session is one active profiling capture window. At most one session
+// per process (the runtime supports one CPU profile at a time).
+type Session struct {
+	cfg  Config
+	cpuF *os.File
+
+	mu      sync.Mutex
+	stopped bool
+	extra   []string // heap snapshots taken at phase boundaries
+
+	samplerStop chan struct{}
+	samplerDone chan struct{}
+}
+
+// Artifacts lists the files one session wrote.
+type Artifacts struct {
+	CPU    string   `json:"cpu"`
+	Heap   string   `json:"heap"`
+	Allocs string   `json:"allocs"`
+	Extra  []string `json:"extra,omitempty"` // phase-boundary heap snapshots
+}
+
+// All returns every artifact path.
+func (a Artifacts) All() []string {
+	out := []string{a.CPU, a.Heap, a.Allocs}
+	return append(out, a.Extra...)
+}
+
+// sessionActive enforces the one-session-per-process invariant.
+var sessionActive atomic.Bool
+
+// Start opens a profiling session: begins the CPU profile streaming
+// to <Dir>/<Name>.cpu.pb.gz, turns on label propagation, and starts
+// the runtime/metrics sampler. Callers must Stop it.
+func Start(cfg Config) (*Session, error) {
+	if cfg.Name == "" {
+		cfg.Name = "profile"
+	}
+	if cfg.MetricsInterval <= 0 {
+		cfg.MetricsInterval = 250 * time.Millisecond
+	}
+	if !sessionActive.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("prof: a profiling session is already active")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		sessionActive.Store(false)
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(cfg.Dir, cfg.Name+SuffixCPU))
+	if err != nil {
+		sessionActive.Store(false)
+		return nil, err
+	}
+	if cfg.CPUHz > 0 && cfg.CPUHz != 100 {
+		// StartCPUProfile resets the rate to 100 unless one is already
+		// set; setting it first wins (at the cost of one runtime
+		// warning line on stderr).
+		runtime.SetCPUProfileRate(cfg.CPUHz)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		sessionActive.Store(false)
+		return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+	}
+	s := &Session{cfg: cfg, cpuF: f}
+	enabled.Store(true)
+	if cfg.Registry != nil {
+		SampleRuntimeMetrics(cfg.Registry)
+		s.samplerStop = make(chan struct{})
+		s.samplerDone = make(chan struct{})
+		go s.sampleLoop()
+	}
+	return s, nil
+}
+
+func (s *Session) sampleLoop() {
+	defer close(s.samplerDone)
+	tick := time.NewTicker(s.cfg.MetricsInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.samplerStop:
+			return
+		case <-tick.C:
+			SampleRuntimeMetrics(s.cfg.Registry)
+		}
+	}
+}
+
+// SnapshotHeap writes an extra live-heap snapshot artifact
+// (<Name>-<tag>.heap.pb.gz — the heap suffix so DirArtifacts finds
+// it) — phase-boundary callers tag it with the phase just finished.
+func (s *Session) SnapshotHeap(tag string) error {
+	path := filepath.Join(s.cfg.Dir, fmt.Sprintf("%s-%s%s", s.cfg.Name, tag, SuffixHeap))
+	if err := writeLookupProfile("heap", path); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.extra = append(s.extra, path)
+	s.mu.Unlock()
+	return nil
+}
+
+// Stop ends the session: stops and flushes the CPU profile, writes
+// the heap (live objects) and allocs (cumulative allocation)
+// snapshots, takes a final runtime/metrics sample, and turns label
+// propagation off. Safe to call once; later calls return the nil
+// error without re-writing artifacts.
+func (s *Session) Stop() (Artifacts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	arts := Artifacts{
+		CPU:    filepath.Join(s.cfg.Dir, s.cfg.Name+SuffixCPU),
+		Heap:   filepath.Join(s.cfg.Dir, s.cfg.Name+SuffixHeap),
+		Allocs: filepath.Join(s.cfg.Dir, s.cfg.Name+SuffixAllocs),
+		Extra:  s.extra,
+	}
+	if s.stopped {
+		return arts, nil
+	}
+	s.stopped = true
+	enabled.Store(false)
+	pprof.StopCPUProfile()
+	err := s.cpuF.Close()
+	if s.samplerStop != nil {
+		close(s.samplerStop)
+		<-s.samplerDone
+		SampleRuntimeMetrics(s.cfg.Registry)
+	}
+	if herr := writeLookupProfile("heap", arts.Heap); err == nil {
+		err = herr
+	}
+	if aerr := writeLookupProfile("allocs", arts.Allocs); err == nil {
+		err = aerr
+	}
+	sessionActive.Store(false)
+	return arts, err
+}
+
+// writeLookupProfile snapshots one named runtime profile as a .pb.gz
+// artifact (debug=0 is the gzipped proto encoding).
+func writeLookupProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("prof: no %q profile", name)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = p.WriteTo(f, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// DirArtifacts scans dir for profile artifacts by suffix, sorted for
+// determinism. Unreadable directories return empty slices.
+func DirArtifacts(dir string) (cpu, heap, allocs []string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil
+	}
+	for _, e := range ents {
+		name := e.Name()
+		path := filepath.Join(dir, name)
+		switch {
+		case hasSuffix(name, SuffixCPU):
+			cpu = append(cpu, path)
+		case hasSuffix(name, SuffixAllocs):
+			allocs = append(allocs, path)
+		case hasSuffix(name, SuffixHeap):
+			heap = append(heap, path)
+		}
+	}
+	sort.Strings(cpu)
+	sort.Strings(heap)
+	sort.Strings(allocs)
+	return cpu, heap, allocs
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// ParseFiles decodes a list of artifacts, skipping files that fail to
+// parse (a SIGKILLed attempt leaves a truncated CPU stream behind;
+// the surviving artifacts still merge). It returns the profiles, the
+// skipped paths, and the first error only when nothing parsed.
+func ParseFiles(paths []string) (ps []*Profile, skipped []string, err error) {
+	var firstErr error
+	for _, path := range paths {
+		p, perr := ParseFile(path)
+		if perr != nil {
+			skipped = append(skipped, path)
+			if firstErr == nil {
+				firstErr = perr
+			}
+			continue
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 && firstErr != nil {
+		return nil, skipped, firstErr
+	}
+	return ps, skipped, nil
+}

@@ -1,0 +1,809 @@
+// pprof profile.proto wire codec, hand-rolled so the repo stays free
+// of module dependencies. The decoder reads the subset the Go runtime
+// emits (and the merge/attribution plane needs): sample types, samples
+// with location stacks and string/number labels, locations with
+// (possibly inlined) lines, functions, the string table, and the
+// period/time scalars. Mappings and addresses are parsed past but not
+// retained — attribution works on symbolized frames, which Go profiles
+// always carry.
+//
+// Like internal/wire, the reader is sticky: the first malformed byte
+// latches an error and every later read is a cheap no-op, so decode
+// paths need exactly one error check. Unlike internal/wire this is
+// standard protobuf, so non-canonical varints are accepted (other
+// writers may emit them); the encoder always writes canonical bytes.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// maxDecompressedBytes bounds gunzip output so a tiny malicious input
+// cannot balloon into unbounded memory (the fuzz target feeds the
+// decoder arbitrary bytes).
+const maxDecompressedBytes = 64 << 20
+
+// ValueType names one sample dimension, e.g. {cpu, nanoseconds}.
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Frame is one resolved stack entry. Inlined calls expand to one
+// frame per line record, innermost first.
+type Frame struct {
+	Function string `json:"function"`
+	File     string `json:"file,omitempty"`
+	Line     int64  `json:"line,omitempty"`
+}
+
+// Label is one sample annotation; exactly one of Str / Num carries
+// the value (pprof string vs numeric labels).
+type Label struct {
+	Key  string `json:"key"`
+	Str  string `json:"str,omitempty"`
+	Num  int64  `json:"num,omitempty"`
+	Unit string `json:"unit,omitempty"`
+}
+
+// Sample is one profile record: a leaf-first stack, one value per
+// sample type, and its labels (sorted by key for determinism).
+type Sample struct {
+	Stack  []Frame `json:"stack"`
+	Values []int64 `json:"values"`
+	Labels []Label `json:"labels,omitempty"`
+}
+
+// Label returns the sample's string label for key ("" if absent).
+func (s *Sample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key && l.Str != "" {
+			return l.Str
+		}
+	}
+	return ""
+}
+
+// Profile is a decoded pprof profile with every ID indirection
+// resolved: samples reference frames and strings directly.
+type Profile struct {
+	SampleTypes   []ValueType `json:"sample_types"`
+	DefaultType   string      `json:"default_type,omitempty"`
+	Samples       []Sample    `json:"samples"`
+	TimeNanos     int64       `json:"time_nanos,omitempty"`
+	DurationNanos int64       `json:"duration_nanos,omitempty"`
+	PeriodType    ValueType   `json:"period_type,omitempty"`
+	Period        int64       `json:"period,omitempty"`
+}
+
+// ValueIndex returns the index of the sample type named typ, or -1.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// protobuf wire types (the only ones protobuf defines that matter
+// here; groups are obsolete and rejected).
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// reader is a sticky-error protobuf wire walker over one message's
+// bytes. Every method is safe to call after a failure; the first
+// malformed byte exhausts the buffer so loops terminate.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("prof: "+format, args...)
+	}
+	r.off = len(r.b)
+}
+
+func (r *reader) more() bool { return r.err == nil && r.off < len(r.b) }
+
+// varint reads one base-128 varint (up to 10 bytes, as protobuf
+// allows for negative int64s).
+func (r *reader) varint() uint64 {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if r.off >= len(r.b) {
+			r.fail("truncated varint")
+			return 0
+		}
+		c := r.b[r.off]
+		r.off++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			if shift == 63 && c > 1 {
+				r.fail("varint overflows uint64")
+				return 0
+			}
+			return v
+		}
+	}
+	r.fail("varint longer than 10 bytes")
+	return 0
+}
+
+func (r *reader) int64() int64 { return int64(r.varint()) }
+
+// tag reads one field tag, returning (fieldNumber, wireType).
+func (r *reader) tag() (int, int) {
+	v := r.varint()
+	field, wire := int(v>>3), int(v&7)
+	if r.err == nil && field == 0 {
+		r.fail("field number 0")
+	}
+	return field, wire
+}
+
+// bytesField reads one length-delimited payload, bounds-checked
+// against the remaining buffer (the same overflow-safe comparison
+// internal/wire uses).
+func (r *reader) bytesField() []byte {
+	n := int(r.varint())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.b)-r.off {
+		r.fail("length %d exceeds remaining %d bytes", n, len(r.b)-r.off)
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// skip advances past one field of the given wire type.
+func (r *reader) skip(wire int) {
+	switch wire {
+	case wireVarint:
+		r.varint()
+	case wireFixed64:
+		if len(r.b)-r.off < 8 {
+			r.fail("truncated fixed64")
+			return
+		}
+		r.off += 8
+	case wireBytes:
+		r.bytesField()
+	case wireFixed32:
+		if len(r.b)-r.off < 4 {
+			r.fail("truncated fixed32")
+			return
+		}
+		r.off += 4
+	default:
+		r.fail("unsupported wire type %d", wire)
+	}
+}
+
+// packedInt64s decodes field contents that may be packed (wire type
+// 2) or a single varint (wire type 0), appending to dst.
+func (r *reader) packedInt64s(wire int, dst []int64) []int64 {
+	if wire == wireVarint {
+		return append(dst, r.int64())
+	}
+	if wire != wireBytes {
+		r.fail("repeated int64 field has wire type %d", wire)
+		return dst
+	}
+	p := &reader{b: r.bytesField()}
+	if r.err != nil {
+		return dst
+	}
+	for p.more() {
+		dst = append(dst, p.int64())
+	}
+	if p.err != nil {
+		r.fail("packed int64s: %v", p.err)
+	}
+	return dst
+}
+
+func (r *reader) packedUint64s(wire int, dst []uint64) []uint64 {
+	if wire == wireVarint {
+		return append(dst, r.varint())
+	}
+	if wire != wireBytes {
+		r.fail("repeated uint64 field has wire type %d", wire)
+		return dst
+	}
+	p := &reader{b: r.bytesField()}
+	if r.err != nil {
+		return dst
+	}
+	for p.more() {
+		dst = append(dst, p.varint())
+	}
+	if p.err != nil {
+		r.fail("packed uint64s: %v", p.err)
+	}
+	return dst
+}
+
+// Raw (unresolved) message forms — IDs and string-table indices are
+// resolved only after the whole top-level walk, because protobuf
+// fields may arrive in any order (Go writes the string table last).
+type rawValueType struct{ typ, unit int64 }
+
+type rawLabel struct{ key, str, num, numUnit int64 }
+
+type rawSample struct {
+	locs   []uint64
+	vals   []int64
+	labels []rawLabel
+}
+
+type rawLine struct {
+	fn   uint64
+	line int64
+}
+
+type rawLocation struct {
+	id    uint64
+	lines []rawLine
+}
+
+type rawFunction struct {
+	id         uint64
+	name, file int64
+}
+
+func parseValueType(b []byte) (rawValueType, error) {
+	r := &reader{b: b}
+	var vt rawValueType
+	for r.more() {
+		field, wire := r.tag()
+		switch field {
+		case 1:
+			vt.typ = r.int64()
+		case 2:
+			vt.unit = r.int64()
+		default:
+			r.skip(wire)
+		}
+	}
+	return vt, r.err
+}
+
+func parseLabel(b []byte) (rawLabel, error) {
+	r := &reader{b: b}
+	var l rawLabel
+	for r.more() {
+		field, wire := r.tag()
+		switch field {
+		case 1:
+			l.key = r.int64()
+		case 2:
+			l.str = r.int64()
+		case 3:
+			l.num = r.int64()
+		case 4:
+			l.numUnit = r.int64()
+		default:
+			r.skip(wire)
+		}
+	}
+	return l, r.err
+}
+
+func parseSample(b []byte) (rawSample, error) {
+	r := &reader{b: b}
+	var s rawSample
+	for r.more() {
+		field, wire := r.tag()
+		switch field {
+		case 1:
+			s.locs = r.packedUint64s(wire, s.locs)
+		case 2:
+			s.vals = r.packedInt64s(wire, s.vals)
+		case 3:
+			lb := r.bytesField()
+			if r.err == nil {
+				l, err := parseLabel(lb)
+				if err != nil {
+					return s, err
+				}
+				s.labels = append(s.labels, l)
+			}
+		default:
+			r.skip(wire)
+		}
+	}
+	return s, r.err
+}
+
+func parseLine(b []byte) (rawLine, error) {
+	r := &reader{b: b}
+	var ln rawLine
+	for r.more() {
+		field, wire := r.tag()
+		switch field {
+		case 1:
+			ln.fn = r.varint()
+		case 2:
+			ln.line = r.int64()
+		default:
+			r.skip(wire)
+		}
+	}
+	return ln, r.err
+}
+
+func parseLocation(b []byte) (rawLocation, error) {
+	r := &reader{b: b}
+	var loc rawLocation
+	for r.more() {
+		field, wire := r.tag()
+		switch field {
+		case 1:
+			loc.id = r.varint()
+		case 4:
+			lb := r.bytesField()
+			if r.err == nil {
+				ln, err := parseLine(lb)
+				if err != nil {
+					return loc, err
+				}
+				loc.lines = append(loc.lines, ln)
+			}
+		default:
+			r.skip(wire)
+		}
+	}
+	return loc, r.err
+}
+
+func parseFunction(b []byte) (rawFunction, error) {
+	r := &reader{b: b}
+	var fn rawFunction
+	for r.more() {
+		field, wire := r.tag()
+		switch field {
+		case 1:
+			fn.id = r.varint()
+		case 2:
+			fn.name = r.int64()
+		case 4:
+			fn.file = r.int64()
+		default:
+			r.skip(wire)
+		}
+	}
+	return fn, r.err
+}
+
+// Parse decodes one pprof profile, transparently gunzipping (every
+// profile the Go runtime writes is gzip-wrapped).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, maxDecompressedBytes+1))
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		if len(raw) > maxDecompressedBytes {
+			return nil, fmt.Errorf("prof: decompressed profile exceeds %d bytes", maxDecompressedBytes)
+		}
+		data = raw
+	}
+	return parseUncompressed(data)
+}
+
+// ParseFile reads and decodes one .pb.gz artifact.
+func ParseFile(path string) (*Profile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Parse(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+func parseUncompressed(data []byte) (*Profile, error) {
+	r := &reader{b: data}
+	var (
+		sampleTypes []rawValueType
+		samples     []rawSample
+		locations   = map[uint64][]rawLine{}
+		functions   = map[uint64]rawFunction{}
+		strtab      []string
+		periodType  rawValueType
+		defaultType int64
+		p           = &Profile{}
+	)
+	for r.more() {
+		field, wire := r.tag()
+		switch field {
+		case 1: // sample_type
+			b := r.bytesField()
+			if r.err == nil {
+				vt, err := parseValueType(b)
+				if err != nil {
+					return nil, err
+				}
+				sampleTypes = append(sampleTypes, vt)
+			}
+		case 2: // sample
+			b := r.bytesField()
+			if r.err == nil {
+				s, err := parseSample(b)
+				if err != nil {
+					return nil, err
+				}
+				samples = append(samples, s)
+			}
+		case 4: // location
+			b := r.bytesField()
+			if r.err == nil {
+				loc, err := parseLocation(b)
+				if err != nil {
+					return nil, err
+				}
+				if _, dup := locations[loc.id]; dup {
+					return nil, fmt.Errorf("prof: duplicate location id %d", loc.id)
+				}
+				locations[loc.id] = loc.lines
+			}
+		case 5: // function
+			b := r.bytesField()
+			if r.err == nil {
+				fn, err := parseFunction(b)
+				if err != nil {
+					return nil, err
+				}
+				if _, dup := functions[fn.id]; dup {
+					return nil, fmt.Errorf("prof: duplicate function id %d", fn.id)
+				}
+				functions[fn.id] = fn
+			}
+		case 6: // string_table
+			b := r.bytesField()
+			if r.err == nil {
+				strtab = append(strtab, string(b))
+			}
+		case 9:
+			p.TimeNanos = r.int64()
+		case 10:
+			p.DurationNanos = r.int64()
+		case 11:
+			b := r.bytesField()
+			if r.err == nil {
+				vt, err := parseValueType(b)
+				if err != nil {
+					return nil, err
+				}
+				periodType = vt
+			}
+		case 12:
+			p.Period = r.int64()
+		case 14:
+			defaultType = r.int64()
+		default:
+			r.skip(wire)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(strtab) > 0 && strtab[0] != "" {
+		return nil, fmt.Errorf("prof: string table must start with the empty string")
+	}
+	str := func(i int64) (string, error) {
+		if i < 0 || i >= int64(len(strtab)) {
+			if i == 0 {
+				return "", nil // empty table, index 0: the empty string
+			}
+			return "", fmt.Errorf("prof: string index %d outside table of %d", i, len(strtab))
+		}
+		return strtab[i], nil
+	}
+	resolveVT := func(vt rawValueType) (ValueType, error) {
+		t, err := str(vt.typ)
+		if err != nil {
+			return ValueType{}, err
+		}
+		u, err := str(vt.unit)
+		if err != nil {
+			return ValueType{}, err
+		}
+		return ValueType{Type: t, Unit: u}, nil
+	}
+
+	for _, vt := range sampleTypes {
+		rv, err := resolveVT(vt)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, rv)
+	}
+	var err error
+	if p.PeriodType, err = resolveVT(periodType); err != nil {
+		return nil, err
+	}
+	if p.DefaultType, err = str(defaultType); err != nil {
+		return nil, err
+	}
+
+	// Resolve each unique frame once; stacks share the Frame values.
+	frames := map[uint64][]Frame{}
+	for id, lines := range locations {
+		fs := make([]Frame, 0, len(lines))
+		for _, ln := range lines {
+			fn, ok := functions[ln.fn]
+			if !ok && ln.fn != 0 {
+				return nil, fmt.Errorf("prof: line references unknown function %d", ln.fn)
+			}
+			name, err := str(fn.name)
+			if err != nil {
+				return nil, err
+			}
+			file, err := str(fn.file)
+			if err != nil {
+				return nil, err
+			}
+			fs = append(fs, Frame{Function: name, File: file, Line: ln.line})
+		}
+		frames[id] = fs
+	}
+
+	for _, rs := range samples {
+		if len(rs.vals) != len(p.SampleTypes) {
+			return nil, fmt.Errorf("prof: sample has %d values, profile has %d sample types", len(rs.vals), len(p.SampleTypes))
+		}
+		s := Sample{Values: rs.vals}
+		for _, id := range rs.locs {
+			fs, ok := frames[id]
+			if !ok {
+				return nil, fmt.Errorf("prof: sample references unknown location %d", id)
+			}
+			s.Stack = append(s.Stack, fs...)
+		}
+		for _, rl := range rs.labels {
+			key, err := str(rl.key)
+			if err != nil {
+				return nil, err
+			}
+			sv, err := str(rl.str)
+			if err != nil {
+				return nil, err
+			}
+			unit, err := str(rl.numUnit)
+			if err != nil {
+				return nil, err
+			}
+			s.Labels = append(s.Labels, Label{Key: key, Str: sv, Num: rl.num, Unit: unit})
+		}
+		sortLabels(s.Labels)
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+func sortLabels(ls []Label) {
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].Key != ls[j].Key {
+			return ls[i].Key < ls[j].Key
+		}
+		if ls[i].Str != ls[j].Str {
+			return ls[i].Str < ls[j].Str
+		}
+		return ls[i].Num < ls[j].Num
+	})
+}
+
+// ---- encoder ----
+
+// enc builds protobuf wire bytes; the inverse of reader for the
+// subset Profile retains. All varints are canonical.
+type enc struct{ b []byte }
+
+func (e *enc) varint(v uint64) {
+	for v >= 0x80 {
+		e.b = append(e.b, byte(v)|0x80)
+		v >>= 7
+	}
+	e.b = append(e.b, byte(v))
+}
+
+func (e *enc) tag(field, wire int) { e.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (e *enc) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wireVarint)
+	e.varint(uint64(v))
+}
+
+func (e *enc) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	e.tag(field, wireVarint)
+	e.varint(v)
+}
+
+func (e *enc) bytesField(field int, b []byte) {
+	e.tag(field, wireBytes)
+	e.varint(uint64(len(b)))
+	e.b = append(e.b, b...)
+}
+
+func (e *enc) packedInt64s(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var p enc
+	for _, v := range vs {
+		p.varint(uint64(v))
+	}
+	e.bytesField(field, p.b)
+}
+
+func (e *enc) packedUint64s(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var p enc
+	for _, v := range vs {
+		p.varint(v)
+	}
+	e.bytesField(field, p.b)
+}
+
+// Encode serializes the profile as uncompressed profile.proto bytes.
+// Each distinct frame becomes one location with a single line record
+// (inlining grouping is not reconstructed — attribution and external
+// pprof tooling read the flattened stacks identically).
+func (p *Profile) Encode() []byte {
+	strIdx := map[string]int64{"": 0}
+	strs := []string{""}
+	str := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strIdx[s] = i
+		strs = append(strs, s)
+		return i
+	}
+	vtBytes := func(vt ValueType) []byte {
+		var e enc
+		e.int64Field(1, str(vt.Type))
+		e.int64Field(2, str(vt.Unit))
+		return e.b
+	}
+
+	type funcKey struct {
+		name, file string
+	}
+	funcIdx := map[funcKey]uint64{}
+	var funcs []funcKey
+	type locKey struct {
+		fn   uint64
+		line int64
+	}
+	locIdx := map[locKey]uint64{}
+	var locs []locKey
+
+	var body enc
+	for _, vt := range p.SampleTypes {
+		body.bytesField(1, vtBytes(vt))
+	}
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		var se enc
+		locIDs := make([]uint64, 0, len(s.Stack))
+		for _, fr := range s.Stack {
+			fk := funcKey{fr.Function, fr.File}
+			fid, ok := funcIdx[fk]
+			if !ok {
+				fid = uint64(len(funcs) + 1)
+				funcIdx[fk] = fid
+				funcs = append(funcs, fk)
+			}
+			lk := locKey{fid, fr.Line}
+			lid, ok := locIdx[lk]
+			if !ok {
+				lid = uint64(len(locs) + 1)
+				locIdx[lk] = lid
+				locs = append(locs, lk)
+			}
+			locIDs = append(locIDs, lid)
+		}
+		se.packedUint64s(1, locIDs)
+		se.packedInt64s(2, s.Values)
+		for _, l := range s.Labels {
+			var le enc
+			le.int64Field(1, str(l.Key))
+			le.int64Field(2, str(l.Str))
+			le.int64Field(3, l.Num)
+			le.int64Field(4, str(l.Unit))
+			se.bytesField(3, le.b)
+		}
+		body.bytesField(2, se.b)
+	}
+	for i, lk := range locs {
+		var le enc
+		le.uint64Field(1, uint64(i+1))
+		var ln enc
+		ln.uint64Field(1, lk.fn)
+		ln.int64Field(2, lk.line)
+		le.bytesField(4, ln.b)
+		body.bytesField(4, le.b)
+	}
+	for i, fk := range funcs {
+		var fe enc
+		fe.uint64Field(1, uint64(i+1))
+		fe.int64Field(2, str(fk.name))
+		fe.int64Field(4, str(fk.file))
+		body.bytesField(5, fe.b)
+	}
+	body.int64Field(9, p.TimeNanos)
+	body.int64Field(10, p.DurationNanos)
+	if p.PeriodType != (ValueType{}) {
+		body.bytesField(11, vtBytes(p.PeriodType))
+	}
+	body.int64Field(12, p.Period)
+	body.int64Field(14, str(p.DefaultType))
+	// The string table goes last (as the Go runtime writes it): every
+	// field above may intern new strings, and the decoder resolves
+	// indices only after the full walk.
+	for _, s := range strs {
+		body.bytesField(6, []byte(s))
+	}
+	return body.b
+}
+
+// WriteGzip writes the profile in the artifact format (.pb.gz), the
+// same shape runtime/pprof emits.
+func (p *Profile) WriteGzip(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(p.Encode()); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// WriteFile writes one .pb.gz artifact via temp file + rename so a
+// crash mid-write never leaves a half-profile behind a valid name.
+func (p *Profile) WriteFile(path string) error {
+	var buf bytes.Buffer
+	if err := p.WriteGzip(&buf); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,135 @@
+package prof
+
+import (
+	"bytes"
+	"reflect"
+	"runtime/pprof"
+	"testing"
+)
+
+// synthProfile builds a hand-made profile exercising every feature the
+// codec retains: labels, shared frames, multiple sample types, scalars.
+func synthProfile() *Profile {
+	return &Profile{
+		SampleTypes:   []ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+		DefaultType:   "cpu",
+		PeriodType:    ValueType{Type: "cpu", Unit: "nanoseconds"},
+		Period:        10000000,
+		TimeNanos:     1722000000000000000,
+		DurationNanos: 2000000000,
+		Samples: []Sample{
+			{
+				Stack: []Frame{
+					{Function: "repro/internal/suffixtree.(*builder).build", File: "suffixtree.go", Line: 337},
+					{Function: "repro/internal/par.RunStatus.func1", File: "par.go", Line: 648},
+				},
+				Values: []int64{12, 120000000},
+				Labels: []Label{{Key: "phase", Str: "gst"}, {Key: "rank", Str: "3"}},
+			},
+			{
+				Stack:  []Frame{{Function: "runtime.gcBgMarkWorker", File: "mgc.go", Line: 1310}},
+				Values: []int64{2, 20000000},
+			},
+			{
+				Stack: []Frame{
+					{Function: "repro/internal/align.extendBanded", File: "align.go", Line: 99},
+					{Function: "repro/internal/par.RunStatus.func1", File: "par.go", Line: 648},
+				},
+				Values: []int64{5, 50000000},
+				Labels: []Label{{Key: "phase", Str: "align-batch"}, {Key: "rank", Str: "0"}, {Key: "weight", Num: 7, Unit: "count"}},
+			},
+		},
+	}
+}
+
+func TestProtoRoundTripSynthetic(t *testing.T) {
+	want := synthProfile()
+	got, err := Parse(want.Encode())
+	if err != nil {
+		t.Fatalf("Parse(Encode()): %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The gzip artifact shape round-trips identically.
+	var buf bytes.Buffer
+	if err := want.WriteGzip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse(gzip): %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("gzip round trip mismatch")
+	}
+}
+
+// TestProtoParsesRuntimeProfile decodes a profile the Go runtime
+// itself wrote (the allocs profile of this very test process), then
+// re-encodes and re-parses it — the codec must be closed over real
+// runtime output, not just its own.
+func TestProtoParsesRuntimeProfile(t *testing.T) {
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parsing runtime allocs profile: %v", err)
+	}
+	if len(p.Samples) == 0 || len(p.SampleTypes) == 0 {
+		t.Fatalf("empty decode: %d samples, %d types", len(p.Samples), len(p.SampleTypes))
+	}
+	if p.ValueIndex("alloc_space") < 0 {
+		t.Fatalf("alloc_space missing from %v", p.SampleTypes)
+	}
+	p2, err := Parse(p.Encode())
+	if err != nil {
+		t.Fatalf("re-parsing re-encoded runtime profile: %v", err)
+	}
+	if !reflect.DeepEqual(p2, p) {
+		t.Fatal("re-encode of a runtime profile is not a fixed point")
+	}
+}
+
+func TestProtoRejectsMalformed(t *testing.T) {
+	good := synthProfile().Encode()
+	cases := map[string][]byte{
+		"truncated":       good[:len(good)/2],
+		"garbage":         []byte("definitely not protobuf"),
+		"bad gzip":        {0x1f, 0x8b, 0xff, 0x00, 0x01},
+		"wire type 3":     {0x0b}, // field 1, obsolete group wire type
+		"field number 0":  {0x00},
+		"length overflow": {0x0a, 0xff, 0xff, 0xff, 0xff, 0x0f},
+	}
+	for name, data := range cases {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+	// Truncation mid-gzip (what a SIGKILLed CPU stream looks like).
+	var buf bytes.Buffer
+	if err := synthProfile().WriteGzip(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(buf.Bytes()[:buf.Len()-4]); err == nil {
+		t.Error("truncated gzip stream parsed without error")
+	}
+}
+
+func TestValueIndex(t *testing.T) {
+	p := synthProfile()
+	if i := p.ValueIndex("cpu"); i != 1 {
+		t.Fatalf("ValueIndex(cpu) = %d, want 1", i)
+	}
+	if i := p.ValueIndex("nope"); i != -1 {
+		t.Fatalf("ValueIndex(nope) = %d, want -1", i)
+	}
+}

@@ -40,6 +40,15 @@ type Endpoint struct {
 	Handler http.Handler
 }
 
+// pprofEndpoints are the profiling routes the index advertises:
+// the named runtime/pprof lookup profiles pprof.Index serves under
+// /debug/pprof/, plus the sampling handlers mounted explicitly.
+var pprofEndpoints = []string{
+	"profile", "heap", "allocs", "goroutine",
+	"block", "mutex", "threadcreate",
+	"cmdline", "symbol", "trace",
+}
+
 // Serve starts an observability server on addr ("host:port"; ":0"
 // picks a free port) and returns once it is listening. The server
 // runs until Close. Extra endpoints are mounted verbatim and listed
@@ -60,6 +69,9 @@ func Serve(addr string, reg *Registry, tr *Tracer, extra ...Endpoint) (*Server, 
 			fmt.Fprintf(w, "  %s\n", ep.Path)
 		}
 		fmt.Fprintf(w, "  /debug/pprof/\n")
+		for _, p := range pprofEndpoints {
+			fmt.Fprintf(w, "  /debug/pprof/%s\n", p)
+		}
 	})
 	for _, ep := range extra {
 		mux.Handle(ep.Path, ep.Handler)

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 )
 
 // Wildcards for Recv and Probe.
@@ -373,6 +374,15 @@ type Comm struct {
 	start time.Time
 	fs    *faultState // nil when no fault plan is set
 	tr    *obs.Tracer // nil when tracing is disabled
+
+	// phases mirrors the rank's open phase spans so a profiling
+	// session can keep the goroutine's pprof "phase" label current
+	// across nested enter/exit events. The stack is maintained on
+	// every phase event (so a session starting mid-run still labels
+	// correctly) but labels are only applied while prof.Enabled() —
+	// without a session the cost is a slice push/pop on the rare
+	// phase boundaries and nothing on the message hot path.
+	phases []int64
 }
 
 // Rank returns this rank's index in [0, Size).
@@ -408,8 +418,41 @@ func (c *Comm) traceSeq(k obs.Kind, a, b, n int64, seq uint64) {
 
 // TraceEvent records a user-level event (phase enter/exit, protocol
 // milestones) on this rank's trace track; a no-op without a tracer.
-// Arguments are kind-specific — see obs.Event.
-func (c *Comm) TraceEvent(k obs.Kind, a, b, n int64) { c.trace(k, a, b, n) }
+// Arguments are kind-specific — see obs.Event. Phase events also
+// drive the rank's pprof phase label when a profiling session is
+// active, so CPU samples land pre-attributed to the phase that
+// burned them.
+func (c *Comm) TraceEvent(k obs.Kind, a, b, n int64) {
+	switch k {
+	case obs.EvPhaseEnter:
+		c.phases = append(c.phases, a)
+		c.applyProfLabels()
+	case obs.EvPhaseExit:
+		// Pop the innermost matching phase; tolerate unbalanced exits.
+		for i := len(c.phases) - 1; i >= 0; i-- {
+			if c.phases[i] == a {
+				c.phases = append(c.phases[:i], c.phases[i+1:]...)
+				break
+			}
+		}
+		c.applyProfLabels()
+	}
+	c.trace(k, a, b, n)
+}
+
+// applyProfLabels refreshes the calling goroutine's pprof labels from
+// the rank and its innermost open phase. A single atomic load when no
+// profiling session is active.
+func (c *Comm) applyProfLabels() {
+	if !prof.Enabled() {
+		return
+	}
+	phase := ""
+	if n := len(c.phases); n > 0 {
+		phase = obs.PhaseName(c.phases[n-1])
+	}
+	prof.ApplyLabels(c.rank, phase)
+}
 
 // Tracer returns the machine's tracer, or nil when tracing is off.
 func (c *Comm) Tracer() *obs.Tracer { return c.tr }
@@ -603,6 +646,8 @@ func RunStatus(cfg Config, body func(c *Comm)) ([]Stats, []Exit) {
 		go func(rank int) {
 			defer wg.Done()
 			c := &Comm{m: m, rank: rank, start: time.Now(), fs: newFaultState(cfg.Faults, rank), tr: cfg.Trace}
+			c.applyProfLabels() // rank label; phase follows TraceEvent
+			defer prof.ClearLabels()
 			defer func() {
 				c.st.Wall = time.Since(c.start)
 				c.st.PeakBufBytes = m.boxes[rank].peakBytes()

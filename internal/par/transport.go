@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs/prof"
 )
 
 // The transport seam: everything a machine needs from its interconnect
@@ -168,6 +170,8 @@ func RunRank(cfg Config, rank int, t Transport, body func(c *Comm)) (Stats, Exit
 	var exit Exit
 	func() {
 		c := &Comm{m: m, rank: rank, start: time.Now(), fs: newFaultState(cfg.Faults, rank), tr: cfg.Trace}
+		c.applyProfLabels() // rank label; phase follows TraceEvent
+		defer prof.ClearLabels()
 		defer func() {
 			c.st.Wall = time.Since(c.start)
 			c.st.PeakBufBytes = m.boxes[rank].peakBytes()
